@@ -1,0 +1,55 @@
+// Command mcrouter runs the treadmill protocol router: it terminates
+// memcached-protocol clients and routes requests to backend servers by
+// consistent hashing.
+//
+// Usage:
+//
+//	mcrouter -backends host1:11211,host2:11211 [-addr 127.0.0.1:11311]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"treadmill/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11311", "listen address")
+	backends := flag.String("backends", "", "comma-separated backend addresses (required)")
+	conns := flag.Int("conns-per-backend", 4, "connections per backend")
+	flag.Parse()
+
+	if *backends == "" {
+		fmt.Fprintln(os.Stderr, "mcrouter: -backends is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := router.DefaultConfig(strings.Split(*backends, ","))
+	cfg.Addr = *addr
+	cfg.ConnsPerBackend = *conns
+	cfg.Logger = log.New(os.Stderr, "mcrouter: ", log.LstdFlags)
+
+	r, err := router.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("treadmill-mcrouter listening on %s, %d backends\n", r.Addr(), len(cfg.Backends))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	if err := r.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

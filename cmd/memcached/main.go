@@ -1,0 +1,49 @@
+// Command memcached runs the treadmill key-value server: an in-memory,
+// memcached-text-protocol-compatible store over TCP.
+//
+// Usage:
+//
+//	memcached [-addr 127.0.0.1:11211] [-shards 64] [-capacity-mb 256]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"treadmill/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "listen address")
+	shards := flag.Int("shards", 64, "store shard count")
+	capacityMB := flag.Int64("capacity-mb", 256, "store capacity in MiB")
+	flag.Parse()
+
+	cfg := server.DefaultConfig()
+	cfg.Addr = *addr
+	cfg.Shards = *shards
+	cfg.CapacityBytes = *capacityMB << 20
+	cfg.Logger = log.New(os.Stderr, "memcached: ", log.LstdFlags)
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("treadmill-kv listening on %s (%d shards, %d MiB)\n", srv.Addr(), *shards, *capacityMB)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Command tailbench regenerates every table and figure from the paper's
+// evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	tailbench [-scale quick|full] [-csv] <experiment>...
+//
+// Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
+//
+//	table4 fig7 fig8 fig9 fig10 fig11 fig12 attribution all
+//
+// "attribution" runs table4 + fig7/8/11/12 (memcached) and fig9/10
+// (mcrouter) off shared campaigns; "all" runs everything. At -scale full
+// the attribution campaigns match the paper's 480-experiment design and
+// take several minutes each.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"treadmill/internal/experiments"
+	"treadmill/internal/report"
+)
+
+type printer struct{ csv bool }
+
+func (p printer) table(t *report.Table) {
+	if p.csv {
+		fmt.Println(t.Title)
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t)
+	}
+}
+
+func (p printer) figure(f *report.Figure) {
+	if p.csv {
+		fmt.Println(f.Title)
+		fmt.Print(f.CSV())
+	} else {
+		fmt.Println(f)
+	}
+}
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "full":
+		scale = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "tailbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	scale.Seed = *seed
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	p := printer{csv: *csv}
+
+	var memcached, mcrouter *experiments.Attribution
+	needMemcached := func() *experiments.Attribution {
+		if memcached == nil {
+			fmt.Fprintln(os.Stderr, "running memcached attribution campaign...")
+			var err error
+			memcached, err = experiments.RunAttribution(ctx, scale, "memcached")
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		return memcached
+	}
+	needMcrouter := func() *experiments.Attribution {
+		if mcrouter == nil {
+			fmt.Fprintln(os.Stderr, "running mcrouter attribution campaign...")
+			var err error
+			mcrouter, err = experiments.RunAttribution(ctx, scale, "mcrouter")
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		return mcrouter
+	}
+
+	expand := func(names []string) []string {
+		var out []string
+		for _, n := range names {
+			switch n {
+			case "all":
+				out = append(out, "table1", "table2", "table3", "fig1", "fig2", "fig3",
+					"fig4", "fig5", "fig6", "findings", "attribution")
+			case "attribution":
+				out = append(out, "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+			default:
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	for _, target := range expand(targets) {
+		switch target {
+		case "table1":
+			p.table(experiments.Table1())
+		case "table2":
+			p.table(experiments.Table2())
+		case "table3":
+			p.table(experiments.Table3())
+		case "fig1":
+			fig, err := experiments.Fig1(scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.figure(fig)
+		case "fig2":
+			fig, tab, err := experiments.Fig2(scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.figure(fig)
+			p.table(tab)
+		case "fig3":
+			single, multi, err := experiments.Fig3(scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.figure(single)
+			p.figure(multi)
+		case "fig4":
+			fig, tab, err := experiments.Fig4(scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.figure(fig)
+			p.table(tab)
+		case "fig5":
+			fig, tab, err := experiments.Fig5(scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.figure(fig)
+			p.table(tab)
+		case "fig6":
+			fig, tab, err := experiments.Fig6(scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.figure(fig)
+			p.table(tab)
+		case "table4":
+			p.table(experiments.Table4(needMemcached()))
+		case "fig7":
+			tab, err := experiments.Fig7(needMemcached())
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.table(tab)
+		case "fig8":
+			tab, err := experiments.Fig8(needMemcached())
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.table(tab)
+		case "fig9":
+			tab, err := experiments.Fig7(needMcrouter())
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.table(tab)
+		case "fig10":
+			tab, err := experiments.Fig8(needMcrouter())
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.table(tab)
+		case "fig11":
+			p.table(experiments.Fig11(needMemcached(), needMcrouter()))
+		case "findings":
+			fs, err := experiments.Findings(scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.table(experiments.FindingsTable(fs))
+		case "fig12":
+			tab, _, err := experiments.Fig12(needMemcached())
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.table(tab)
+		default:
+			fmt.Fprintf(os.Stderr, "tailbench: unknown experiment %q\n", target)
+			os.Exit(2)
+		}
+	}
+}

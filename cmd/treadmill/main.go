@@ -1,0 +1,197 @@
+// Command treadmill is the load tester CLI: it drives a memcached-protocol
+// endpoint over TCP with the full Treadmill measurement procedure —
+// open-loop Poisson load, multiple in-process instances, warm-up /
+// calibration / measurement phases, per-instance quantile extraction, and
+// repeated runs until the estimate converges.
+//
+// Usage:
+//
+//	treadmill -target 127.0.0.1:11211 -rate 50000 [-instances 4]
+//	          [-conns 8] [-duration 5s] [-runs 5] [-workload w.json]
+//	          [-ground-truth] [-closed-loop]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"treadmill/internal/capture"
+	"treadmill/internal/client"
+	"treadmill/internal/core"
+	"treadmill/internal/loadgen"
+	"treadmill/internal/report"
+	"treadmill/internal/stats"
+	"treadmill/internal/workload"
+)
+
+func main() {
+	target := flag.String("target", "", "server address (required)")
+	rate := flag.Float64("rate", 10000, "total request rate across instances")
+	instances := flag.Int("instances", 4, "Treadmill instances")
+	conns := flag.Int("conns", 8, "connections per instance")
+	duration := flag.Duration("duration", 5*time.Second, "load duration per run")
+	minRuns := flag.Int("runs", 3, "minimum repeated runs (hysteresis procedure)")
+	maxRuns := flag.Int("max-runs", 10, "maximum repeated runs")
+	workloadPath := flag.String("workload", "", "JSON workload config (default: built-in mixed workload)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	groundTruth := flag.Bool("ground-truth", false, "run a tcpdump-style wire-latency prober alongside")
+	closedLoop := flag.Bool("closed-loop", false, "use the (flawed) closed-loop controller instead, for comparison")
+	preload := flag.Bool("preload", true, "preload the key space before measuring")
+	findCapacity := flag.Bool("find-capacity", false, "binary-search the max rate meeting the SLO instead of measuring one rate")
+	sloQuantile := flag.Float64("slo-quantile", 0.99, "SLO quantile for -find-capacity")
+	sloTarget := flag.Duration("slo-target", 2*time.Millisecond, "SLO latency bound for -find-capacity")
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "treadmill: -target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	wl := workload.Default()
+	if *workloadPath != "" {
+		var err error
+		wl, err = workload.Load(*workloadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *preload {
+		fmt.Printf("preloading %d keys...\n", wl.Keys)
+		if err := loadgen.Preload(*target, wl, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var prober *capture.Prober
+	proberStop := make(chan struct{})
+	proberDone := make(chan error, 1)
+	if *groundTruth {
+		var err error
+		prober, err = capture.NewProber(*target, "treadmill-probe")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { proberDone <- prober.Run(500*time.Microsecond, 0, proberStop) }()
+	}
+
+	switch {
+	case *findCapacity:
+		runFindCapacity(ctx, *target, wl, *rate, *conns, *duration, *seed, *sloQuantile, *sloTarget)
+	case *closedLoop:
+		runClosedLoop(ctx, *target, wl, *conns, *duration, *seed)
+	default:
+		runTreadmill(ctx, *target, wl, *rate, *instances, *conns, *duration, *minRuns, *maxRuns, *seed)
+	}
+
+	if prober != nil {
+		close(proberStop)
+		if err := <-proberDone; err != nil {
+			log.Printf("prober: %v", err)
+		}
+		wires := prober.Wires()
+		if len(wires) > 0 {
+			sum, _ := stats.Summarize(wires)
+			fmt.Printf("\nground truth (wire) over %d probes: p50=%s p99=%s\n",
+				sum.N, report.Micros(sum.P50), report.Micros(sum.P99))
+		}
+		prober.Close()
+	}
+}
+
+func runTreadmill(ctx context.Context, target string, wl workload.Config, rate float64, instances, conns int, duration time.Duration, minRuns, maxRuns int, seed uint64) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.MinRuns = minRuns
+	cfg.MaxRuns = maxRuns
+	tcpRunner := &core.TCPRunner{
+		Addr:      target,
+		Instances: instances,
+		PerInstance: loadgen.Options{
+			Rate:     rate / float64(instances),
+			Conns:    conns,
+			Workload: wl,
+		},
+		Duration: duration,
+	}
+	fmt.Printf("measuring %s: %d instances x %.0f rps, %v per run, %d-%d runs\n",
+		target, instances, rate/float64(instances), duration, minRuns, maxRuns)
+	m, err := core.Measure(ctx, cfg, tcpRunner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Treadmill measurement (%d runs, converged=%v, %d samples)", len(m.Runs), m.Converged, m.TotalSamples),
+		Headers: []string{"quantile", "estimate", "run-to-run stddev"},
+	}
+	for _, q := range cfg.Quantiles {
+		tab.AddRow(fmt.Sprintf("p%g", q*100), report.Micros(m.Estimate[q]), report.Micros(m.StdDev[q]))
+	}
+	fmt.Println(tab)
+	fmt.Printf("hysteresis spread (p99): %s\n", report.Percent(m.RelativeSpread()))
+}
+
+func runClosedLoop(ctx context.Context, target string, wl workload.Config, conns int, duration time.Duration, seed uint64) {
+	var mu sync.Mutex
+	var rtts []float64
+	cl, err := loadgen.NewClosedLoop(target, loadgen.Options{
+		Conns:    conns,
+		Workload: wl,
+		Seed:     seed,
+		OnResult: func(r *client.Result) {
+			if r.Err == nil {
+				mu.Lock()
+				rtts = append(rtts, r.RTT().Seconds())
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Run(ctx, duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closed-loop run: %d sent, %d completed, %.0f rps\n",
+		st.Sent, st.Completed, st.OfferedRate())
+	if len(rtts) > 0 {
+		sum, _ := stats.Summarize(rtts)
+		fmt.Printf("closed-loop (biased) latency: p50=%s p99=%s — compare with -ground-truth\n",
+			report.Micros(sum.P50), report.Micros(sum.P99))
+	}
+}
+
+// runFindCapacity binary-searches the highest rate whose measured SLO
+// quantile stays within budget. The -rate flag supplies the search ceiling.
+func runFindCapacity(ctx context.Context, target string, wl workload.Config, ceiling float64, conns int, duration time.Duration, seed uint64, sloQ float64, sloT time.Duration) {
+	opts := loadgen.SweepOptions{
+		Options:  loadgen.Options{Conns: conns, Workload: wl, Seed: seed},
+		Duration: duration,
+		SLO:      loadgen.SLO{Quantile: sloQ, Target: sloT},
+	}
+	floor := ceiling / 64
+	fmt.Printf("searching [%g, %g] rps for the highest rate with p%g <= %v...\n",
+		floor, ceiling, sloQ*100, sloT)
+	best, ok, err := loadgen.FindCapacity(ctx, target, floor, ceiling, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		fmt.Printf("even %g rps violates the SLO (p%g = %v); lower the floor or relax the SLO\n",
+			floor, sloQ*100, best.QuantileSLO)
+		return
+	}
+	fmt.Printf("capacity: ~%.0f rps (achieved %.0f), p50=%v p99=%v, SLO quantile=%v\n",
+		best.TargetRate, best.AchievedRate, best.P50, best.P99, best.QuantileSLO)
+}

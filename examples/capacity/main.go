@@ -1,0 +1,73 @@
+// Capacity: answer the provisioning question the paper's methodology
+// exists to make answerable — "how much load can this server take while
+// keeping P99 inside budget?" — with open-loop measurements.
+//
+// A closed-loop tester reports a saturation throughput at which the tail
+// is already destroyed; the open-loop sweep + binary search below finds
+// the highest rate whose *measured* P99 still meets the SLO.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"treadmill"
+	"treadmill/internal/report"
+)
+
+func main() {
+	srv, err := treadmill.NewServer(treadmill.DefaultServerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	wl := treadmill.DefaultWorkload()
+	wl.Keys = 2000
+	if err := treadmill.Preload(srv.Addr(), wl, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	opts := treadmill.SweepOptions{
+		Options:  treadmill.LoadOptions{Conns: 8, Workload: wl, Seed: 7},
+		Duration: 1500 * time.Millisecond,
+		SLO:      treadmill.SLO{Quantile: 0.99, Target: 5 * time.Millisecond},
+	}
+
+	// 1. Characterize the latency-vs-load curve.
+	fmt.Println("sweeping load levels...")
+	points, err := treadmill.Sweep(context.Background(), srv.Addr(),
+		[]float64{1000, 2000, 4000, 8000}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := &report.Table{
+		Title:   "Latency vs offered load (open loop)",
+		Headers: []string{"target rps", "achieved rps", "p50", "p99", "meets 5ms p99 SLO"},
+	}
+	for _, p := range points {
+		tab.AddRow(fmt.Sprintf("%.0f", p.TargetRate), fmt.Sprintf("%.0f", p.AchievedRate),
+			p.P50.String(), p.P99.String(), fmt.Sprintf("%v", p.MeetsSLO))
+	}
+	fmt.Println(tab)
+
+	// 2. Binary-search the capacity under the SLO.
+	fmt.Println("searching for capacity under the SLO...")
+	best, ok, err := treadmill.FindCapacity(context.Background(), srv.Addr(), 1000, 16000, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		fmt.Println("even the floor rate violates the SLO on this machine")
+		return
+	}
+	fmt.Printf("capacity: ~%.0f rps with p99 = %v (SLO %v at p%.0f)\n",
+		best.TargetRate, best.P99, opts.SLO.Target, opts.SLO.Quantile*100)
+}

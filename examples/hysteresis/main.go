@@ -1,0 +1,60 @@
+// Hysteresis: demonstrate the paper's §II-D phenomenon and the procedure
+// that defeats it.
+//
+// A single load-test run converges to a tight estimate — but restart the
+// server and run again, and it converges to a *different* value, because
+// the mapping of connections to cores (and thus to NUMA nodes and
+// interrupt-heavy cores) is re-rolled on every restart. No amount of extra
+// samples within one run fixes this; the only cure is repeating whole
+// experiments and aggregating the per-run estimates, which is exactly what
+// the measurement engine does.
+//
+//	go run ./examples/hysteresis
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"treadmill/internal/core"
+	"treadmill/internal/report"
+	"treadmill/internal/sim"
+)
+
+func main() {
+	cluster := sim.DefaultClusterConfig(8)
+	cluster.Server.RandomPlacement = true // re-rolled placement per restart
+	cluster.Server.CPU.Governor = sim.Performance
+
+	runner := &core.SimRunner{
+		Cluster:        cluster,
+		RatePerClient:  700000.0 / 8, // ~70% server utilization
+		ConnsPerClient: 4,
+		Duration:       0.25,
+		Warmup:         0.05,
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MinRuns, cfg.MaxRuns = 6, 10
+
+	fmt.Println("measuring a simulated server at 70% utilization, restarting between runs...")
+	m, err := core.Measure(context.Background(), cfg, runner)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := &report.Table{
+		Title:   "Per-run converged p99 estimates (each run re-rolls the placement)",
+		Headers: []string{"run", "p99", "deviation from mean"},
+	}
+	per := m.PerRun(0.99)
+	mean := m.Estimate[0.99]
+	for i, v := range per {
+		tab.AddRow(fmt.Sprintf("#%d", i), report.Micros(v), report.Percent((v-mean)/mean))
+	}
+	fmt.Println(tab)
+	fmt.Printf("single-run answers spread over %s of their mean — the hysteresis the\n", report.Percent(m.RelativeSpread()))
+	fmt.Printf("paper reports as 15-67%%. The procedure's aggregate: p99 = %s ± %s.\n",
+		report.Micros(m.Estimate[0.99]), report.Micros(m.StdDev[0.99]))
+}

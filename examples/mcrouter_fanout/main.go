@@ -1,0 +1,84 @@
+// Mcrouter fan-out: measure tail latency through the protocol router in
+// front of a pool of key-value backends — the paper's second workload
+// (§V-C), live over TCP.
+//
+// It starts three backend servers, a consistent-hashing router in front of
+// them, and runs the Treadmill measurement procedure against the router.
+//
+//	go run ./examples/mcrouter_fanout
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"treadmill/internal/core"
+	"treadmill/internal/loadgen"
+	"treadmill/internal/report"
+	"treadmill/internal/router"
+	"treadmill/internal/server"
+	"treadmill/internal/workload"
+)
+
+func main() {
+	// 1. Backend pool.
+	var backends []string
+	for i := 0; i < 3; i++ {
+		srv, err := server.New(server.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		backends = append(backends, srv.Addr())
+	}
+	fmt.Println("backends:", backends)
+
+	// 2. Router.
+	r, err := router.New(router.DefaultConfig(backends))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	fmt.Println("router:", r.Addr())
+
+	// 3. Preload through the router so keys land on their owning backends.
+	wl := workload.Default()
+	wl.Keys = 3000
+	if err := loadgen.Preload(r.Addr(), wl, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Measure through the router.
+	cfg := core.DefaultConfig()
+	cfg.MinRuns, cfg.MaxRuns = 3, 6
+	cfg.Hist.WarmupSamples = 150
+	cfg.Hist.CalibrationSamples = 500
+	tcp := &core.TCPRunner{
+		Addr:        r.Addr(),
+		Instances:   4,
+		PerInstance: loadgen.Options{Rate: 800, Conns: 4, Workload: wl},
+		Duration:    2 * time.Second,
+	}
+	fmt.Println("measuring through the router (4 instances x 800 rps)...")
+	m, err := core.Measure(context.Background(), cfg, tcp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Tail latency through mcrouter (%d runs, %d samples)", len(m.Runs), m.TotalSamples),
+		Headers: []string{"quantile", "estimate", "run-to-run stddev"},
+	}
+	for _, q := range cfg.Quantiles {
+		tab.AddRow(fmt.Sprintf("p%g", q*100), report.Micros(m.Estimate[q]), report.Micros(m.StdDev[q]))
+	}
+	fmt.Println(tab)
+	fmt.Printf("router proxied %d requests across %d backends\n", r.Requests(), len(backends))
+}

@@ -1,0 +1,79 @@
+// Quickstart: measure the tail latency of an in-process key-value server
+// with the full Treadmill procedure.
+//
+// It starts the memcached-compatible TCP server, preloads a mixed GET/SET
+// workload, and runs the measurement engine: multiple open-loop instances,
+// warm-up/calibration/measurement phases, per-instance quantile
+// aggregation, and repeated runs until the P99 estimate converges.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"treadmill/internal/core"
+	"treadmill/internal/loadgen"
+	"treadmill/internal/report"
+	"treadmill/internal/server"
+	"treadmill/internal/workload"
+)
+
+func main() {
+	// 1. Start the system under test: an in-memory memcached-compatible
+	// server on an ephemeral port.
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("server listening on", srv.Addr())
+
+	// 2. Describe the workload: 90% GETs over a Zipfian key space with
+	// ~1KB values, and preload the keys so GETs hit.
+	wl := workload.Default()
+	wl.Keys = 2000
+	wl.ValueSize = workload.SizeDist{Kind: "lognormal", Mean: 256, CV2: 0.5}
+	fmt.Printf("preloading %d keys...\n", wl.Keys)
+	if err := loadgen.Preload(srv.Addr(), wl, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Measure with the Treadmill procedure: 4 instances x 500 rps —
+	// modest enough that even a small machine keeps its load generators
+	// lightly utilized (the paper's own requirement, §II-C) —
+	// repeated runs until the P99 converges.
+	cfg := core.DefaultConfig()
+	cfg.MinRuns, cfg.MaxRuns = 3, 6
+	// Size the phases to the per-run sample volume (500 rps x 3s).
+	cfg.Hist.WarmupSamples = 100
+	cfg.Hist.CalibrationSamples = 400
+	runner := &core.TCPRunner{
+		Addr:        srv.Addr(),
+		Instances:   4,
+		PerInstance: loadgen.Options{Rate: 500, Conns: 4, Workload: wl},
+		Duration:    3 * time.Second,
+	}
+	fmt.Println("measuring (4 instances x 500 rps, 3-6 runs)...")
+	m, err := core.Measure(context.Background(), cfg, runner)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Treadmill measurement: %d runs, converged=%v, %d samples", len(m.Runs), m.Converged, m.TotalSamples),
+		Headers: []string{"quantile", "estimate", "run-to-run stddev"},
+	}
+	for _, q := range cfg.Quantiles {
+		tab.AddRow(fmt.Sprintf("p%g", q*100), report.Micros(m.Estimate[q]), report.Micros(m.StdDev[q]))
+	}
+	fmt.Println(tab)
+	fmt.Printf("hysteresis spread at p99: %s\n", report.Percent(m.RelativeSpread()))
+}

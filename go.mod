@@ -1,0 +1,3 @@
+module treadmill
+
+go 1.22

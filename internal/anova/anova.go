@@ -1,0 +1,243 @@
+// Package anova implements classic fixed-effects factorial ANOVA — the
+// baseline statistical technique the paper argues against (§IV-A): ANOVA
+// attributes variance of the *mean* under normality assumptions, so it
+// cannot attribute specific latency quantiles and is unreliable on the
+// non-normal distributions server latencies follow. It is implemented here
+// so the comparison can be made quantitatively (see the ablation
+// benchmarks and EXPERIMENTS.md).
+//
+// The implementation is ordinary least squares on the same factorial
+// design matrix quantile regression uses, with type-III style F-tests per
+// term (each term tested against the full-model residual), which for a
+// balanced 2-level factorial coincides with the textbook ANOVA
+// decomposition.
+package anova
+
+import (
+	"fmt"
+	"math"
+
+	"treadmill/internal/linalg"
+	"treadmill/internal/quantreg"
+)
+
+// Effect is one model term's ANOVA summary.
+type Effect struct {
+	Term string
+	// Est is the OLS coefficient (effect on the conditional mean).
+	Est float64
+	// SumSq is the term's sequential sum of squares.
+	SumSq float64
+	// F is the F-statistic against the residual mean square.
+	F float64
+	// P is the p-value of the F-test (1 numerator df).
+	P float64
+}
+
+// Result is a fitted factorial ANOVA.
+type Result struct {
+	Effects []Effect
+	// ResidualSS and ResidualDF describe the error term.
+	ResidualSS float64
+	ResidualDF int
+	// R2 is the coefficient of determination of the mean model.
+	R2 float64
+}
+
+// Effect returns the named effect, if present.
+func (r *Result) Effect(name string) (Effect, bool) {
+	for _, e := range r.Effects {
+		if e.Term == name {
+			return e, true
+		}
+	}
+	return Effect{}, false
+}
+
+// Fit runs factorial ANOVA of y on the model's terms. The model's
+// intercept is estimated but not tested. It requires more observations
+// than terms.
+func Fit(m *quantreg.Model, x [][]float64, y []float64, opts ...Option) (*Result, error) {
+	cfg := options{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("anova: %d rows but %d responses", len(x), len(y))
+	}
+	n, p := len(y), m.NumTerms()
+	if n <= p {
+		return nil, fmt.Errorf("anova: %d observations cannot test %d terms", n, p)
+	}
+	design, err := m.Design(x)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := linalg.SolveLeastSquares(design, y)
+	if err != nil {
+		return nil, fmt.Errorf("anova: OLS fit: %w", err)
+	}
+	pred := design.MulVec(beta)
+	rss := 0.0
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	tss := 0.0
+	for i := range y {
+		d := y[i] - pred[i]
+		rss += d * d
+		t := y[i] - mean
+		tss += t * t
+	}
+	dfResid := n - p
+	msResid := rss / float64(dfResid)
+
+	res := &Result{ResidualSS: rss, ResidualDF: dfResid}
+	if tss > 0 {
+		res.R2 = 1 - rss/tss
+	} else {
+		res.R2 = 1
+	}
+
+	// Per-term extra sum of squares: refit without the term and compare.
+	for j, term := range m.Terms {
+		if term.Name == "(Intercept)" {
+			res.Effects = append(res.Effects, Effect{Term: term.Name, Est: beta[j], P: math.NaN()})
+			continue
+		}
+		reduced, err := dropColumn(design, j)
+		if err != nil {
+			return nil, err
+		}
+		betaR, err := linalg.SolveLeastSquares(reduced, y)
+		if err != nil {
+			return nil, fmt.Errorf("anova: reduced fit without %s: %w", term.Name, err)
+		}
+		predR := reduced.MulVec(betaR)
+		rssR := 0.0
+		for i := range y {
+			d := y[i] - predR[i]
+			rssR += d * d
+		}
+		ss := rssR - rss
+		if ss < 0 {
+			ss = 0
+		}
+		f := ss / msResid
+		res.Effects = append(res.Effects, Effect{
+			Term:  term.Name,
+			Est:   beta[j],
+			SumSq: ss,
+			F:     f,
+			P:     fPValue(f, 1, dfResid),
+		})
+	}
+	return res, nil
+}
+
+// options reserved for future knobs (kept so the signature is stable).
+type options struct{}
+
+// Option configures Fit.
+type Option func(*options)
+
+// dropColumn returns the design matrix without column j.
+func dropColumn(m *linalg.Matrix, j int) (*linalg.Matrix, error) {
+	if m.Cols < 2 {
+		return nil, fmt.Errorf("anova: cannot drop the only column")
+	}
+	out := linalg.NewMatrix(m.Rows, m.Cols-1)
+	for r := 0; r < m.Rows; r++ {
+		cc := 0
+		for c := 0; c < m.Cols; c++ {
+			if c == j {
+				continue
+			}
+			out.Set(r, cc, m.At(r, c))
+			cc++
+		}
+	}
+	return out, nil
+}
+
+// fPValue returns P(F >= f) for an F(d1, d2) distribution via the
+// regularized incomplete beta function.
+func fPValue(f float64, d1, d2 int) float64 {
+	if f <= 0 || math.IsNaN(f) {
+		return 1
+	}
+	x := float64(d2) / (float64(d2) + float64(d1)*f)
+	return regIncBeta(float64(d2)/2, float64(d1)/2, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf is the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,162 @@
+package anova
+
+import (
+	"math"
+	"testing"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/quantreg"
+)
+
+// balancedDesign builds a 2^2 factorial with reps per cell and the given
+// response function plus noise.
+func balancedDesign(rng *dist.RNG, reps int, f func(a, b float64) float64, noise func() float64) (x [][]float64, y []float64) {
+	for a := 0.0; a <= 1; a++ {
+		for b := 0.0; b <= 1; b++ {
+			for r := 0; r < reps; r++ {
+				x = append(x, []float64{a, b})
+				y = append(y, f(a, b)+noise())
+			}
+		}
+	}
+	return
+}
+
+func TestFitRecoversMeans(t *testing.T) {
+	rng := dist.NewRNG(1)
+	m, _ := quantreg.FullFactorialModel([]string{"a", "b"})
+	x, y := balancedDesign(rng, 50,
+		func(a, b float64) float64 { return 100 + 20*a - 10*b + 5*a*b },
+		func() float64 { return rng.Normal() })
+	res, err := Fit(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"a": 20, "b": -10, "a:b": 5}
+	for name, w := range want {
+		e, ok := res.Effect(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if math.Abs(e.Est-w) > 0.7 {
+			t.Errorf("%s = %g, want ~%g", name, e.Est, w)
+		}
+		if e.P > 1e-6 {
+			t.Errorf("%s p = %g, want tiny", name, e.P)
+		}
+	}
+	if res.R2 < 0.95 {
+		t.Errorf("R2 = %g", res.R2)
+	}
+	if _, ok := res.Effect("(Intercept)"); !ok {
+		t.Error("intercept missing")
+	}
+}
+
+func TestNullEffectInsignificant(t *testing.T) {
+	rng := dist.NewRNG(2)
+	m, _ := quantreg.FullFactorialModel([]string{"a", "b"})
+	x, y := balancedDesign(rng, 50,
+		func(a, b float64) float64 { return 100 + 20*a }, // b has no effect
+		func() float64 { return rng.Normal() })
+	res, err := Fit(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, _ := res.Effect("b")
+	if eb.P < 0.01 {
+		t.Errorf("null effect b has p = %g", eb.P)
+	}
+	ea, _ := res.Effect("a")
+	if ea.P > 1e-6 {
+		t.Errorf("true effect a has p = %g", ea.P)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m, _ := quantreg.FullFactorialModel([]string{"a"})
+	if _, err := Fit(m, [][]float64{{0}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit(m, [][]float64{{0}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("n <= terms should error")
+	}
+}
+
+func TestANOVAMissesTailEffect(t *testing.T) {
+	// The paper's core argument (§IV-A): a factor that only affects the
+	// TAIL is invisible to ANOVA (which models the mean) but visible to
+	// quantile regression at high tau.
+	rng := dist.NewRNG(3)
+	m, _ := quantreg.FullFactorialModel([]string{"a"})
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 4000; i++ {
+		a := float64(i % 2)
+		x = append(x, []float64{a})
+		v := 100 + rng.Normal()
+		// With a=1, 5% of requests suffer a big slowdown, but the mean
+		// barely moves because 95% of requests get slightly faster.
+		if a == 1 {
+			if rng.Float64() < 0.05 {
+				v += 60
+			} else {
+				v -= 60.0 * 0.05 / 0.95
+			}
+		}
+		y = append(y, v)
+	}
+	av, err := Fit(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := av.Effect("a")
+	if ea.P < 0.05 {
+		t.Fatalf("ANOVA flagged the mean-neutral tail effect (p=%g); construction broken", ea.P)
+	}
+	qr, err := quantreg.Fit(m, x, y, 0.99, quantreg.Options{
+		Solver: quantreg.IRLS, BootstrapSamples: 100, RNG: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := qr.Coef("a")
+	if ca.Est < 20 {
+		t.Errorf("quantile regression p99 effect = %g, want ~60", ca.Est)
+	}
+	if ca.P > 0.01 {
+		t.Errorf("quantile regression missed the tail effect (p=%g)", ca.P)
+	}
+}
+
+func TestFPValueKnownValues(t *testing.T) {
+	// F(1, 60): p(F >= 4.00) ≈ 0.0500 (F table).
+	if p := fPValue(4.00, 1, 60); math.Abs(p-0.05) > 0.003 {
+		t.Errorf("p(F(1,60) >= 4.00) = %g, want ~0.05", p)
+	}
+	// Degenerate cases.
+	if fPValue(0, 1, 10) != 1 || fPValue(math.NaN(), 1, 10) != 1 {
+		t.Error("non-positive F should give p=1")
+	}
+	if p := fPValue(1000, 1, 100); p > 1e-10 {
+		t.Errorf("huge F should give tiny p, got %g", p)
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%g(1,1) = %g", x, got)
+		}
+	}
+	// I_0.5(a,a) = 0.5 by symmetry.
+	for _, a := range []float64{0.5, 2, 10} {
+		if got := regIncBeta(a, a, 0.5); math.Abs(got-0.5) > 1e-10 {
+			t.Errorf("I_0.5(%g,%g) = %g", a, a, got)
+		}
+	}
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Error("boundaries wrong")
+	}
+}

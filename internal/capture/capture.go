@@ -1,0 +1,176 @@
+// Package capture provides ground-truth latency measurement below the load
+// tester's user-space machinery — the role tcpdump plays in the paper's
+// evaluation (§III-C).
+//
+// The paper pins tcpdump on an idle core and timestamps packets at the
+// client NIC. Inside a single Go process we approximate that measurement
+// point with a Prober: a dedicated connection that keeps exactly one
+// request outstanding and timestamps immediately after the write syscall
+// returns (kernel handoff) and when the first response byte arrives. With
+// one outstanding request and no callback machinery, those two stamps
+// bracket only network + server time, exactly the quantity tcpdump
+// isolates; load-tester-side queueing cannot contaminate them.
+//
+// In simulator mode no surrogate is needed: sim.Request carries exact NIC
+// timestamps (WireLatency).
+package capture
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"treadmill/internal/protocol"
+)
+
+// Sample is one ground-truth observation.
+type Sample struct {
+	// Sent is when the request left user space (post-write-syscall).
+	Sent time.Time
+	// FirstByte is when the first response byte was available.
+	FirstByte time.Time
+}
+
+// Wire returns the ground-truth wire latency.
+func (s Sample) Wire() time.Duration { return s.FirstByte.Sub(s.Sent) }
+
+// stampReader wraps a net.Conn and records the time of each Read that
+// returns data.
+type stampReader struct {
+	conn net.Conn
+
+	mu        sync.Mutex
+	lastStamp time.Time
+}
+
+func (r *stampReader) Read(p []byte) (int, error) {
+	n, err := r.conn.Read(p)
+	if n > 0 {
+		r.mu.Lock()
+		r.lastStamp = time.Now()
+		r.mu.Unlock()
+	}
+	return n, err
+}
+
+func (r *stampReader) last() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastStamp
+}
+
+// Prober measures ground-truth wire latency against a memcached-protocol
+// server using single-outstanding GET probes of a preloaded key.
+type Prober struct {
+	conn  net.Conn
+	sr    *stampReader
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	key   string
+	mu    sync.Mutex
+	samps []Sample
+}
+
+// NewProber connects to addr and ensures key exists (storing a small value
+// if needed) so probes are cache hits.
+func NewProber(addr, key string) (*Prober, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("capture: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	sr := &stampReader{conn: conn}
+	p := &Prober{
+		conn: conn,
+		sr:   sr,
+		br:   bufio.NewReader(sr),
+		bw:   bufio.NewWriter(conn),
+		key:  key,
+	}
+	// Seed the probe key.
+	if err := protocol.WriteRequest(p.bw, &protocol.Request{Op: protocol.OpSet, Key: key, Value: []byte("probe")}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := p.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := protocol.ParseResponse(p.br, protocol.OpSet); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("capture: seeding probe key: %w", err)
+	}
+	return p, nil
+}
+
+// ProbeOnce issues one GET and records its wire sample.
+func (p *Prober) ProbeOnce() (Sample, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := protocol.WriteRequest(p.bw, &protocol.Request{Op: protocol.OpGet, Key: p.key}); err != nil {
+		return Sample{}, err
+	}
+	if err := p.bw.Flush(); err != nil {
+		return Sample{}, err
+	}
+	sent := time.Now()
+	resp, err := protocol.ParseResponse(p.br, protocol.OpGet)
+	if err != nil {
+		return Sample{}, fmt.Errorf("capture: probe response: %w", err)
+	}
+	if !resp.Hit {
+		return Sample{}, fmt.Errorf("capture: probe key %q missing", p.key)
+	}
+	s := Sample{Sent: sent, FirstByte: p.sr.last()}
+	// The stamp of the Read that completed the response can only be at or
+	// after the first byte; with one outstanding request and a small
+	// response they coincide. Guard against clock anomalies anyway.
+	if s.FirstByte.Before(s.Sent) {
+		s.FirstByte = s.Sent
+	}
+	p.samps = append(p.samps, s)
+	return s, nil
+}
+
+// Run probes every interval until stop is closed or count samples are
+// collected (count <= 0 means unbounded).
+func (p *Prober) Run(interval time.Duration, count int, stop <-chan struct{}) error {
+	if interval <= 0 {
+		return fmt.Errorf("capture: interval must be positive")
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	n := 0
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+			if _, err := p.ProbeOnce(); err != nil {
+				return err
+			}
+			n++
+			if count > 0 && n >= count {
+				return nil
+			}
+		}
+	}
+}
+
+// Wires returns the collected wire latencies in seconds.
+func (p *Prober) Wires() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]float64, len(p.samps))
+	for i, s := range p.samps {
+		out[i] = s.Wire().Seconds()
+	}
+	return out
+}
+
+// Close releases the probe connection.
+func (p *Prober) Close() error { return p.conn.Close() }

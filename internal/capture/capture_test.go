@@ -1,0 +1,139 @@
+package capture
+
+import (
+	"testing"
+	"time"
+
+	"treadmill/internal/server"
+	"treadmill/internal/stats"
+)
+
+func startServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestProbeOnce(t *testing.T) {
+	srv := startServer(t)
+	p, err := NewProber(srv.Addr(), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s, err := p.ProbeOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Wire() < 0 || s.Wire() > time.Second {
+		t.Errorf("wire latency = %v", s.Wire())
+	}
+}
+
+func TestProberCollectsSamples(t *testing.T) {
+	srv := startServer(t)
+	p, err := NewProber(srv.Addr(), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := p.ProbeOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wires := p.Wires()
+	if len(wires) != 50 {
+		t.Fatalf("collected %d samples", len(wires))
+	}
+	for _, w := range wires {
+		if w < 0 || w > 1 {
+			t.Fatalf("wire sample %g out of range", w)
+		}
+	}
+	// Loopback RTT through the server should be well under a millisecond
+	// at the median on any healthy machine.
+	med, _ := stats.Quantile(wires, 0.5)
+	if med > 50e-3 {
+		t.Errorf("median wire latency %g unreasonably high", med)
+	}
+}
+
+func TestProberRunBounded(t *testing.T) {
+	srv := startServer(t)
+	p, err := NewProber(srv.Addr(), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	stop := make(chan struct{})
+	if err := p.Run(200*time.Microsecond, 20, stop); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Wires()); got != 20 {
+		t.Errorf("run collected %d samples, want 20", got)
+	}
+}
+
+func TestProberRunStop(t *testing.T) {
+	srv := startServer(t)
+	p, err := NewProber(srv.Addr(), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- p.Run(100*time.Microsecond, 0, stop) }()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop")
+	}
+	if len(p.Wires()) == 0 {
+		t.Error("no samples collected before stop")
+	}
+}
+
+func TestProberRunValidation(t *testing.T) {
+	srv := startServer(t)
+	p, err := NewProber(srv.Addr(), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Run(0, 1, nil); err == nil {
+		t.Error("zero interval should error")
+	}
+}
+
+func TestProberDialFailure(t *testing.T) {
+	if _, err := NewProber("127.0.0.1:1", "k"); err == nil {
+		t.Error("dial to dead port should error")
+	}
+}
+
+func TestProberAfterServerClose(t *testing.T) {
+	srv := startServer(t)
+	p, err := NewProber(srv.Addr(), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	srv.Close()
+	if _, err := p.ProbeOnce(); err == nil {
+		t.Error("probe against closed server should error")
+	}
+}

@@ -1,0 +1,69 @@
+package client
+
+import (
+	"sync"
+	"testing"
+
+	"treadmill/internal/protocol"
+	"treadmill/internal/server"
+)
+
+func benchServer(b *testing.B) *server.Server {
+	b.Helper()
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// BenchmarkSyncRoundTrip measures single-outstanding GET latency over
+// loopback — the floor of the measurement stack.
+func BenchmarkSyncRoundTrip(b *testing.B) {
+	srv := benchServer(b)
+	c, err := Dial(srv.Addr(), DefaultConnConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", 0, make([]byte, 128)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get("k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinedThroughput measures GET throughput with a full
+// pipeline on one connection.
+func BenchmarkPipelinedThroughput(b *testing.B) {
+	srv := benchServer(b)
+	c, err := Dial(srv.Addr(), DefaultConnConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", 0, make([]byte, 128)); err != nil {
+		b.Fatal(err)
+	}
+	req := &protocol.Request{Op: protocol.OpGet, Key: "k"}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		for {
+			if err := c.Do(req, func(*Result) { wg.Done() }); err == nil {
+				break
+			}
+			// Pipeline full: let it drain.
+		}
+	}
+	wg.Wait()
+}

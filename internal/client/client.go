@@ -1,0 +1,293 @@
+// Package client is an asynchronous memcached-protocol client built for
+// load generation: pipelined writes, strictly in-order response matching,
+// and response callbacks executed inline on the reader goroutine — the
+// wangle-style inline executor the paper credits for avoiding client-side
+// callback queueing (§III-A).
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"treadmill/internal/protocol"
+)
+
+// ErrClosed is returned for operations on a closed connection.
+var ErrClosed = errors.New("client: connection closed")
+
+// Result is delivered to the request callback.
+type Result struct {
+	// Resp is nil when Err is set or the request was noreply.
+	Resp *protocol.Response
+	Err  error
+	// Start is when Do was called; Done when the callback fired. RTT is
+	// their difference, the load tester's measured latency.
+	Start, Done time.Time
+}
+
+// RTT returns the measured round-trip time.
+func (r *Result) RTT() time.Duration { return r.Done.Sub(r.Start) }
+
+// Callback receives the result of one request. It runs inline on the
+// connection's reader goroutine: keep it short (record a sample, notify a
+// channel) or the connection's other responses queue behind it.
+type Callback func(*Result)
+
+type pending struct {
+	op    protocol.Op
+	cb    Callback
+	start time.Time
+}
+
+// Conn is one pipelined client connection.
+type Conn struct {
+	nc net.Conn
+
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closed bool
+
+	inflight chan *pending
+	done     chan struct{}
+
+	readerErr error
+	readerEnd sync.Once
+}
+
+// ConnConfig tunes a connection.
+type ConnConfig struct {
+	// MaxInflight bounds pipelined requests awaiting responses; Do blocks
+	// when the pipeline is full (backpressure instead of unbounded memory).
+	MaxInflight int
+	// BufferSize sizes the read and write buffers.
+	BufferSize int
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+}
+
+// DefaultConnConfig returns sensible load-test defaults.
+func DefaultConnConfig() ConnConfig {
+	return ConnConfig{MaxInflight: 4096, BufferSize: 16 << 10, DialTimeout: 5 * time.Second}
+}
+
+// Dial connects to a memcached-protocol server.
+func Dial(addr string, cfg ConnConfig) (*Conn, error) {
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 4096
+	}
+	if cfg.BufferSize == 0 {
+		cfg.BufferSize = 16 << 10
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	c := &Conn{
+		nc:       nc,
+		w:        bufio.NewWriterSize(nc, cfg.BufferSize),
+		inflight: make(chan *pending, cfg.MaxInflight),
+		done:     make(chan struct{}),
+	}
+	go c.readLoop(bufio.NewReaderSize(nc, cfg.BufferSize))
+	return c, nil
+}
+
+// readLoop matches responses to pipelined requests in FIFO order and runs
+// callbacks inline.
+func (c *Conn) readLoop(r *bufio.Reader) {
+	for {
+		var p *pending
+		select {
+		case p = <-c.inflight:
+		case <-c.done:
+			return
+		}
+		resp, err := protocol.ParseResponse(r, p.op)
+		now := time.Now()
+		if err != nil {
+			c.failFrom(p, err)
+			return
+		}
+		p.cb(&Result{Resp: resp, Start: p.start, Done: now})
+	}
+}
+
+// failFrom delivers err to p and every remaining inflight callback, then
+// tears the connection down.
+func (c *Conn) failFrom(p *pending, err error) {
+	c.readerEnd.Do(func() {
+		c.readerErr = err
+		now := time.Now()
+		p.cb(&Result{Err: err, Start: p.start, Done: now})
+		for {
+			select {
+			case q := <-c.inflight:
+				q.cb(&Result{Err: err, Start: q.start, Done: now})
+			default:
+				c.Close()
+				return
+			}
+		}
+	})
+}
+
+// Do sends req; cb runs when its response arrives (or immediately after
+// the write for noreply requests). Do is safe for concurrent use. It
+// blocks when the pipeline is full.
+func (c *Conn) Do(req *protocol.Request, cb Callback) error {
+	if cb == nil {
+		return errors.New("client: nil callback")
+	}
+	start := time.Now()
+	p := &pending{op: req.Op, cb: cb, start: start}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if !req.NoReply {
+		// Reserve the pipeline slot before writing so the reader can
+		// always match responses FIFO.
+		select {
+		case c.inflight <- p:
+		default:
+			c.mu.Unlock()
+			return fmt.Errorf("client: pipeline full (%d inflight)", cap(c.inflight))
+		}
+	}
+	err := protocol.WriteRequest(c.w, req)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("client: write: %w", err)
+	}
+	if req.NoReply {
+		cb(&Result{Start: start, Done: time.Now()})
+	}
+	return nil
+}
+
+// Get fetches key synchronously (convenience for examples and tools).
+func (c *Conn) Get(key string) (*protocol.Response, error) {
+	return c.roundTrip(&protocol.Request{Op: protocol.OpGet, Key: key})
+}
+
+// Set stores key synchronously.
+func (c *Conn) Set(key string, flags uint32, value []byte) error {
+	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpSet, Key: key, Flags: flags, Value: value})
+	if err != nil {
+		return err
+	}
+	if resp.Status != "STORED" {
+		return fmt.Errorf("client: set %q: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// Delete removes key synchronously, reporting whether it existed.
+func (c *Conn) Delete(key string) (bool, error) {
+	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status == "DELETED", nil
+}
+
+// Version fetches the server version string.
+func (c *Conn) Version() (string, error) {
+	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpVersion})
+	if err != nil {
+		return "", err
+	}
+	return resp.Status, nil
+}
+
+func (c *Conn) roundTrip(req *protocol.Request) (*protocol.Response, error) {
+	ch := make(chan *Result, 1)
+	if err := c.Do(req, func(r *Result) { ch <- r }); err != nil {
+		return nil, err
+	}
+	r := <-ch
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return r.Resp, nil
+}
+
+// Close shuts the connection down. Outstanding callbacks receive errors.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	return c.nc.Close()
+}
+
+// Pool is a set of connections to one server with round-robin dispatch,
+// letting a load generator spread pipelines over several sockets the way
+// Treadmill instances do.
+type Pool struct {
+	conns []*Conn
+	mu    sync.Mutex
+	next  int
+}
+
+// DialPool opens n connections to addr.
+func DialPool(addr string, n int, cfg ConnConfig) (*Pool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("client: pool size %d must be >= 1", n)
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		c, err := Dial(addr, cfg)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.conns = append(p.conns, c)
+	}
+	return p, nil
+}
+
+// Do dispatches req on the next connection round-robin.
+func (p *Pool) Do(req *protocol.Request, cb Callback) error {
+	p.mu.Lock()
+	c := p.conns[p.next%len(p.conns)]
+	p.next++
+	p.mu.Unlock()
+	return c.Do(req, cb)
+}
+
+// Size returns the number of connections.
+func (p *Pool) Size() int { return len(p.conns) }
+
+// Conn returns the i-th connection (for per-connection load patterns).
+func (p *Pool) Conn(i int) *Conn { return p.conns[i%len(p.conns)] }
+
+// Close closes every connection.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,237 @@
+// Package core is the Treadmill measurement engine — the paper's primary
+// contribution (§III). It composes the pieces the pitfalls survey demands:
+//
+//   - per-instance adaptive histograms with warm-up / calibration /
+//     measurement phases (§III-A, via internal/hist),
+//   - multiple lightly-utilized load-tester instances whose metrics are
+//     extracted individually and then combined, never pooled (§III-B, via
+//     internal/agg),
+//   - the repeated-run procedure that defeats performance hysteresis:
+//     whole experiments are restarted until the mean of the per-run
+//     converged estimates itself converges (§II-D/III-B, via
+//     internal/stats).
+//
+// The engine is backend-agnostic: a Runner produces per-instance latency
+// streams, whether from the discrete-event simulator (SimRunner) or from
+// real TCP load generation (TCPRunner).
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"treadmill/internal/agg"
+	"treadmill/internal/hist"
+	"treadmill/internal/stats"
+)
+
+// Runner executes one full experiment run — all load-tester instances
+// concurrently against a freshly (re)started system — and returns each
+// instance's latency samples in arrival order, in seconds.
+type Runner interface {
+	RunOnce(ctx context.Context, run int, seed uint64) ([][]float64, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ctx context.Context, run int, seed uint64) ([][]float64, error)
+
+// RunOnce implements Runner.
+func (f RunnerFunc) RunOnce(ctx context.Context, run int, seed uint64) ([][]float64, error) {
+	return f(ctx, run, seed)
+}
+
+// Config controls the measurement procedure.
+type Config struct {
+	// Quantiles are the metrics of interest, e.g. 0.5, 0.95, 0.99.
+	Quantiles []float64
+	// PrimaryQuantile drives the convergence decision (typically the
+	// tail metric under study). Must appear in Quantiles.
+	PrimaryQuantile float64
+	// Combine reduces per-instance quantiles (paper default: mean).
+	Combine agg.Combine
+	// Hist configures the per-instance adaptive histogram.
+	Hist hist.Config
+	// MinRuns / MaxRuns bound the repeated-run procedure.
+	MinRuns, MaxRuns int
+	// ConvergenceWindow and ConvergenceTolerance define the stopping rule
+	// on the running mean of per-run estimates.
+	ConvergenceWindow    int
+	ConvergenceTolerance float64
+	// Seed derives per-run seeds (seed + run index).
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-shaped procedure: P50/P95/P99 metrics,
+// convergence on P99, mean combination, and 5-30 repeated runs.
+func DefaultConfig() Config {
+	return Config{
+		Quantiles:            []float64{0.5, 0.9, 0.95, 0.99},
+		PrimaryQuantile:      0.99,
+		Combine:              agg.Mean,
+		Hist:                 hist.DefaultConfig(),
+		MinRuns:              5,
+		MaxRuns:              30,
+		ConvergenceWindow:    3,
+		ConvergenceTolerance: 0.01,
+		Seed:                 1,
+	}
+}
+
+func (c Config) validate() error {
+	if len(c.Quantiles) == 0 {
+		return fmt.Errorf("core: at least one quantile required")
+	}
+	found := false
+	for _, q := range c.Quantiles {
+		if q <= 0 || q >= 1 {
+			return fmt.Errorf("core: quantile %g out of (0,1)", q)
+		}
+		if q == c.PrimaryQuantile {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: primary quantile %g not in Quantiles", c.PrimaryQuantile)
+	}
+	if c.MinRuns < 1 || c.MaxRuns < c.MinRuns {
+		return fmt.Errorf("core: need 1 <= MinRuns (%d) <= MaxRuns (%d)", c.MinRuns, c.MaxRuns)
+	}
+	if c.ConvergenceWindow < 1 || c.ConvergenceTolerance <= 0 {
+		return fmt.Errorf("core: invalid convergence rule (window %d, tol %g)", c.ConvergenceWindow, c.ConvergenceTolerance)
+	}
+	return nil
+}
+
+// RunEstimate is one experiment run's combined estimates.
+type RunEstimate struct {
+	Run int
+	// ByQuantile maps each configured quantile to the cross-instance
+	// combined estimate.
+	ByQuantile map[float64]float64
+	// InstanceSamples is how many measured samples each instance kept.
+	InstanceSamples []uint64
+}
+
+// Measurement is the full outcome of the procedure.
+type Measurement struct {
+	Config Config
+	Runs   []RunEstimate
+	// Converged reports whether the stopping rule fired before MaxRuns.
+	Converged bool
+
+	// Estimate maps each quantile to the mean of per-run estimates — the
+	// final reported value.
+	Estimate map[float64]float64
+	// StdDev maps each quantile to the run-to-run standard deviation —
+	// the hysteresis magnitude.
+	StdDev map[float64]float64
+	// TotalSamples counts measured samples across all runs and instances.
+	TotalSamples uint64
+}
+
+// PerRun returns the per-run estimates of one quantile, in run order.
+func (m *Measurement) PerRun(q float64) []float64 {
+	out := make([]float64, len(m.Runs))
+	for i, r := range m.Runs {
+		out[i] = r.ByQuantile[q]
+	}
+	return out
+}
+
+// Measure executes the full Treadmill procedure.
+func Measure(ctx context.Context, cfg Config, runner Runner) (*Measurement, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Measurement{Config: cfg}
+	det := &stats.ConvergenceDetector{
+		MinRuns:   cfg.MinRuns,
+		Window:    cfg.ConvergenceWindow,
+		Tolerance: cfg.ConvergenceTolerance,
+	}
+	for run := 0; run < cfg.MaxRuns; run++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		streams, err := runner.RunOnce(ctx, run, cfg.Seed+uint64(run))
+		if err != nil {
+			return nil, fmt.Errorf("core: run %d: %w", run, err)
+		}
+		est, err := estimateRun(cfg, run, streams)
+		if err != nil {
+			return nil, fmt.Errorf("core: run %d: %w", run, err)
+		}
+		m.Runs = append(m.Runs, est)
+		for _, n := range est.InstanceSamples {
+			m.TotalSamples += n
+		}
+		if det.Observe(est.ByQuantile[cfg.PrimaryQuantile]) {
+			m.Converged = true
+			break
+		}
+	}
+	m.Estimate = make(map[float64]float64, len(cfg.Quantiles))
+	m.StdDev = make(map[float64]float64, len(cfg.Quantiles))
+	for _, q := range cfg.Quantiles {
+		per := m.PerRun(q)
+		m.Estimate[q] = stats.Mean(per)
+		m.StdDev[q] = stats.StdDev(per)
+	}
+	return m, nil
+}
+
+// estimateRun pushes each instance's stream through a fresh adaptive
+// histogram (enforcing the phase lifecycle) and combines per-instance
+// quantiles.
+func estimateRun(cfg Config, run int, streams [][]float64) (RunEstimate, error) {
+	if len(streams) == 0 {
+		return RunEstimate{}, fmt.Errorf("no instance streams")
+	}
+	est := RunEstimate{Run: run, ByQuantile: make(map[float64]float64, len(cfg.Quantiles))}
+	hists := make([]agg.QuantileSource, len(streams))
+	for i, stream := range streams {
+		h, err := hist.New(cfg.Hist)
+		if err != nil {
+			return RunEstimate{}, err
+		}
+		for _, v := range stream {
+			if err := h.Record(v); err != nil {
+				return RunEstimate{}, fmt.Errorf("instance %d: %w", i, err)
+			}
+		}
+		h.ForceMeasurement()
+		if h.Count() == 0 {
+			return RunEstimate{}, fmt.Errorf("instance %d produced no measured samples (stream %d, warmup %d)", i, len(stream), cfg.Hist.WarmupSamples)
+		}
+		hists[i] = h
+		est.InstanceSamples = append(est.InstanceSamples, h.Count())
+	}
+	for _, q := range cfg.Quantiles {
+		v, err := agg.PerInstance(hists, q, cfg.Combine)
+		if err != nil {
+			return RunEstimate{}, err
+		}
+		est.ByQuantile[q] = v
+	}
+	return est, nil
+}
+
+// RelativeSpread returns (max−min)/mean of per-run primary-quantile
+// estimates — the paper's 15-67% hysteresis variation metric (Fig. 4).
+func (m *Measurement) RelativeSpread() float64 {
+	per := m.PerRun(m.Config.PrimaryQuantile)
+	if len(per) == 0 {
+		return 0
+	}
+	mean := stats.Mean(per)
+	if mean == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range per {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return (hi - lo) / mean
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"treadmill/internal/client"
+	"treadmill/internal/loadgen"
+	"treadmill/internal/sim"
+)
+
+// SimRunner executes experiment runs on the discrete-event simulator. Each
+// run builds a fresh cluster (modeling the server restart of the paper's
+// procedure) with a per-run seed, so placement-dependent hysteresis
+// manifests across runs exactly as on hardware.
+type SimRunner struct {
+	// Cluster is the testbed template; Seed is overridden per run.
+	Cluster sim.ClusterConfig
+	// RatePerClient is the open-loop request rate each client generates.
+	RatePerClient float64
+	// ConnsPerClient is each client's connection count.
+	ConnsPerClient int
+	// Duration is the simulated seconds of load per run.
+	Duration float64
+	// Warmup discards samples created before this simulated time.
+	Warmup float64
+}
+
+// RunOnce implements Runner.
+func (r *SimRunner) RunOnce(_ context.Context, _ int, seed uint64) ([][]float64, error) {
+	if r.RatePerClient <= 0 || r.ConnsPerClient < 1 || r.Duration <= 0 {
+		return nil, fmt.Errorf("core: sim runner needs positive rate/conns/duration")
+	}
+	cfg := r.Cluster
+	cfg.Seed = seed
+	cluster, err := sim.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	streams := make([][]float64, len(cluster.Clients))
+	for i, c := range cluster.Clients {
+		i := i
+		c.OnComplete = func(req *sim.Request) {
+			if req.Created >= r.Warmup {
+				streams[i] = append(streams[i], req.MeasuredLatency())
+			}
+		}
+		if err := c.StartOpenLoop(r.RatePerClient, r.ConnsPerClient); err != nil {
+			return nil, err
+		}
+	}
+	cluster.Run(r.Warmup + r.Duration)
+	return streams, nil
+}
+
+// TCPRunner executes experiment runs against a real memcached-protocol
+// endpoint with multiple in-process Treadmill instances (each its own
+// connection pool and generator stream).
+type TCPRunner struct {
+	// Addr is the server or router address.
+	Addr string
+	// Instances is the number of concurrent Treadmill instances.
+	Instances int
+	// PerInstance configures each instance's open-loop generator; Seed is
+	// overridden per run/instance.
+	PerInstance loadgen.Options
+	// Duration is the wall-clock load duration per run.
+	Duration time.Duration
+	// Restart, when non-nil, is invoked before each run to restart the
+	// system under test (the paper's hysteresis procedure restarts the
+	// server between runs). It returns the address to use for the run,
+	// allowing the restarted server to land on a new port.
+	Restart func() (string, error)
+}
+
+// RunOnce implements Runner.
+func (r *TCPRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float64, error) {
+	if r.Instances < 1 {
+		return nil, fmt.Errorf("core: tcp runner needs >= 1 instance")
+	}
+	if r.Duration <= 0 {
+		return nil, fmt.Errorf("core: tcp runner needs positive duration")
+	}
+	addr := r.Addr
+	if r.Restart != nil {
+		var err error
+		addr, err = r.Restart()
+		if err != nil {
+			return nil, fmt.Errorf("core: restart: %w", err)
+		}
+	}
+	streams := make([][]float64, r.Instances)
+	mus := make([]sync.Mutex, r.Instances)
+	gens := make([]*loadgen.OpenLoop, r.Instances)
+	for i := 0; i < r.Instances; i++ {
+		i := i
+		opts := r.PerInstance
+		opts.Seed = seed*1000003 + uint64(i)
+		opts.OnResult = func(res *client.Result) {
+			if res.Err != nil {
+				return
+			}
+			mus[i].Lock()
+			streams[i] = append(streams[i], res.RTT().Seconds())
+			mus[i].Unlock()
+		}
+		g, err := loadgen.NewOpenLoop(addr, opts)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				gens[j].Close()
+			}
+			return nil, err
+		}
+		gens[i] = g
+	}
+	defer func() {
+		for _, g := range gens {
+			g.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make([]error, r.Instances)
+	for i, g := range gens {
+		i, g := i, g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = g.Run(ctx, r.Duration)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: instance %d: %w", i, err)
+		}
+	}
+	return streams, nil
+}

@@ -1,0 +1,45 @@
+package dist
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExponentialSample(b *testing.B) {
+	r := NewRNG(1)
+	e := Exponential{Rate: 1e5}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = e.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkLognormalSample(b *testing.B) {
+	r := NewRNG(1)
+	l := LognormalFromMoments(100e-6, 1.0)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = l.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	r := NewRNG(1)
+	z, err := NewZipf(100000, 0.99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = z.Rank(r)
+	}
+	_ = sink
+}

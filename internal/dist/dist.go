@@ -1,0 +1,290 @@
+// Package dist provides seeded random variate generation for the
+// distributions Treadmill uses: inter-arrival processes, service times,
+// request sizes, and key popularity.
+//
+// Every sampler in this package is driven by an explicit *RNG so that
+// experiments are reproducible under a seed and independent streams can be
+// derived for independent components (one stream per simulated client, one
+// per server, ...). None of the samplers are safe for concurrent use with a
+// shared RNG; give each goroutine its own stream via RNG.Fork.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// RNG is a small, fast, splittable pseudo-random generator
+// (xoshiro256**). It is deliberately not the global math/rand source: the
+// simulator needs many independent, reproducible streams.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next value. It is used
+// for seeding so that nearby seeds produce unrelated streams.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed. Two generators built from
+// different seeds produce statistically independent streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// Avoid the all-zero state, which is a fixed point of xoshiro.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Fork derives a new independent stream from r. The parent stream advances,
+// so repeated forks yield distinct children.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Normal returns a sample from the standard normal distribution using the
+// Marsaglia polar method.
+func (r *RNG) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// A Sampler produces one random variate per call. Samplers model service
+// times and sizes; values are in the natural unit of the use site (seconds
+// for times, bytes for sizes).
+type Sampler interface {
+	// Sample draws the next variate using rng.
+	Sample(rng *RNG) float64
+	// Mean returns the distribution mean, used for utilization math.
+	Mean() float64
+}
+
+// Constant is a degenerate distribution that always returns V.
+type Constant struct{ V float64 }
+
+// Sample implements Sampler.
+func (c Constant) Sample(*RNG) float64 { return c.V }
+
+// Mean implements Sampler.
+func (c Constant) Mean() float64 { return c.V }
+
+// String returns a human-readable description.
+func (c Constant) String() string { return fmt.Sprintf("constant(%g)", c.V) }
+
+// Exponential is the memoryless distribution with the given rate λ.
+// Treadmill uses it for open-loop inter-arrival times, matching the Poisson
+// arrivals measured in production clusters (paper §III-A).
+type Exponential struct{ Rate float64 }
+
+// Sample implements Sampler.
+func (e Exponential) Sample(rng *RNG) float64 {
+	// Inverse transform; 1-U avoids log(0).
+	return -math.Log(1-rng.Float64()) / e.Rate
+}
+
+// Mean implements Sampler.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// String returns a human-readable description.
+func (e Exponential) String() string { return fmt.Sprintf("exp(rate=%g)", e.Rate) }
+
+// Lognormal has parameters Mu and Sigma of the underlying normal. Service
+// times of real key-value servers are well approximated by lognormals.
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample implements Sampler.
+func (l Lognormal) Sample(rng *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.Normal())
+}
+
+// Mean implements Sampler.
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// String returns a human-readable description.
+func (l Lognormal) String() string { return fmt.Sprintf("lognormal(mu=%g,sigma=%g)", l.Mu, l.Sigma) }
+
+// LognormalFromMoments builds a Lognormal with the given mean and squared
+// coefficient of variation (variance / mean²).
+func LognormalFromMoments(mean, cv2 float64) Lognormal {
+	sigma2 := math.Log(1 + cv2)
+	return Lognormal{
+		Mu:    math.Log(mean) - sigma2/2,
+		Sigma: math.Sqrt(sigma2),
+	}
+}
+
+// Pareto is the heavy-tailed distribution with scale Xm and shape Alpha.
+// It models the occasional very large values (e.g., value sizes) that
+// dominate tail behaviour.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample implements Sampler.
+func (p Pareto) Sample(rng *RNG) float64 {
+	return p.Xm / math.Pow(1-rng.Float64(), 1/p.Alpha)
+}
+
+// Mean implements Sampler. It returns +Inf when Alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// String returns a human-readable description.
+func (p Pareto) String() string { return fmt.Sprintf("pareto(xm=%g,alpha=%g)", p.Xm, p.Alpha) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Sampler.
+func (u Uniform) Sample(rng *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*rng.Float64() }
+
+// Mean implements Sampler.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// String returns a human-readable description.
+func (u Uniform) String() string { return fmt.Sprintf("uniform[%g,%g)", u.Lo, u.Hi) }
+
+// Empirical samples from a fixed set of observed values with equal
+// probability, reproducing measured workload characteristics.
+type Empirical struct {
+	values []float64
+	mean   float64
+}
+
+// NewEmpirical builds an Empirical sampler from values. It panics on an
+// empty slice; a workload without observations has no distribution.
+func NewEmpirical(values []float64) *Empirical {
+	if len(values) == 0 {
+		panic("dist: NewEmpirical with no values")
+	}
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	sum := 0.0
+	for _, v := range cp {
+		sum += v
+	}
+	return &Empirical{values: cp, mean: sum / float64(len(cp))}
+}
+
+// Sample implements Sampler.
+func (e *Empirical) Sample(rng *RNG) float64 { return e.values[rng.Intn(len(e.values))] }
+
+// Mean implements Sampler.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Mixture samples from one of several component distributions, chosen with
+// the given weights. It models e.g. a GET/SET size mix.
+type Mixture struct {
+	components []Sampler
+	cum        []float64 // cumulative normalized weights
+	mean       float64
+}
+
+// NewMixture builds a mixture of components with the given weights. Weights
+// must be positive and the two slices equal length.
+func NewMixture(components []Sampler, weights []float64) (*Mixture, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return nil, fmt.Errorf("dist: mixture needs matching non-empty components (%d) and weights (%d)", len(components), len(weights))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w <= 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("dist: mixture weight %g must be positive", w)
+		}
+		total += w
+	}
+	m := &Mixture{components: components, cum: make([]float64, len(weights))}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		m.cum[i] = acc
+		m.mean += w / total * components[i].Mean()
+	}
+	m.cum[len(m.cum)-1] = 1 // guard against rounding
+	return m, nil
+}
+
+// Sample implements Sampler.
+func (m *Mixture) Sample(rng *RNG) float64 {
+	u := rng.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.components[i].Sample(rng)
+		}
+	}
+	return m.components[len(m.components)-1].Sample(rng)
+}
+
+// Mean implements Sampler.
+func (m *Mixture) Mean() float64 { return m.mean }

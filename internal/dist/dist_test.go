@@ -1,0 +1,419 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values out of 1000", same)
+	}
+}
+
+func TestRNGZeroSeedNotDegenerate(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Fork()
+	c2 := parent.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams overlapped %d/1000 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n, buckets = 200000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[int(r.Float64()*buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("bucket %d: got %d, want ~%g", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(9)
+	const n = 500000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %g, want ~1", variance)
+	}
+}
+
+func sampleMean(s Sampler, rng *RNG, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Sample(rng)
+	}
+	return sum / float64(n)
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := Exponential{Rate: 4}
+	got := sampleMean(e, NewRNG(1), 400000)
+	if math.Abs(got-0.25) > 0.005 {
+		t.Errorf("exp(4) sample mean = %g, want ~0.25", got)
+	}
+	if e.Mean() != 0.25 {
+		t.Errorf("Mean() = %g, want 0.25", e.Mean())
+	}
+}
+
+func TestExponentialMemorylessTail(t *testing.T) {
+	// P(X > t) should be e^{-rate*t}; check at a couple of points.
+	e := Exponential{Rate: 2}
+	r := NewRNG(2)
+	const n = 300000
+	over1, over2 := 0, 0
+	for i := 0; i < n; i++ {
+		x := e.Sample(r)
+		if x > 0.5 {
+			over1++
+		}
+		if x > 1.0 {
+			over2++
+		}
+	}
+	if p := float64(over1) / n; math.Abs(p-math.Exp(-1)) > 0.01 {
+		t.Errorf("P(X>0.5) = %g, want %g", p, math.Exp(-1))
+	}
+	if p := float64(over2) / n; math.Abs(p-math.Exp(-2)) > 0.01 {
+		t.Errorf("P(X>1) = %g, want %g", p, math.Exp(-2))
+	}
+}
+
+func TestLognormalFromMoments(t *testing.T) {
+	l := LognormalFromMoments(100e-6, 0.5)
+	got := sampleMean(l, NewRNG(4), 400000)
+	if math.Abs(got-100e-6) > 2e-6 {
+		t.Errorf("lognormal sample mean = %g, want ~100e-6", got)
+	}
+	if math.Abs(l.Mean()-100e-6) > 1e-12 {
+		t.Errorf("Mean() = %g, want 100e-6", l.Mean())
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	p := Pareto{Xm: 1, Alpha: 3}
+	if math.Abs(p.Mean()-1.5) > 1e-12 {
+		t.Fatalf("pareto mean = %g, want 1.5", p.Mean())
+	}
+	got := sampleMean(p, NewRNG(8), 500000)
+	if math.Abs(got-1.5) > 0.05 {
+		t.Errorf("pareto sample mean = %g, want ~1.5", got)
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	p := Pareto{Xm: 1, Alpha: 0.9}
+	if !math.IsInf(p.Mean(), 1) {
+		t.Fatalf("alpha<=1 should have infinite mean, got %g", p.Mean())
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	p := Pareto{Xm: 2, Alpha: 2}
+	r := NewRNG(10)
+	for i := 0; i < 10000; i++ {
+		if x := p.Sample(r); x < 2 {
+			t.Fatalf("pareto sample %g below xm", x)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: 3, Hi: 7}
+	r := NewRNG(12)
+	for i := 0; i < 10000; i++ {
+		x := u.Sample(r)
+		if x < 3 || x >= 7 {
+			t.Fatalf("uniform sample %g out of range", x)
+		}
+	}
+	if u.Mean() != 5 {
+		t.Errorf("uniform mean = %g, want 5", u.Mean())
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	e := NewEmpirical([]float64{1, 2, 3, 4})
+	if e.Mean() != 2.5 {
+		t.Fatalf("empirical mean = %g, want 2.5", e.Mean())
+	}
+	r := NewRNG(13)
+	counts := map[float64]int{}
+	for i := 0; i < 40000; i++ {
+		counts[e.Sample(r)]++
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		if c := counts[v]; c < 9000 || c > 11000 {
+			t.Errorf("value %g drawn %d times, want ~10000", v, c)
+		}
+	}
+}
+
+func TestEmpiricalPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEmpirical(nil) did not panic")
+		}
+	}()
+	NewEmpirical(nil)
+}
+
+func TestEmpiricalCopiesInput(t *testing.T) {
+	vals := []float64{5, 5, 5}
+	e := NewEmpirical(vals)
+	vals[0] = 1000
+	if got := e.Sample(NewRNG(1)); got != 5 {
+		t.Fatalf("empirical sampler aliased caller slice: got %g", got)
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m, err := NewMixture(
+		[]Sampler{Constant{V: 1}, Constant{V: 10}},
+		[]float64{9, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mean()-1.9) > 1e-12 {
+		t.Fatalf("mixture mean = %g, want 1.9", m.Mean())
+	}
+	r := NewRNG(14)
+	tens := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Sample(r) == 10 {
+			tens++
+		}
+	}
+	if p := float64(tens) / n; math.Abs(p-0.1) > 0.01 {
+		t.Errorf("P(component 2) = %g, want ~0.1", p)
+	}
+}
+
+func TestMixtureErrors(t *testing.T) {
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture should error")
+	}
+	if _, err := NewMixture([]Sampler{Constant{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := NewMixture([]Sampler{Constant{1}}, []float64{-1}); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+func TestZipfRanksInRange(t *testing.T) {
+	z, err := NewZipf(100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(15)
+	for i := 0; i < 10000; i++ {
+		rank := z.Rank(r)
+		if rank < 0 || rank >= 100 {
+			t.Fatalf("rank %d out of range", rank)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(1000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(16)
+	first := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if z.Rank(r) == 0 {
+			first++
+		}
+	}
+	want := z.Prob(0)
+	if p := float64(first) / n; math.Abs(p-want) > 0.01 {
+		t.Errorf("P(rank 0) = %g, want ~%g", p, want)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z, err := NewZipf(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if p := z.Prob(i); math.Abs(p-0.1) > 1e-9 {
+			t.Errorf("s=0 rank %d prob %g, want 0.1", i, p)
+		}
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z, err := NewZipf(50, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < 50; i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g, want 1", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(50) != 0 {
+		t.Error("out-of-range ranks should have probability 0")
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("negative s should error")
+	}
+}
+
+// Property: exponential samples are always positive and finite.
+func TestExponentialPositiveProperty(t *testing.T) {
+	f := func(seed uint64, rate8 uint8) bool {
+		rate := float64(rate8%100) + 0.5
+		r := NewRNG(seed)
+		e := Exponential{Rate: rate}
+		for i := 0; i < 100; i++ {
+			x := e.Sample(r)
+			if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Perm(n) is always a valid permutation.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%64) + 1
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mixture samples always come from one of the components.
+func TestMixtureSupportProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		m, err := NewMixture(
+			[]Sampler{Constant{V: 1}, Constant{V: 2}, Constant{V: 3}},
+			[]float64{1, 2, 3},
+		)
+		if err != nil {
+			return false
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := m.Sample(r)
+			if v != 1 && v != 2 && v != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

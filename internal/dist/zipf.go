@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws integer ranks in [0, N) with probability proportional to
+// 1/(rank+1)^S. Key popularity in production key-value stores follows a
+// Zipfian law (Atikoglu et al., SIGMETRICS'12), so workload generators use
+// this to pick keys.
+//
+// The implementation precomputes the CDF and samples by binary search,
+// which is exact and needs no rejection loop. Building is O(N); sampling is
+// O(log N).
+type Zipf struct {
+	cdf []float64
+	s   float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s. It returns an
+// error when n < 1 or s < 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: Zipf needs n >= 1, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("dist: Zipf needs s >= 0, got %g", s)
+	}
+	z := &Zipf{cdf: make([]float64, n), s: s}
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = acc
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= acc
+	}
+	z.cdf[n-1] = 1
+	return z, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Rank draws the next rank in [0, N).
+func (z *Zipf) Rank(rng *RNG) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability of drawing the given rank.
+func (z *Zipf) Prob(rank int) float64 {
+	if rank < 0 || rank >= len(z.cdf) {
+		return 0
+	}
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}

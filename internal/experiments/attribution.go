@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/quantreg"
+	"treadmill/internal/report"
+	"treadmill/internal/runner"
+	"treadmill/internal/sim"
+	"treadmill/internal/stats"
+)
+
+// attributionQuantiles are the percentiles the attribution figures report.
+var attributionQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// Attribution bundles one workload's full factorial campaign at both load
+// levels with quantile-regression fits — the shared input of Table IV and
+// Figs. 7-12.
+type Attribution struct {
+	Workload string
+	Factors  []string
+	Low      *runner.Result
+	High     *runner.Result
+	// FitsLow / FitsHigh map each percentile to its regression.
+	FitsLow  map[float64]*quantreg.Result
+	FitsHigh map[float64]*quantreg.Result
+
+	scale     Scale
+	highStudy *runner.Study
+}
+
+// newStudy builds the factorial study for the workload at the given rate.
+func newStudy(s Scale, workloadName string, rate float64) (*runner.Study, error) {
+	base := factorialCluster(s.Seed)
+	switch workloadName {
+	case "memcached":
+		// Default server config is the memcached model.
+	case "mcrouter":
+		base.Server = sim.McrouterServerConfig()
+		base.Server.RandomPlacement = true
+	default:
+		return nil, fmt.Errorf("unknown workload %q", workloadName)
+	}
+	return &runner.Study{
+		Base:           base,
+		Factors:        runner.PaperFactors(),
+		TotalRate:      rate,
+		ConnsPerClient: 8,
+		Duration:       s.Duration,
+		Warmup:         s.Warmup,
+		Replicates:     s.Replicates,
+		Quantiles:      attributionQuantiles,
+		Seed:           s.Seed,
+	}, nil
+}
+
+// RunAttribution executes the full campaign for a workload ("memcached" or
+// "mcrouter") at low and high load and fits all percentiles.
+func RunAttribution(ctx context.Context, s Scale, workloadName string) (*Attribution, error) {
+	a := &Attribution{
+		Workload: workloadName,
+		scale:    s,
+		FitsLow:  make(map[float64]*quantreg.Result),
+		FitsHigh: make(map[float64]*quantreg.Result),
+	}
+	low, high := lowRate, highRate
+	if workloadName == "mcrouter" {
+		low, high = mcrouterLowRate, mcrouterHighRate
+	}
+	for _, load := range []struct {
+		rate float64
+		dst  **runner.Result
+		fits map[float64]*quantreg.Result
+	}{
+		{low, &a.Low, a.FitsLow},
+		{high, &a.High, a.FitsHigh},
+	} {
+		study, err := newStudy(s, workloadName, load.rate)
+		if err != nil {
+			return nil, err
+		}
+		res, err := study.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		*load.dst = res
+		a.Factors = res.Factors
+		if load.rate == high {
+			a.highStudy = study
+		}
+		for _, tau := range attributionQuantiles {
+			fit, err := res.Fit(tau, s.Bootstrap, s.Seed+uint64(tau*1000))
+			if err != nil {
+				return nil, fmt.Errorf("fit %s tau=%g: %w", workloadName, tau, err)
+			}
+			load.fits[tau] = fit
+		}
+	}
+	return a, nil
+}
+
+// Table4 renders the quantile-regression coefficient table at high load
+// for 50th/95th/99th percentiles (paper Table IV).
+func Table4(a *Attribution) *report.Table {
+	taus := []float64{0.5, 0.95, 0.99}
+	tab := &report.Table{
+		Title: fmt.Sprintf("Table IV: quantile regression for %s at high utilization", a.Workload),
+		Headers: []string{"Factor",
+			"p50 Est.", "p50 SE", "p50 p-value",
+			"p95 Est.", "p95 SE", "p95 p-value",
+			"p99 Est.", "p99 SE", "p99 p-value"},
+	}
+	ref := a.FitsHigh[0.5]
+	for ti := range ref.Coefs {
+		row := []string{ref.Coefs[ti].Term}
+		for _, tau := range taus {
+			c := a.FitsHigh[tau].Coefs[ti]
+			row = append(row, report.MicrosInt(c.Est), report.MicrosInt(c.StdErr), report.PValue(c.P))
+		}
+		tab.AddRow(row...)
+	}
+	return tab
+}
+
+// Fig7 renders the estimated latency of every factor permutation at each
+// percentile under low and high load (paper Fig. 7 for memcached, Fig. 9
+// for mcrouter).
+func Fig7(a *Attribution) (*report.Table, error) {
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Fig 7/9: estimated latency per configuration (%s)", a.Workload),
+		Headers: []string{"config (numa,turbo,dvfs,nic)"},
+	}
+	for _, tau := range attributionQuantiles {
+		tab.Headers = append(tab.Headers,
+			fmt.Sprintf("p%g low", tau*100), fmt.Sprintf("p%g high", tau*100))
+	}
+	k := len(a.Factors)
+	for _, levels := range runner.Permutations(k) {
+		row := []string{runner.LevelsKey(levels)}
+		x := make([]float64, k)
+		for i, l := range levels {
+			x[i] = float64(l)
+		}
+		for _, tau := range attributionQuantiles {
+			lo, err := a.FitsLow[tau].Predict(x)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := a.FitsHigh[tau].Predict(x)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.Micros(lo), report.Micros(hi))
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}
+
+// Fig8 renders the average marginal impact of flipping each factor to its
+// high level, other factors equiprobable (paper Fig. 8 / Fig. 10).
+func Fig8(a *Attribution) (*report.Table, error) {
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Fig 8/10: average impact of each factor at high level (%s)", a.Workload),
+		Headers: []string{"factor"},
+	}
+	for _, tau := range attributionQuantiles {
+		tab.Headers = append(tab.Headers,
+			fmt.Sprintf("p%g low", tau*100), fmt.Sprintf("p%g high", tau*100))
+	}
+	impacts := make(map[float64][2]map[string]float64)
+	for _, tau := range attributionQuantiles {
+		lo, err := runner.MarginalImpact(a.FitsLow[tau], a.Factors)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := runner.MarginalImpact(a.FitsHigh[tau], a.Factors)
+		if err != nil {
+			return nil, err
+		}
+		impacts[tau] = [2]map[string]float64{lo, hi}
+	}
+	for _, f := range a.Factors {
+		row := []string{f}
+		for _, tau := range attributionQuantiles {
+			row = append(row, report.Micros(impacts[tau][0][f]), report.Micros(impacts[tau][1][f]))
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}
+
+// Fig11 renders pseudo-R² for every workload × load level × percentile
+// (paper Fig. 11). The paper reports all values >= 0.9.
+func Fig11(attrs ...*Attribution) *report.Table {
+	tab := &report.Table{
+		Title:   "Fig 11: pseudo-R2 of the quantile regression models",
+		Headers: []string{"workload", "load"},
+	}
+	for _, tau := range attributionQuantiles {
+		tab.Headers = append(tab.Headers, fmt.Sprintf("p%g", tau*100))
+	}
+	for _, a := range attrs {
+		for _, load := range []struct {
+			name string
+			fits map[float64]*quantreg.Result
+		}{{"low", a.FitsLow}, {"high", a.FitsHigh}} {
+			row := []string{a.Workload, load.name}
+			for _, tau := range attributionQuantiles {
+				row = append(row, fmt.Sprintf("%.3f", load.fits[tau].PseudoR2))
+			}
+			tab.AddRow(row...)
+		}
+	}
+	return tab
+}
+
+// TuningOutcome summarizes Fig. 12's before/after comparison.
+type TuningOutcome struct {
+	BestConfig []int
+	// Before/After are per-run p50 and p99 values.
+	BeforeP50, BeforeP99, AfterP50, AfterP99 []float64
+}
+
+// Fig12 evaluates the tuning recommendation: "before" runs the experiment
+// with randomly chosen configurations, "after" uses the configuration the
+// high-load p99 regression recommends (paper Fig. 12).
+func Fig12(a *Attribution) (*report.Table, *TuningOutcome, error) {
+	if a.highStudy == nil {
+		return nil, nil, fmt.Errorf("attribution campaign missing high-load study")
+	}
+	fit := a.FitsHigh[0.99]
+	best, _, err := runner.BestConfig(fit, len(a.Factors))
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &TuningOutcome{BestConfig: best}
+	rng := dist.NewRNG(a.scale.Seed + 99)
+	perms := runner.Permutations(len(a.Factors))
+	for run := 0; run < a.scale.TuningRuns; run++ {
+		seed := a.scale.Seed + 7700000 + uint64(run)*131
+		randomCfg := perms[rng.Intn(len(perms))]
+		before, err := a.highStudy.RunConfig(randomCfg, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		after, err := a.highStudy.RunConfig(best, seed+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		out.BeforeP50 = append(out.BeforeP50, before.Quantiles[0.5])
+		out.BeforeP99 = append(out.BeforeP99, before.Quantiles[0.99])
+		out.AfterP50 = append(out.AfterP50, after.Quantiles[0.5])
+		out.AfterP99 = append(out.AfterP99, after.Quantiles[0.99])
+	}
+	tab := &report.Table{
+		Title: fmt.Sprintf("Fig 12: tail latency before/after tuning (%s, best config %s)",
+			a.Workload, runner.LevelsKey(best)),
+		Headers: []string{"metric", "before mean", "before stddev", "after mean", "after stddev", "reduction"},
+	}
+	add := func(name string, before, after []float64) {
+		bm, am := stats.Mean(before), stats.Mean(after)
+		tab.AddRow(name, report.Micros(bm), report.Micros(stats.StdDev(before)),
+			report.Micros(am), report.Micros(stats.StdDev(after)),
+			report.Percent((bm-am)/bm))
+	}
+	add("p50", out.BeforeP50, out.AfterP50)
+	add("p99", out.BeforeP99, out.AfterP99)
+	return tab, out, nil
+}

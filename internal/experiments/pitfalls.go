@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"treadmill/internal/agg"
+	"treadmill/internal/report"
+	"treadmill/internal/sim"
+	"treadmill/internal/stats"
+)
+
+// intCDF converts integer samples into CDF series.
+func intCDF(samples []int) (x, y []float64) {
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	maxV := 0
+	for _, s := range samples {
+		if s > maxV {
+			maxV = s
+		}
+	}
+	counts := make([]int, maxV+1)
+	for _, s := range samples {
+		counts[s]++
+	}
+	acc := 0
+	for v, c := range counts {
+		acc += c
+		x = append(x, float64(v))
+		y = append(y, float64(acc)/float64(len(samples)))
+	}
+	return x, y
+}
+
+// latencyCDF converts latency samples (seconds) to a CDF sampled at up to
+// points steps.
+func latencyCDF(samples []float64, points int) (x, y []float64) {
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	sorted := agg.SortedCopy(samples)
+	if points < 2 {
+		points = 2
+	}
+	step := len(sorted) / points
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(sorted); i += step {
+		x = append(x, sorted[i])
+		y = append(y, float64(i+1)/float64(len(sorted)))
+	}
+	x = append(x, sorted[len(sorted)-1])
+	y = append(y, 1)
+	return x, y
+}
+
+// Fig1 compares the distribution of outstanding requests between an
+// open-loop controller at 80% utilization and closed-loop controllers
+// with 4, 8, and 12 connections (paper Fig. 1).
+func Fig1(s Scale) (*report.Figure, error) {
+	fig := &report.Figure{
+		Title:  "Fig 1: CDF of outstanding requests, open- vs closed-loop @80% util",
+		XLabel: "outstanding requests",
+		YLabel: "CDF",
+	}
+	horizon := s.Warmup + s.Duration*4 // outstanding sampling is cheap; run longer for a smooth CDF
+
+	// Open loop at 80%.
+	openCfg := baseCluster(clientFleet, s.Seed)
+	open, err := sim.NewCluster(openCfg)
+	if err != nil {
+		return nil, err
+	}
+	var openSamples []int
+	open.SampleOutstanding(100e-6, &openSamples)
+	for _, c := range open.Clients {
+		if err := c.StartOpenLoop(rate80pct/clientFleet, 16); err != nil {
+			return nil, err
+		}
+	}
+	open.Run(horizon)
+	x, y := intCDF(openSamples)
+	fig.Add("open-loop", x, y)
+
+	// Closed loop with 4, 8, 12 connections.
+	for _, conns := range []int{4, 8, 12} {
+		cfg := baseCluster(1, s.Seed+uint64(conns))
+		cl, err := sim.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var samples []int
+		cl.SampleOutstanding(100e-6, &samples)
+		if err := cl.Clients[0].StartClosedLoop(conns, 0); err != nil {
+			return nil, err
+		}
+		cl.Run(horizon)
+		x, y := intCDF(samples)
+		fig.Add(fmt.Sprintf("closed-loop w/%d connections", conns), x, y)
+	}
+	return fig, nil
+}
+
+// Fig2 reproduces the multi-client aggregation bias: four clients, one on
+// a remote rack, with the remote client dominating the pooled tail. It
+// returns the per-client share decomposition and a summary table.
+func Fig2(s Scale) (*report.Figure, *report.Table, error) {
+	cfg := baseCluster(4, s.Seed)
+	cfg.Clients[0].Rack = sim.RemoteRack // "Client 1" of the paper
+	cluster, err := sim.NewCluster(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	perClient := make([][]float64, 4)
+	for i, c := range cluster.Clients {
+		i := i
+		c.OnComplete = func(r *sim.Request) {
+			if r.Created >= s.Warmup {
+				perClient[i] = append(perClient[i], r.MeasuredLatency())
+			}
+		}
+		if err := c.StartOpenLoop(rate10pct*4/4, 16); err != nil {
+			return nil, nil, err
+		}
+	}
+	cluster.Run(s.Warmup + s.Duration*2)
+
+	dec, err := agg.Decompose(perClient, 40)
+	if err != nil {
+		return nil, nil, err
+	}
+	fig := &report.Figure{
+		Title:  "Fig 2: per-client share of samples vs latency (client 1 on remote rack)",
+		XLabel: "latency (s)",
+		YLabel: "share of bin",
+	}
+	for i := 0; i < 4; i++ {
+		y := make([]float64, len(dec.Edges))
+		for b := range dec.Edges {
+			y[b] = dec.Shares[b][i]
+		}
+		fig.Add(fmt.Sprintf("client %d", i+1), dec.Edges, y)
+	}
+
+	tab := &report.Table{
+		Title:   "Fig 2 summary: tail domination and aggregation bias",
+		Headers: []string{"quantile", "dominant client", "tail share", "pooled", "per-instance mean"},
+	}
+	srcs := make([]agg.QuantileSource, 4)
+	for i := range perClient {
+		srcs[i] = agg.Samples(perClient[i])
+	}
+	for _, q := range []float64{0.9, 0.99, 0.999} {
+		who, share, err := agg.DominantInstance(perClient, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		pooled, err := agg.Pooled(perClient, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		per, err := agg.PerInstance(srcs, q, agg.Mean)
+		if err != nil {
+			return nil, nil, err
+		}
+		tab.AddRow(fmt.Sprintf("p%g", q*100), fmt.Sprintf("client %d", who+1),
+			report.Percent(share), report.Micros(pooled), report.Micros(per))
+	}
+	return fig, tab, nil
+}
+
+// Fig3 decomposes measured latency into server, client, and network
+// components across utilizations for a single-client and a multi-client
+// setup (paper Fig. 3).
+func Fig3(s Scale) (*report.Figure, *report.Figure, error) {
+	utils := []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95}
+	build := func(single bool) (*report.Figure, error) {
+		title := "Fig 3: multi-client setup latency components"
+		if single {
+			title = "Fig 3: single-client setup latency components"
+		}
+		fig := &report.Figure{Title: title, XLabel: "server utilization", YLabel: "latency (s)"}
+		var srv, cli, net []float64
+		for ui, u := range utils {
+			rate := u * 1e6 // capacity ≈ 1M RPS at base frequency
+			var cfg sim.ClusterConfig
+			if single {
+				cfg = baseCluster(1, s.Seed+uint64(ui))
+				// One client machine asked to do everything: its CPU and
+				// its links run as hot as the server.
+				cfg.Clients[0].Config.Cores = 2
+			} else {
+				cfg = baseCluster(clientFleet, s.Seed+uint64(ui))
+			}
+			cluster, err := sim.NewCluster(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var sLat, cLat, nLat []float64
+			for _, c := range cluster.Clients {
+				c.OnComplete = func(r *sim.Request) {
+					if r.Created >= s.Warmup {
+						sLat = append(sLat, r.ServerLatency())
+						cLat = append(cLat, r.ClientLatency())
+						nLat = append(nLat, r.NetworkLatency())
+					}
+				}
+				if err := c.StartOpenLoop(rate/float64(len(cluster.Clients)), 32); err != nil {
+					return nil, err
+				}
+			}
+			cluster.Run(s.Warmup + s.Duration)
+			if len(sLat) == 0 {
+				return nil, fmt.Errorf("no samples at utilization %g", u)
+			}
+			srv = append(srv, stats.Mean(sLat))
+			cli = append(cli, stats.Mean(cLat))
+			net = append(net, stats.Mean(nLat))
+		}
+		fig.Add("server-side latency", utils, srv)
+		fig.Add("client-side latency", utils, cli)
+		fig.Add("network latency", utils, net)
+		return fig, nil
+	}
+	single, err := build(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	multi, err := build(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return single, multi, nil
+}
+
+// Fig4 demonstrates performance hysteresis: repeated runs each converge
+// (estimate vs samples flattens) but to different values (paper Fig. 4).
+func Fig4(s Scale) (*report.Figure, *report.Table, error) {
+	fig := &report.Figure{
+		Title:  "Fig 4: p99 estimate vs sample count, repeated runs",
+		XLabel: "samples",
+		YLabel: "p99 latency (s)",
+	}
+	var converged []float64
+	for run := 0; run < s.HysteresisRuns; run++ {
+		cfg := factorialCluster(s.Seed + uint64(run)*911)
+		cfg.Server.CPU.Governor = sim.Performance
+		cluster, err := sim.NewCluster(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		var all []float64
+		for _, c := range cluster.Clients {
+			c.OnComplete = func(r *sim.Request) {
+				if r.Created >= s.Warmup {
+					all = append(all, r.MeasuredLatency())
+				}
+			}
+			// Few connections per client: placement luck varies per run.
+			if err := c.StartOpenLoop(highRate/clientFleet, 4); err != nil {
+				return nil, nil, err
+			}
+		}
+		cluster.Run(s.Warmup + s.Duration*3)
+		if len(all) < 100 {
+			return nil, nil, fmt.Errorf("run %d: only %d samples", run, len(all))
+		}
+		// Trace the converging estimate at checkpoints.
+		var xs, ys []float64
+		checkpoints := 25
+		for cp := 1; cp <= checkpoints; cp++ {
+			n := len(all) * cp / checkpoints
+			prefix := agg.SortedCopy(all[:n])
+			idx := int(0.99 * float64(n-1))
+			xs = append(xs, float64(n))
+			ys = append(ys, prefix[idx])
+		}
+		fig.Add(fmt.Sprintf("run #%d", run), xs, ys)
+		converged = append(converged, ys[len(ys)-1])
+	}
+	tab := &report.Table{
+		Title:   "Fig 4 summary: converged p99 per run",
+		Headers: []string{"run", "converged p99", "deviation from mean"},
+	}
+	mean := stats.Mean(converged)
+	for i, v := range converged {
+		tab.AddRow(fmt.Sprintf("#%d", i), report.Micros(v), report.Percent((v-mean)/mean))
+	}
+	lo, hi := stats.Min(converged), stats.Max(converged)
+	tab.AddRow("spread", report.Micros(hi-lo), report.Percent((hi-lo)/mean))
+	return fig, tab, nil
+}
+
+// toolRun drives the cluster shaped like one of the three load testers and
+// returns (tool-measured, wire/tcpdump) latencies.
+func toolRun(s Scale, tool string, rate float64) (measured, wire []float64, err error) {
+	var cfg sim.ClusterConfig
+	switch tool {
+	case "treadmill":
+		cfg = baseCluster(clientFleet, s.Seed)
+	case "mutilate":
+		// 8 agent clients, closed loop, batched event loop.
+		cfg = baseCluster(clientFleet, s.Seed)
+		for i := range cfg.Clients {
+			cfg.Clients[i].Config.Callback = sim.BatchedCallback
+			cfg.Clients[i].Config.PollPeriod = 50e-6
+		}
+	case "cloudsuite":
+		// A single closed-loop client whose per-request processing is
+		// several times costlier (a JVM-based harness): it saturates near
+		// ~75k RPS, so even 10% server load drowns in client-side
+		// queueing, and 800k is unreachable — both §III-C observations.
+		cfg = baseCluster(1, s.Seed)
+		cfg.Clients[0].Config.Cores = 1
+		cfg.Clients[0].Config.SendCycles = 12000
+		cfg.Clients[0].Config.RecvCycles = 20000
+		cfg.Clients[0].Config.Callback = sim.BatchedCallback
+		cfg.Clients[0].Config.PollPeriod = 50e-6
+	default:
+		return nil, nil, fmt.Errorf("unknown tool %q", tool)
+	}
+	cluster, err := sim.NewCluster(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range cluster.Clients {
+		c.OnComplete = func(r *sim.Request) {
+			if r.Created >= s.Warmup {
+				measured = append(measured, r.MeasuredLatency())
+				wire = append(wire, r.WireLatency())
+			}
+		}
+		switch tool {
+		case "treadmill":
+			if err := c.StartOpenLoop(rate/float64(len(cluster.Clients)), 16); err != nil {
+				return nil, nil, err
+			}
+		default:
+			// Closed loop sized to approach the target rate: conns ≈
+			// rate × base RTT. Base RTT on this testbed is ~130µs.
+			conns := int(rate / float64(len(cluster.Clients)) * 150e-6)
+			if conns < 1 {
+				conns = 1
+			}
+			if err := c.StartClosedLoop(conns, 0); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	cluster.Run(s.Warmup + s.Duration)
+	if len(measured) == 0 {
+		return nil, nil, fmt.Errorf("%s produced no samples", tool)
+	}
+	return measured, wire, nil
+}
+
+// toolComparison builds the Fig. 5/6 content for the given tools and rate.
+func toolComparison(s Scale, title string, tools []string, rate float64) (*report.Figure, *report.Table, error) {
+	fig := &report.Figure{Title: title, XLabel: "latency (s)", YLabel: "CDF"}
+	tab := &report.Table{
+		Title:   title + " (p99 summary)",
+		Headers: []string{"tool", "p99 measured", "p99 tcpdump", "bias", "achieved RPS"},
+	}
+	for _, tool := range tools {
+		measured, wire, err := toolRun(s, tool, rate)
+		if err != nil {
+			return nil, nil, err
+		}
+		x, y := latencyCDF(measured, 200)
+		fig.Add(tool, x, y)
+		xw, yw := latencyCDF(wire, 200)
+		fig.Add(tool+"-tcpdump", xw, yw)
+		p99m, err := stats.Quantile(measured, 0.99)
+		if err != nil {
+			return nil, nil, err
+		}
+		p99w, err := stats.Quantile(wire, 0.99)
+		if err != nil {
+			return nil, nil, err
+		}
+		achieved := float64(len(measured)) / s.Duration
+		tab.AddRow(tool, report.Micros(p99m), report.Micros(p99w),
+			report.Micros(p99m-p99w), fmt.Sprintf("%.0f", achieved))
+	}
+	return fig, tab, nil
+}
+
+// Fig5 compares CloudSuite, Mutilate, and Treadmill against ground truth
+// at 10% utilization (paper Fig. 5).
+func Fig5(s Scale) (*report.Figure, *report.Table, error) {
+	return toolComparison(s,
+		"Fig 5: measured vs tcpdump latency CDFs @10% utilization",
+		[]string{"cloudsuite", "mutilate", "treadmill"}, rate10pct)
+}
+
+// Fig6 compares Mutilate and Treadmill at 80% utilization; CloudSuite
+// cannot reach this rate (paper Fig. 6).
+func Fig6(s Scale) (*report.Figure, *report.Table, error) {
+	return toolComparison(s,
+		"Fig 6: measured vs tcpdump latency CDFs @80% utilization",
+		[]string{"mutilate", "treadmill"}, rate80pct)
+}
+
+// sortedKeys is a small helper for deterministic map iteration.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

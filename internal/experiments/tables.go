@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"treadmill/internal/report"
+	"treadmill/internal/runner"
+	"treadmill/internal/sim"
+)
+
+// Table1 renders the load-tester feature matrix (paper Table I).
+func Table1() *report.Table {
+	tab := &report.Table{
+		Title:   "Table I: summary of load tester features",
+		Headers: []string{"Requirement", "YCSB", "Faban", "CloudSuite", "Mutilate", "Treadmill"},
+	}
+	rows := []struct {
+		name string
+		has  [5]bool
+	}{
+		{"Query inter-arrival generation", [5]bool{false, true, false, false, true}},
+		{"Statistical aggregation", [5]bool{false, true, false, false, true}},
+		{"Client-side queueing bias", [5]bool{false, false, false, true, true}},
+		{"Performance hysteresis", [5]bool{false, false, false, false, true}},
+		{"Generality", [5]bool{true, true, false, false, true}},
+	}
+	for _, r := range rows {
+		cells := []string{r.name}
+		for _, ok := range r.has {
+			if ok {
+				cells = append(cells, "yes")
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		tab.AddRow(cells...)
+	}
+	return tab
+}
+
+// Table2 renders the system-under-test specification: the paper's hardware
+// (Table II) alongside the simulator model standing in for it.
+func Table2() *report.Table {
+	cpu := sim.DefaultCPUConfig()
+	srv := sim.DefaultServerConfig()
+	tab := &report.Table{
+		Title:   "Table II: system under test (paper hardware -> simulator model)",
+		Headers: []string{"Specification", "Paper", "This reproduction"},
+	}
+	tab.AddRow("Processor", "Intel Xeon E5-2660 v2",
+		fmt.Sprintf("simulated %d cores / %d sockets @ %.1f-%.1f GHz (turbo %.1f)",
+			cpu.Cores, cpu.Sockets, cpu.MinHz/1e9, cpu.BaseHz/1e9, cpu.TurboHz/1e9))
+	tab.AddRow("DRAM", "144GB @ 1333MHz",
+		fmt.Sprintf("NUMA model, remote penalty %.0f cycles/request", srv.RemotePenaltyCycles))
+	tab.AddRow("Ethernet", "10GbE Mellanox ConnectX-3",
+		fmt.Sprintf("simulated 10GbE links, %d RSS queues", srv.RSSQueues))
+	tab.AddRow("Kernel", "3.10",
+		fmt.Sprintf("IRQ model %.0f cycles/request, ondemand governor tick %.0fms",
+			srv.IRQCycles, cpu.GovernorTick*1e3))
+	return tab
+}
+
+// Table3 renders the factorial design factors (paper Table III).
+func Table3() *report.Table {
+	tab := &report.Table{
+		Title:   "Table III: quantile regression factors",
+		Headers: []string{"Factor", "Low-Level", "High-Level"},
+	}
+	for _, f := range runner.PaperFactors() {
+		tab.AddRow(f.Name, f.Low, f.High)
+	}
+	return tab
+}

@@ -1,0 +1,78 @@
+package hist
+
+import (
+	"testing"
+
+	"treadmill/internal/dist"
+)
+
+func benchSamples(n int) []float64 {
+	rng := dist.NewRNG(1)
+	l := dist.LognormalFromMoments(100e-6, 1.0)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = l.Sample(rng)
+	}
+	return out
+}
+
+func BenchmarkRecord(b *testing.B) {
+	samples := benchSamples(100000)
+	h, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Record(samples[i%len(samples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	samples := benchSamples(100000)
+	h, _ := New(Config{WarmupSamples: 0, CalibrationSamples: 1000, Bins: 4096, OverflowRebinFraction: 0.001})
+	for _, v := range samples {
+		if err := h.Record(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Quantile(0.99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	samples := benchSamples(50000)
+	mk := func() *Histogram {
+		h, _ := New(Config{WarmupSamples: 0, CalibrationSamples: 1000, Bins: 4096, OverflowRebinFraction: 0.001})
+		for _, v := range samples {
+			h.Record(v)
+		}
+		return h
+	}
+	src := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dst := mk()
+		b.StartTimer()
+		if err := dst.MergeFrom(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactQuantile(b *testing.B) {
+	samples := benchSamples(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExactQuantile(samples, 0.99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

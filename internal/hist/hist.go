@@ -1,0 +1,571 @@
+// Package hist implements Treadmill's adaptive latency histogram.
+//
+// The paper (§II-B, §III-A) identifies two aggregation pitfalls in prior
+// load testers: statically configured histogram buckets that saturate when
+// the server approaches steady state at high load, and lossy singular point
+// estimates. Treadmill instead runs each measurement through three phases —
+// warm-up (samples discarded), calibration (raw samples buffered to choose
+// bin bounds), and measurement (samples binned) — and re-bins the histogram
+// whenever enough samples land outside its current bounds.
+//
+// Histogram provides that behaviour. StaticHistogram reproduces the broken
+// fixed-bucket design so experiments can demonstrate the bias it introduces.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Phase identifies which stage of the measurement lifecycle a Histogram is
+// in. Phases advance monotonically: Warmup → Calibration → Measurement.
+type Phase int
+
+// The three phases of a Treadmill measurement (paper §III-A).
+const (
+	Warmup Phase = iota
+	Calibration
+	Measurement
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case Warmup:
+		return "warmup"
+	case Calibration:
+		return "calibration"
+	case Measurement:
+		return "measurement"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Config controls histogram sizing and the phase transitions.
+type Config struct {
+	// WarmupSamples is the number of initial samples to discard.
+	WarmupSamples int
+	// CalibrationSamples is the number of raw samples buffered to choose
+	// the initial bin bounds.
+	CalibrationSamples int
+	// Bins is the number of buckets. More bins reduce quantile
+	// interpolation error at the cost of memory.
+	Bins int
+	// OverflowRebinFraction is the fraction of measured samples allowed to
+	// land in the overflow (or underflow) region before the histogram
+	// re-bins itself to widen its bounds. The paper re-bins "when
+	// sufficient amount of values exceed the histogram limits".
+	OverflowRebinFraction float64
+}
+
+// DefaultConfig returns the configuration used by the Treadmill engine:
+// 1k warm-up samples, 5k calibration samples, 4096 log-spaced bins, and
+// re-binning once 0.1% of samples overflow.
+func DefaultConfig() Config {
+	return Config{
+		WarmupSamples:         1000,
+		CalibrationSamples:    5000,
+		Bins:                  4096,
+		OverflowRebinFraction: 0.001,
+	}
+}
+
+func (c Config) validate() error {
+	if c.WarmupSamples < 0 {
+		return fmt.Errorf("hist: WarmupSamples %d must be >= 0", c.WarmupSamples)
+	}
+	if c.CalibrationSamples < 1 {
+		return fmt.Errorf("hist: CalibrationSamples %d must be >= 1", c.CalibrationSamples)
+	}
+	if c.Bins < 2 {
+		return fmt.Errorf("hist: Bins %d must be >= 2", c.Bins)
+	}
+	if c.OverflowRebinFraction <= 0 || c.OverflowRebinFraction >= 1 {
+		return fmt.Errorf("hist: OverflowRebinFraction %g must be in (0,1)", c.OverflowRebinFraction)
+	}
+	return nil
+}
+
+// Histogram is an adaptive, log-spaced latency histogram with the
+// warm-up / calibration / measurement lifecycle. Values are float64 in the
+// caller's unit (the Treadmill engine records seconds).
+//
+// Histogram is not safe for concurrent use; each load-generating goroutine
+// owns one and they are merged afterwards.
+type Histogram struct {
+	cfg   Config
+	phase Phase
+
+	warmupSeen int
+	calBuf     []float64
+
+	lo, hi    float64 // bin bounds (lo > 0; bins are log-spaced)
+	logLo     float64
+	logWidth  float64 // log(hi/lo) / bins
+	counts    []uint64
+	count     uint64 // samples in bins (excluding under/overflow)
+	underflow uint64
+	overflow  uint64
+	underMax  float64 // largest underflowed value, for re-binning
+	overMax   float64 // largest overflowed value, for re-binning
+	sum       float64
+	min, max  float64
+	rebinOps  int // number of re-bin events, exposed for tests/ablation
+}
+
+// New returns a Histogram with the given configuration. The zero Config is
+// invalid; use DefaultConfig as a starting point.
+func New(cfg Config) (*Histogram, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Histogram{
+		cfg:    cfg,
+		phase:  phaseForWarmup(cfg),
+		calBuf: make([]float64, 0, cfg.CalibrationSamples),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}, nil
+}
+
+func phaseForWarmup(cfg Config) Phase {
+	if cfg.WarmupSamples == 0 {
+		return Calibration
+	}
+	return Warmup
+}
+
+// Phase reports the current lifecycle phase.
+func (h *Histogram) Phase() Phase { return h.phase }
+
+// Rebins reports how many times the histogram re-binned itself to
+// accommodate out-of-range samples.
+func (h *Histogram) Rebins() int { return h.rebinOps }
+
+// Record adds one sample. Non-positive, NaN, and infinite values are
+// rejected with an error: a latency can never be <= 0, so such a value
+// indicates a measurement bug the caller must know about.
+func (h *Histogram) Record(v float64) error {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("hist: invalid latency sample %g", v)
+	}
+	switch h.phase {
+	case Warmup:
+		h.warmupSeen++
+		if h.warmupSeen >= h.cfg.WarmupSamples {
+			h.phase = Calibration
+		}
+	case Calibration:
+		h.calBuf = append(h.calBuf, v)
+		if len(h.calBuf) >= h.cfg.CalibrationSamples {
+			h.calibrate()
+		}
+	case Measurement:
+		h.insert(v)
+		h.maybeRebin()
+	}
+	return nil
+}
+
+// calibrate chooses bin bounds from the buffered samples and transitions to
+// the measurement phase. Bounds are padded beyond the observed range so
+// that steady-state drift does not immediately overflow.
+func (h *Histogram) calibrate() {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range h.calBuf {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// Pad: half the minimum below, 4x the maximum above. Tail samples grow
+	// upward, so the padding is asymmetric.
+	h.setBounds(lo/2, hi*4)
+	h.phase = Measurement
+	// The calibration samples themselves are kept: they were measured
+	// after warm-up and carry information.
+	for _, v := range h.calBuf {
+		h.insert(v)
+	}
+	h.calBuf = nil
+}
+
+func (h *Histogram) setBounds(lo, hi float64) {
+	if hi <= lo {
+		hi = lo * 2
+	}
+	h.lo, h.hi = lo, hi
+	h.logLo = math.Log(lo)
+	h.logWidth = (math.Log(hi) - h.logLo) / float64(h.cfg.Bins)
+	h.counts = make([]uint64, h.cfg.Bins)
+}
+
+// binIndex returns the bucket for v, or -1 / Bins for under/overflow.
+func (h *Histogram) binIndex(v float64) int {
+	if v < h.lo {
+		return -1
+	}
+	if v >= h.hi {
+		return h.cfg.Bins
+	}
+	idx := int((math.Log(v) - h.logLo) / h.logWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= h.cfg.Bins {
+		idx = h.cfg.Bins - 1
+	}
+	return idx
+}
+
+func (h *Histogram) insert(v float64) {
+	h.sum += v
+	h.min = math.Min(h.min, v)
+	h.max = math.Max(h.max, v)
+	switch idx := h.binIndex(v); {
+	case idx < 0:
+		h.underflow++
+		h.underMax = math.Max(h.underMax, v)
+	case idx >= h.cfg.Bins:
+		h.overflow++
+		h.overMax = math.Max(h.overMax, v)
+	default:
+		h.counts[idx]++
+		h.count++
+	}
+}
+
+// maybeRebin widens the bounds when too many samples fell outside them.
+// Existing bucket mass is redistributed by bucket midpoint, which loses at
+// most one (old) bucket width of resolution — the same trade the paper's
+// implementation makes.
+func (h *Histogram) maybeRebin() {
+	total := h.count + h.underflow + h.overflow
+	if total == 0 {
+		return
+	}
+	frac := float64(h.underflow+h.overflow) / float64(total)
+	if frac < h.cfg.OverflowRebinFraction || h.underflow+h.overflow < 16 {
+		return
+	}
+	newLo, newHi := h.lo, h.hi
+	if h.underflow > 0 {
+		newLo = math.Min(newLo, h.min/2)
+	}
+	if h.overflow > 0 {
+		newHi = math.Max(newHi, h.max*4)
+	}
+	h.rebinInto(newLo, newHi)
+}
+
+func (h *Histogram) rebinInto(newLo, newHi float64) {
+	old := h.counts
+	oldLo, oldWidth := h.logLo, h.logWidth
+	oldUnder, oldOver := h.underflow, h.overflow
+	oldUnderMax, oldOverMax := h.underMax, h.overMax
+
+	h.setBounds(newLo, newHi)
+	h.count, h.underflow, h.overflow = 0, 0, 0
+	h.underMax, h.overMax = 0, 0
+	// Redistribute old bucket mass at bucket midpoints (in log space).
+	for i, c := range old {
+		if c == 0 {
+			continue
+		}
+		mid := math.Exp(oldLo + (float64(i)+0.5)*oldWidth)
+		h.addBulk(mid, c)
+	}
+	// Out-of-range mass is re-inserted at the most informative point we
+	// kept: the extreme observed value on that side.
+	if oldUnder > 0 {
+		h.addBulk(oldUnderMax, oldUnder)
+	}
+	if oldOver > 0 {
+		h.addBulk(oldOverMax, oldOver)
+	}
+	h.rebinOps++
+}
+
+func (h *Histogram) addBulk(v float64, c uint64) {
+	switch idx := h.binIndex(v); {
+	case idx < 0:
+		h.underflow += c
+		h.underMax = math.Max(h.underMax, v)
+	case idx >= h.cfg.Bins:
+		h.overflow += c
+		h.overMax = math.Max(h.overMax, v)
+	default:
+		h.counts[idx] += c
+		h.count += c
+	}
+}
+
+// Count returns the number of samples recorded during measurement
+// (including any that over/underflowed the current bounds).
+func (h *Histogram) Count() uint64 { return h.count + h.underflow + h.overflow }
+
+// Mean returns the mean of measured samples, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.sum / float64(n)
+}
+
+// Min returns the smallest measured sample, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest measured sample, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the measured samples,
+// interpolated within the containing bucket in log space. It returns an
+// error when no samples have been measured or q is out of range.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("hist: quantile %g out of [0,1]", q)
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0, fmt.Errorf("hist: quantile of empty histogram (phase %s)", h.phase)
+	}
+	if q == 0 {
+		return h.min, nil
+	}
+	if q == 1 {
+		return h.max, nil
+	}
+	target := q * float64(total)
+	acc := float64(h.underflow)
+	if target <= acc && h.underflow > 0 {
+		return h.underMax, nil
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := acc + float64(c)
+		if target <= next {
+			// Interpolate within the bucket in log space.
+			fracIn := (target - acc) / float64(c)
+			loEdge := h.logLo + float64(i)*h.logWidth
+			v := math.Exp(loEdge + fracIn*h.logWidth)
+			// Clamp to the observed range; interpolation can slightly
+			// exceed it at the extremes.
+			return math.Min(math.Max(v, h.min), h.max), nil
+		}
+		acc = next
+	}
+	return h.max, nil
+}
+
+// Quantiles evaluates several quantiles at once.
+func (h *Histogram) Quantiles(qs ...float64) ([]float64, error) {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := h.Quantile(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// CDF returns the empirical CDF as parallel slices of bucket upper edges
+// and cumulative probabilities. Useful for rendering the paper's CDF
+// figures.
+func (h *Histogram) CDF() (values, probs []float64) {
+	total := h.Count()
+	if total == 0 {
+		return nil, nil
+	}
+	acc := float64(h.underflow)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		acc += float64(c)
+		values = append(values, math.Exp(h.logLo+float64(i+1)*h.logWidth))
+		probs = append(probs, acc/float64(total))
+	}
+	if h.overflow > 0 {
+		values = append(values, h.max)
+		probs = append(probs, 1)
+	}
+	return values, probs
+}
+
+// MergeFrom folds other's measured samples into h by re-inserting other's
+// bucket mass at bucket midpoints. Both histograms must be in the
+// measurement phase.
+//
+// Note this produces the *pooled* distribution. The paper shows pooling
+// across clients biases high quantiles (Fig. 2); the agg package implements
+// the correct per-instance aggregation. Pooling remains valid for combining
+// the per-connection histograms of a single instance.
+func (h *Histogram) MergeFrom(other *Histogram) error {
+	if h.phase != Measurement || other.phase != Measurement {
+		return fmt.Errorf("hist: merge requires both histograms in measurement phase (have %s, %s)", h.phase, other.phase)
+	}
+	h.sum += other.sum
+	h.min = math.Min(h.min, other.min)
+	h.max = math.Max(h.max, other.max)
+	for i, c := range other.counts {
+		if c == 0 {
+			continue
+		}
+		mid := math.Exp(other.logLo + (float64(i)+0.5)*other.logWidth)
+		h.addBulk(mid, c)
+	}
+	if other.underflow > 0 {
+		h.addBulk(other.underMax, other.underflow)
+	}
+	if other.overflow > 0 {
+		h.addBulk(other.overMax, other.overflow)
+	}
+	h.maybeRebin()
+	return nil
+}
+
+// ForceMeasurement skips any remaining warm-up/calibration and transitions
+// to measurement using whatever calibration samples exist (or, with none,
+// default bounds of [1µs, 1s]). Used when a run is cut short.
+func (h *Histogram) ForceMeasurement() {
+	switch h.phase {
+	case Warmup:
+		h.phase = Calibration
+		fallthrough
+	case Calibration:
+		if len(h.calBuf) > 0 {
+			h.calibrate()
+		} else {
+			h.setBounds(1e-6, 1)
+			h.phase = Measurement
+		}
+	}
+}
+
+// StaticHistogram reproduces the fixed-bucket design of prior load testers
+// (paper §II-B): linear buckets over a caller-chosen range that are never
+// re-binned. Samples beyond the upper bound are clamped into the last
+// bucket, silently truncating the tail — the failure mode the paper calls
+// out. It exists so experiments can quantify that bias.
+type StaticHistogram struct {
+	lo, hi float64
+	counts []uint64
+	count  uint64
+	min    float64
+	max    float64 // true observed max (the histogram itself clamps)
+}
+
+// NewStatic returns a StaticHistogram with bins linear buckets on [lo, hi).
+func NewStatic(lo, hi float64, bins int) (*StaticHistogram, error) {
+	if bins < 2 || hi <= lo || lo < 0 {
+		return nil, fmt.Errorf("hist: invalid static histogram [%g,%g) with %d bins", lo, hi, bins)
+	}
+	return &StaticHistogram{lo: lo, hi: hi, counts: make([]uint64, bins), min: math.Inf(1), max: math.Inf(-1)}, nil
+}
+
+// Record adds a sample, clamping it into the histogram range.
+func (s *StaticHistogram) Record(v float64) {
+	s.count++
+	s.min = math.Min(s.min, v)
+	s.max = math.Max(s.max, v)
+	width := (s.hi - s.lo) / float64(len(s.counts))
+	idx := int((v - s.lo) / width)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.counts) {
+		idx = len(s.counts) - 1 // tail truncation: the pitfall
+	}
+	s.counts[idx]++
+}
+
+// Count returns the number of recorded samples.
+func (s *StaticHistogram) Count() uint64 { return s.count }
+
+// Quantile returns the q-th quantile as estimated by the clamped buckets.
+// Because of truncation this underestimates tail quantiles whenever samples
+// exceeded the configured upper bound.
+func (s *StaticHistogram) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("hist: quantile %g out of [0,1]", q)
+	}
+	if s.count == 0 {
+		return 0, fmt.Errorf("hist: quantile of empty static histogram")
+	}
+	target := q * float64(s.count)
+	width := (s.hi - s.lo) / float64(len(s.counts))
+	acc := 0.0
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		next := acc + float64(c)
+		if target <= next {
+			fracIn := (target - acc) / float64(c)
+			return s.lo + (float64(i)+fracIn)*width, nil
+		}
+		acc = next
+	}
+	return s.hi, nil
+}
+
+// TruncatedFraction reports the fraction of samples that exceeded the upper
+// bound and were clamped, i.e. the tail mass the static design destroyed.
+func (s *StaticHistogram) TruncatedFraction() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	width := (s.hi - s.lo) / float64(len(s.counts))
+	truncated := uint64(0)
+	if s.max >= s.hi {
+		// All samples >= hi landed in the last bucket; we cannot recover
+		// the exact count, so recompute from the last bucket mass that
+		// lies beyond hi-width proportionally. Conservative estimate: the
+		// last bucket's samples whose true value exceeded hi are unknown,
+		// so report the last bucket occupancy as an upper bound only when
+		// the true max exceeded the range.
+		truncated = s.counts[len(s.counts)-1]
+	}
+	_ = width
+	return float64(truncated) / float64(s.count)
+}
+
+// ExactQuantile computes the exact q-th sample quantile from raw values
+// using linear interpolation (type 7, the R/NumPy default). It is the
+// reference implementation tests compare histograms against.
+func ExactQuantile(values []float64, q float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("hist: exact quantile of empty slice")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("hist: quantile %g out of [0,1]", q)
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+}

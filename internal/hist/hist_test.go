@@ -1,0 +1,459 @@
+package hist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"treadmill/internal/dist"
+)
+
+func mustNew(t *testing.T, cfg Config) *Histogram {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func smallCfg() Config {
+	return Config{WarmupSamples: 10, CalibrationSamples: 100, Bins: 1024, OverflowRebinFraction: 0.001}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{WarmupSamples: -1, CalibrationSamples: 10, Bins: 10, OverflowRebinFraction: 0.01},
+		{WarmupSamples: 0, CalibrationSamples: 0, Bins: 10, OverflowRebinFraction: 0.01},
+		{WarmupSamples: 0, CalibrationSamples: 10, Bins: 1, OverflowRebinFraction: 0.01},
+		{WarmupSamples: 0, CalibrationSamples: 10, Bins: 10, OverflowRebinFraction: 0},
+		{WarmupSamples: 0, CalibrationSamples: 10, Bins: 10, OverflowRebinFraction: 1},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestPhaseTransitions(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	if h.Phase() != Warmup {
+		t.Fatalf("initial phase = %s, want warmup", h.Phase())
+	}
+	for i := 0; i < 10; i++ {
+		if err := h.Record(1e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Phase() != Calibration {
+		t.Fatalf("after warmup phase = %s, want calibration", h.Phase())
+	}
+	for i := 0; i < 100; i++ {
+		if err := h.Record(1e-4 + float64(i)*1e-6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Phase() != Measurement {
+		t.Fatalf("after calibration phase = %s, want measurement", h.Phase())
+	}
+	// Calibration samples are retained as measurements.
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100 (calibration samples kept)", h.Count())
+	}
+}
+
+func TestZeroWarmupSkipsPhase(t *testing.T) {
+	cfg := smallCfg()
+	cfg.WarmupSamples = 0
+	h := mustNew(t, cfg)
+	if h.Phase() != Calibration {
+		t.Fatalf("phase = %s, want calibration when WarmupSamples=0", h.Phase())
+	}
+}
+
+func TestWarmupSamplesDiscarded(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	// Record absurd warm-up values; they must not affect stats.
+	for i := 0; i < 10; i++ {
+		if err := h.Record(1e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if err := h.Record(1e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Max() > 1e-3 {
+		t.Fatalf("warm-up sample leaked into measurement: max=%g", h.Max())
+	}
+}
+
+func TestInvalidSamplesRejected(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := h.Record(v); err == nil {
+			t.Errorf("Record(%g) accepted", v)
+		}
+	}
+}
+
+// fill drives h through warmup+calibration with samples from sample().
+func fill(t *testing.T, h *Histogram, n int, sample func(i int) float64) []float64 {
+	t.Helper()
+	var measured []float64
+	warm := h.cfg.WarmupSamples
+	for i := 0; i < n; i++ {
+		v := sample(i)
+		if err := h.Record(v); err != nil {
+			t.Fatal(err)
+		}
+		if i >= warm {
+			measured = append(measured, v)
+		}
+	}
+	return measured
+}
+
+func TestQuantileAccuracyLognormal(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	rng := dist.NewRNG(42)
+	l := dist.LognormalFromMoments(100e-6, 1.0)
+	measured := fill(t, h, 100000, func(int) float64 { return l.Sample(rng) })
+
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		got, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ExactQuantile(measured, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Errorf("q=%g: hist=%g exact=%g rel err %.3f", q, got, want, rel)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Error("quantile of empty histogram should error")
+	}
+	fill(t, h, 1000, func(i int) float64 { return 1e-4 * (1 + float64(i%100)/100) })
+	if _, err := h.Quantile(-0.1); err == nil {
+		t.Error("q=-0.1 should error")
+	}
+	if _, err := h.Quantile(1.1); err == nil {
+		t.Error("q=1.1 should error")
+	}
+	q0, err := h.Quantile(0)
+	if err != nil || q0 != h.Min() {
+		t.Errorf("q=0 should return min: got %g, %v (min %g)", q0, err, h.Min())
+	}
+	q1, err := h.Quantile(1)
+	if err != nil || q1 != h.Max() {
+		t.Errorf("q=1 should return max: got %g, %v (max %g)", q1, err, h.Max())
+	}
+}
+
+func TestQuantilesBatch(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	fill(t, h, 5000, func(i int) float64 { return 1e-4 + float64(i%50)*1e-6 })
+	qs, err := h.Quantiles(0.5, 0.9, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 || qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Errorf("quantiles not monotone: %v", qs)
+	}
+	if _, err := h.Quantiles(0.5, 2); err == nil {
+		t.Error("invalid quantile in batch should error")
+	}
+}
+
+func TestAdaptiveRebinOnGrowingLatency(t *testing.T) {
+	// Simulate warm-up at low latency then a regime where latency grows
+	// far beyond the calibration range, as at high utilization before
+	// steady state. The adaptive histogram must follow.
+	h := mustNew(t, smallCfg())
+	rng := dist.NewRNG(7)
+	var measured []float64
+	i := 0
+	rec := func(v float64) {
+		if err := h.Record(v); err != nil {
+			t.Fatal(err)
+		}
+		if i >= h.cfg.WarmupSamples {
+			measured = append(measured, v)
+		}
+		i++
+	}
+	for j := 0; j < 200; j++ {
+		rec(100e-6 * (0.9 + 0.2*rng.Float64()))
+	}
+	// Latency ramps up 100x beyond the calibrated bounds.
+	for j := 0; j < 50000; j++ {
+		scale := 1 + float64(j)/500
+		rec(100e-6 * scale * (0.9 + 0.2*rng.Float64()))
+	}
+	if h.Rebins() == 0 {
+		t.Fatal("expected at least one re-bin event")
+	}
+	got, err := h.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ExactQuantile(measured, 0.99)
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Errorf("post-rebin p99 = %g, exact %g, rel err %.3f", got, want, rel)
+	}
+}
+
+func TestStaticHistogramTruncatesTail(t *testing.T) {
+	// The same growing-latency scenario breaks the static design.
+	st, err := NewStatic(0, 1e-3, 1024) // static bound: 1ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []float64
+	rng := dist.NewRNG(7)
+	for j := 0; j < 50000; j++ {
+		v := 100e-6 * (1 + float64(j)/500) * (0.9 + 0.2*rng.Float64())
+		st.Record(v)
+		raw = append(raw, v)
+	}
+	got, err := st.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ExactQuantile(raw, 0.99)
+	if got >= want*0.5 {
+		t.Errorf("static histogram should badly underestimate p99: got %g, exact %g", got, want)
+	}
+	if st.TruncatedFraction() == 0 {
+		t.Error("expected truncated samples to be reported")
+	}
+}
+
+func TestStaticHistogramValidation(t *testing.T) {
+	if _, err := NewStatic(1, 0, 10); err == nil {
+		t.Error("hi<=lo accepted")
+	}
+	if _, err := NewStatic(0, 1, 1); err == nil {
+		t.Error("bins<2 accepted")
+	}
+	if _, err := NewStatic(-1, 1, 10); err == nil {
+		t.Error("negative lo accepted")
+	}
+}
+
+func TestStaticQuantileEmpty(t *testing.T) {
+	st, _ := NewStatic(0, 1, 16)
+	if _, err := st.Quantile(0.5); err == nil {
+		t.Error("empty static quantile should error")
+	}
+	if _, err := st.Quantile(2); err == nil {
+		t.Error("q=2 should error")
+	}
+}
+
+func TestMergePreservesQuantiles(t *testing.T) {
+	cfg := smallCfg()
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	rng := dist.NewRNG(3)
+	l := dist.LognormalFromMoments(200e-6, 0.8)
+	ma := fill(t, a, 30000, func(int) float64 { return l.Sample(rng) })
+	mb := fill(t, b, 30000, func(int) float64 { return l.Sample(rng) * 1.5 })
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	all := append(ma, mb...)
+	if a.Count() != uint64(len(all)) {
+		t.Fatalf("merged count = %d, want %d", a.Count(), len(all))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got, err := a.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ExactQuantile(all, q)
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Errorf("merged q=%g: got %g want %g rel %.3f", q, got, want, rel)
+		}
+	}
+}
+
+func TestMergeRequiresMeasurementPhase(t *testing.T) {
+	a := mustNew(t, smallCfg())
+	b := mustNew(t, smallCfg())
+	if err := a.MergeFrom(b); err == nil {
+		t.Error("merge of non-measurement histograms should error")
+	}
+}
+
+func TestForceMeasurement(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	h.ForceMeasurement()
+	if h.Phase() != Measurement {
+		t.Fatalf("phase = %s after ForceMeasurement", h.Phase())
+	}
+	if err := h.Record(5e-5); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+
+	// With partial calibration data.
+	h2 := mustNew(t, Config{WarmupSamples: 0, CalibrationSamples: 1000, Bins: 64, OverflowRebinFraction: 0.01})
+	for i := 0; i < 10; i++ {
+		if err := h2.Record(1e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h2.ForceMeasurement()
+	if h2.Phase() != Measurement || h2.Count() != 10 {
+		t.Fatalf("phase=%s count=%d, want measurement/10", h2.Phase(), h2.Count())
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	h := mustNew(t, Config{WarmupSamples: 0, CalibrationSamples: 3, Bins: 64, OverflowRebinFraction: 0.01})
+	for _, v := range []float64{1e-4, 2e-4, 3e-4} {
+		if err := h.Record(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(h.Mean()-2e-4) > 1e-10 {
+		t.Errorf("mean = %g, want 2e-4", h.Mean())
+	}
+	if h.Min() != 1e-4 || h.Max() != 3e-4 {
+		t.Errorf("min/max = %g/%g, want 1e-4/3e-4", h.Min(), h.Max())
+	}
+	empty := mustNew(t, smallCfg())
+	if empty.Mean() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Error("empty histogram stats should be 0")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	rng := dist.NewRNG(21)
+	e := dist.Exponential{Rate: 1e4}
+	fill(t, h, 20000, func(int) float64 { return e.Sample(rng) + 1e-5 })
+	vals, probs := h.CDF()
+	if len(vals) == 0 || len(vals) != len(probs) {
+		t.Fatalf("bad CDF shape: %d vals, %d probs", len(vals), len(probs))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] || probs[i] < probs[i-1] {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if probs[len(probs)-1] < 0.9999 {
+		t.Errorf("CDF should end at ~1, got %g", probs[len(probs)-1])
+	}
+	he := mustNew(t, smallCfg())
+	if v, p := he.CDF(); v != nil || p != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	if _, err := ExactQuantile(nil, 0.5); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := ExactQuantile(vals, 1.5); err == nil {
+		t.Error("q>1 should error")
+	}
+	got, err := ExactQuantile(vals, 0.5)
+	if err != nil || got != 2.5 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+	if got, _ := ExactQuantile(vals, 0); got != 1 {
+		t.Errorf("q0 = %g, want 1", got)
+	}
+	if got, _ := ExactQuantile(vals, 1); got != 4 {
+		t.Errorf("q1 = %g, want 4", got)
+	}
+	if got, _ := ExactQuantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("single value quantile = %g, want 7", got)
+	}
+	// Input must not be reordered.
+	if vals[0] != 4 {
+		t.Error("ExactQuantile mutated its input")
+	}
+}
+
+// Property: histogram quantiles are monotone in q and bounded by [min,max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		h, err := New(Config{WarmupSamples: 0, CalibrationSamples: 50, Bins: 256, OverflowRebinFraction: 0.01})
+		if err != nil {
+			return false
+		}
+		rng := dist.NewRNG(seed)
+		l := dist.LognormalFromMoments(1e-4, 2.0)
+		for i := 0; i < 2000; i++ {
+			if err := h.Record(l.Sample(rng)); err != nil {
+				return false
+			}
+		}
+		prev := 0.0
+		for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99} {
+			v, err := h.Quantile(q)
+			if err != nil || v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count equals the number of post-warm-up records, regardless of
+// re-binning.
+func TestCountInvariantProperty(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16%3000) + 200
+		h, err := New(Config{WarmupSamples: 50, CalibrationSamples: 100, Bins: 128, OverflowRebinFraction: 0.001})
+		if err != nil {
+			return false
+		}
+		rng := dist.NewRNG(seed)
+		p := dist.Pareto{Xm: 1e-5, Alpha: 1.2} // heavy tail forces rebins
+		for i := 0; i < n; i++ {
+			if err := h.Record(p.Sample(rng)); err != nil {
+				return false
+			}
+		}
+		want := uint64(0)
+		if n > 50 {
+			want = uint64(n - 50)
+		}
+		return h.Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if Warmup.String() != "warmup" || Calibration.String() != "calibration" || Measurement.String() != "measurement" {
+		t.Error("phase names wrong")
+	}
+	if Phase(99).String() == "" {
+		t.Error("unknown phase should still render")
+	}
+}

@@ -1,0 +1,100 @@
+package hist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Snapshot is a serializable image of a measurement-phase Histogram. Real
+// Treadmill deployments run instances on separate machines and ship their
+// histograms to a coordinator; Snapshot/FromSnapshot plus MergeFrom give
+// the same capability here (encoding/json on the wire).
+type Snapshot struct {
+	// Lo and Hi are the bin bounds, Counts the per-bin occupancy.
+	Lo     float64  `json:"lo"`
+	Hi     float64  `json:"hi"`
+	Counts []uint64 `json:"counts"`
+	// Underflow/Overflow carry out-of-range mass with their extreme
+	// observed values so a receiver can re-bin losslessly enough.
+	Underflow    uint64  `json:"underflow,omitempty"`
+	Overflow     uint64  `json:"overflow,omitempty"`
+	UnderflowMax float64 `json:"underflow_max,omitempty"`
+	OverflowMax  float64 `json:"overflow_max,omitempty"`
+	// Sum/Min/Max preserve the moment and range statistics.
+	Sum float64 `json:"sum"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Snapshot captures the histogram's measurement state. The histogram must
+// be in the measurement phase (force it with ForceMeasurement if a run was
+// cut short).
+func (h *Histogram) Snapshot() (*Snapshot, error) {
+	if h.phase != Measurement {
+		return nil, fmt.Errorf("hist: snapshot requires measurement phase, have %s", h.phase)
+	}
+	s := &Snapshot{
+		Lo: h.lo, Hi: h.hi,
+		Counts:       append([]uint64(nil), h.counts...),
+		Underflow:    h.underflow,
+		Overflow:     h.overflow,
+		UnderflowMax: h.underMax,
+		OverflowMax:  h.overMax,
+		Sum:          h.sum,
+		Min:          h.min,
+		Max:          h.max,
+	}
+	if s.Min == math.Inf(1) { // empty histogram
+		s.Min, s.Max = 0, 0
+	}
+	return s, nil
+}
+
+// MarshalJSON implements json.Marshaler for *Histogram via Snapshot.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	s, err := h.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(s)
+}
+
+// FromSnapshot reconstructs a measurement-phase Histogram. cfg supplies
+// the re-binning policy going forward; the bin geometry comes from the
+// snapshot itself.
+func FromSnapshot(s *Snapshot, cfg Config) (*Histogram, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if s == nil || len(s.Counts) < 2 || !(s.Lo > 0) || s.Hi <= s.Lo {
+		return nil, fmt.Errorf("hist: invalid snapshot")
+	}
+	cfg.Bins = len(s.Counts)
+	h := &Histogram{cfg: cfg, phase: Measurement, min: math.Inf(1), max: math.Inf(-1)}
+	h.setBounds(s.Lo, s.Hi)
+	copy(h.counts, s.Counts)
+	for _, c := range s.Counts {
+		h.count += c
+	}
+	h.underflow = s.Underflow
+	h.overflow = s.Overflow
+	h.underMax = s.UnderflowMax
+	h.overMax = s.OverflowMax
+	h.sum = s.Sum
+	if h.Count() > 0 {
+		h.min = s.Min
+		h.max = s.Max
+	}
+	return h, nil
+}
+
+// UnmarshalSnapshot decodes a JSON snapshot and reconstructs a histogram
+// with the given config.
+func UnmarshalSnapshot(data []byte, cfg Config) (*Histogram, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("hist: decode snapshot: %w", err)
+	}
+	return FromSnapshot(&s, cfg)
+}

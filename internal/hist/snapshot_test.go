@@ -1,0 +1,152 @@
+package hist
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"treadmill/internal/dist"
+)
+
+func filledHistogram(t *testing.T, seed uint64, n int) (*Histogram, []float64) {
+	t.Helper()
+	h := mustNew(t, Config{WarmupSamples: 0, CalibrationSamples: 500, Bins: 1024, OverflowRebinFraction: 0.001})
+	rng := dist.NewRNG(seed)
+	l := dist.LognormalFromMoments(150e-6, 0.8)
+	var vals []float64
+	for i := 0; i < n; i++ {
+		v := l.Sample(rng)
+		if err := h.Record(v); err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+	}
+	return h, vals
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	h, vals := filledHistogram(t, 1, 30000)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSnapshot(data, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() {
+		t.Fatalf("count %d vs %d", back.Count(), h.Count())
+	}
+	if math.Abs(back.Mean()-h.Mean()) > 1e-12 {
+		t.Errorf("mean %g vs %g", back.Mean(), h.Mean())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		a, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b)/a > 1e-9 {
+			t.Errorf("q=%g: %g vs %g", q, a, b)
+		}
+	}
+	_ = vals
+}
+
+func TestSnapshotRequiresMeasurementPhase(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	if _, err := h.Snapshot(); err == nil {
+		t.Error("warm-up-phase snapshot should error")
+	}
+	if _, err := json.Marshal(h); err == nil {
+		t.Error("marshal of warm-up-phase histogram should error")
+	}
+}
+
+func TestSnapshotCrossMachineMerge(t *testing.T) {
+	// Two "machines" snapshot their histograms; the coordinator rebuilds
+	// and merges them. The merged quantiles must match merging the live
+	// histograms directly.
+	h1, v1 := filledHistogram(t, 2, 20000)
+	h2, v2 := filledHistogram(t, 3, 20000)
+
+	d1, err := json.Marshal(h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := json.Marshal(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := UnmarshalSnapshot(d1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := UnmarshalSnapshot(d2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.MergeFrom(r2); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]float64(nil), v1...), v2...)
+	for _, q := range []float64{0.5, 0.99} {
+		got, err := r1.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ExactQuantile(all, q)
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Errorf("merged-from-snapshots q=%g: got %g want %g (rel %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	if _, err := FromSnapshot(nil, DefaultConfig()); err == nil {
+		t.Error("nil snapshot should error")
+	}
+	if _, err := FromSnapshot(&Snapshot{Lo: 0, Hi: 1, Counts: make([]uint64, 4)}, DefaultConfig()); err == nil {
+		t.Error("lo=0 should error")
+	}
+	if _, err := FromSnapshot(&Snapshot{Lo: 1, Hi: 1, Counts: make([]uint64, 4)}, DefaultConfig()); err == nil {
+		t.Error("hi<=lo should error")
+	}
+	if _, err := FromSnapshot(&Snapshot{Lo: 1, Hi: 2, Counts: []uint64{1}}, DefaultConfig()); err == nil {
+		t.Error("single bin should error")
+	}
+	bad := DefaultConfig()
+	bad.OverflowRebinFraction = 0
+	if _, err := FromSnapshot(&Snapshot{Lo: 1, Hi: 2, Counts: make([]uint64, 4)}, bad); err == nil {
+		t.Error("bad config should error")
+	}
+	if _, err := UnmarshalSnapshot([]byte("{not json"), DefaultConfig()); err == nil {
+		t.Error("bad json should error")
+	}
+}
+
+func TestSnapshotEmptyHistogram(t *testing.T) {
+	h := mustNew(t, smallCfg())
+	h.ForceMeasurement()
+	s, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSnapshot(s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 0 {
+		t.Errorf("count = %d", back.Count())
+	}
+	// An empty restored histogram still accepts new samples.
+	if err := back.Record(1e-4); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 1 {
+		t.Errorf("count after record = %d", back.Count())
+	}
+}

@@ -1,0 +1,206 @@
+// Package linalg provides the small dense linear-algebra kernel that the
+// quantile-regression solver is built on: column-major matrices, QR
+// factorization by Householder reflections, and least-squares solves.
+//
+// It is intentionally minimal — just what quantreg needs — and written for
+// numerical robustness over raw speed (the regression problems here are a
+// few hundred rows by a couple dozen columns).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero matrix of the given shape. It panics on
+// non-positive dimensions; a shapeless matrix is always a caller bug.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be non-empty and of
+// equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("linalg: FromRows needs non-empty rows")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("linalg: row %d has %d cols, want %d", i, len(r), m.Cols)
+		}
+		copy(m.data[i*m.Cols:], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// MulVec returns m·x. It panics when len(x) != Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		sum := 0.0
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	// Scaled accumulation avoids overflow for extreme inputs.
+	scale, ssq := 0.0, 1.0
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// SolveLeastSquares returns x minimizing ‖Ax − b‖₂ using Householder QR
+// with column checks. It returns an error when A has fewer rows than
+// columns or is (numerically) rank deficient.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: underdetermined system %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), a.Rows)
+	}
+	// Work on copies; factorization is in-place.
+	r := a.Clone()
+	qtb := make([]float64, len(b))
+	copy(qtb, b)
+
+	m, n := r.Rows, r.Cols
+	for k := 0; k < n; k++ {
+		// Householder vector for column k below the diagonal.
+		colNorm := 0.0
+		for i := k; i < m; i++ {
+			colNorm = math.Hypot(colNorm, r.At(i, k))
+		}
+		if colNorm == 0 {
+			return nil, fmt.Errorf("linalg: rank-deficient matrix (column %d)", k)
+		}
+		alpha := -math.Copysign(colNorm, r.At(k, k))
+		v := make([]float64, m-k)
+		v[0] = r.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		vnorm2 := Dot(v, v)
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I - 2vvᵀ/‖v‖² to the trailing submatrix and to qtb.
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i-k])
+			}
+		}
+		dot := 0.0
+		for i := k; i < m; i++ {
+			dot += v[i-k] * qtb[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < m; i++ {
+			qtb[i] -= f * v[i-k]
+		}
+	}
+	// Back substitution on the upper-triangular R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := qtb[i]
+		for j := i + 1; j < n; j++ {
+			sum -= r.At(i, j) * x[j]
+		}
+		diag := r.At(i, i)
+		if math.Abs(diag) < 1e-12*float64(m) {
+			return nil, fmt.Errorf("linalg: numerically singular (pivot %d = %g)", i, diag)
+		}
+		x[i] = sum / diag
+	}
+	return x, nil
+}
+
+// SolveWeightedLeastSquares returns x minimizing Σ w_i (a_i·x − b_i)².
+// Weights must be non-negative; rows with zero weight are ignored.
+func SolveWeightedLeastSquares(a *Matrix, b, w []float64) ([]float64, error) {
+	if len(w) != a.Rows || len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: weighted solve shape mismatch")
+	}
+	scaled := a.Clone()
+	sb := make([]float64, len(b))
+	for i := 0; i < a.Rows; i++ {
+		if w[i] < 0 || math.IsNaN(w[i]) {
+			return nil, fmt.Errorf("linalg: negative weight %g at row %d", w[i], i)
+		}
+		s := math.Sqrt(w[i])
+		for j := 0; j < a.Cols; j++ {
+			scaled.Set(i, j, a.At(i, j)*s)
+		}
+		sb[i] = b[i] * s
+	}
+	return SolveLeastSquares(scaled, sb)
+}

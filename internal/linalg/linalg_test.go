@@ -1,0 +1,191 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"treadmill/internal/dist"
+)
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0,1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("element access wrong")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := FromRows([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged should error")
+	}
+}
+
+func TestCloneAndRowIndependent(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliased storage")
+	}
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Error("Row aliased storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.MulVec([]float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	m.MulVec([]float64{1})
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("dot wrong")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Error("norm wrong")
+	}
+	if Norm2(nil) != 0 {
+		t.Error("empty norm should be 0")
+	}
+	// Overflow-safe norm.
+	if v := Norm2([]float64{1e200, 1e200}); math.IsInf(v, 0) {
+		t.Error("norm overflowed")
+	}
+}
+
+func TestSolveExactSystem(t *testing.T) {
+	// 2x2 exactly determined: x=1, y=2.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLeastSquares(a, []float64{4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestSolveOverdetermined(t *testing.T) {
+	// Fit y = 2 + 3t through noisy-free points: exact recovery.
+	ts := []float64{0, 1, 2, 3, 4}
+	rows := make([][]float64, len(ts))
+	b := make([]float64, len(ts))
+	for i, tv := range ts {
+		rows[i] = []float64{1, tv}
+		b[i] = 2 + 3*tv
+	}
+	a, _ := FromRows(rows)
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Errorf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}})
+	if _, err := SolveLeastSquares(a, []float64{1}); err == nil {
+		t.Error("underdetermined should error")
+	}
+	sq, _ := FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	if _, err := SolveLeastSquares(sq, []float64{1, 1, 1}); err == nil {
+		t.Error("rank-deficient should error")
+	}
+	ok, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	if _, err := SolveLeastSquares(ok, []float64{1}); err == nil {
+		t.Error("bad rhs length should error")
+	}
+	zero, _ := FromRows([][]float64{{0, 1}, {0, 2}, {0, 3}})
+	if _, err := SolveLeastSquares(zero, []float64{1, 2, 3}); err == nil {
+		t.Error("zero column should error")
+	}
+}
+
+func TestWeightedLeastSquares(t *testing.T) {
+	// Two inconsistent observations of a constant; weights decide.
+	a, _ := FromRows([][]float64{{1}, {1}})
+	x, err := SolveWeightedLeastSquares(a, []float64{0, 10}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7.5) > 1e-10 {
+		t.Errorf("weighted mean = %g, want 7.5", x[0])
+	}
+}
+
+func TestWeightedLeastSquaresErrors(t *testing.T) {
+	a, _ := FromRows([][]float64{{1}, {1}})
+	if _, err := SolveWeightedLeastSquares(a, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("weight length mismatch should error")
+	}
+	if _, err := SolveWeightedLeastSquares(a, []float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+// Property: for random well-conditioned systems, the LS solution satisfies
+// the normal equations Aᵀ(Ax − b) ≈ 0.
+func TestNormalEquationsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := dist.NewRNG(seed)
+		const m, n = 12, 4
+		a := NewMatrix(m, n)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Normal())
+			}
+			b[i] = rng.Normal() * 10
+		}
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			return true // rare degenerate draws are fine to skip
+		}
+		resid := a.MulVec(x)
+		for i := range resid {
+			resid[i] -= b[i]
+		}
+		for j := 0; j < n; j++ {
+			dot := 0.0
+			for i := 0; i < m; i++ {
+				dot += a.At(i, j) * resid[i]
+			}
+			if math.Abs(dot) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"treadmill/internal/client"
+	"treadmill/internal/stats"
+)
+
+// SLO is a latency service-level objective at one quantile.
+type SLO struct {
+	// Quantile in (0,1), e.g. 0.99.
+	Quantile float64
+	// Target is the latency bound for that quantile.
+	Target time.Duration
+}
+
+// SweepPoint is one measured operating point of a rate sweep.
+type SweepPoint struct {
+	TargetRate   float64
+	AchievedRate float64
+	P50, P99     time.Duration
+	QuantileSLO  time.Duration // latency at the SLO quantile
+	MeetsSLO     bool
+	Errors       uint64
+}
+
+// SweepOptions configures Sweep and FindCapacity.
+type SweepOptions struct {
+	// Conns / Workload / Seed configure each open-loop probe run.
+	Options
+	// Duration per probe run.
+	Duration time.Duration
+	// SLO to evaluate at each point.
+	SLO SLO
+}
+
+func (o SweepOptions) validate() error {
+	if o.Duration <= 0 {
+		return fmt.Errorf("loadgen: sweep needs positive duration")
+	}
+	if o.SLO.Quantile <= 0 || o.SLO.Quantile >= 1 {
+		return fmt.Errorf("loadgen: SLO quantile %g out of (0,1)", o.SLO.Quantile)
+	}
+	if o.SLO.Target <= 0 {
+		return fmt.Errorf("loadgen: SLO target must be positive")
+	}
+	return nil
+}
+
+// measureRate runs one open-loop probe at the given rate and evaluates the
+// SLO. This is the primitive Sweep and FindCapacity are built on: the
+// paper's premise is that capacity questions ("how fast can this server go
+// within a P99 budget?") must be answered with open-loop tail
+// measurements, not closed-loop throughput numbers.
+func measureRate(ctx context.Context, addr string, rate float64, opts SweepOptions) (SweepPoint, error) {
+	genOpts := opts.Options
+	genOpts.Rate = rate
+	var mu sync.Mutex
+	var rtts []float64
+	genOpts.OnResult = func(r *client.Result) {
+		if r.Err == nil {
+			mu.Lock()
+			rtts = append(rtts, r.RTT().Seconds())
+			mu.Unlock()
+		}
+	}
+	gen, err := NewOpenLoop(addr, genOpts)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	defer gen.Close()
+	st, err := gen.Run(ctx, opts.Duration)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	if len(rtts) == 0 {
+		return SweepPoint{}, fmt.Errorf("loadgen: no samples at %g rps", rate)
+	}
+	p50, err := stats.Quantile(rtts, 0.5)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	p99, err := stats.Quantile(rtts, 0.99)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	qs, err := stats.Quantile(rtts, opts.SLO.Quantile)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	sloLatency := time.Duration(qs * float64(time.Second))
+	return SweepPoint{
+		TargetRate:   rate,
+		AchievedRate: st.OfferedRate(),
+		P50:          time.Duration(p50 * float64(time.Second)),
+		P99:          time.Duration(p99 * float64(time.Second)),
+		QuantileSLO:  sloLatency,
+		MeetsSLO:     sloLatency <= opts.SLO.Target && st.Errors == 0,
+		Errors:       st.Errors,
+	}, nil
+}
+
+// Sweep measures each target rate in turn (ascending) and returns the
+// latency-vs-load curve — the classic open-loop characterization (paper
+// Fig. 3's x-axis).
+func Sweep(ctx context.Context, addr string, rates []float64, opts SweepOptions) ([]SweepPoint, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("loadgen: sweep needs at least one rate")
+	}
+	sorted := append([]float64(nil), rates...)
+	sort.Float64s(sorted)
+	out := make([]SweepPoint, 0, len(sorted))
+	for _, r := range sorted {
+		if r <= 0 {
+			return nil, fmt.Errorf("loadgen: sweep rate %g must be positive", r)
+		}
+		p, err := measureRate(ctx, addr, r, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FindCapacity binary-searches for the highest request rate whose measured
+// SLO-quantile latency stays within the target, between lo and hi
+// (requests/second). It returns the best passing operating point; ok is
+// false when even lo violates the SLO.
+func FindCapacity(ctx context.Context, addr string, lo, hi float64, opts SweepOptions) (best SweepPoint, ok bool, err error) {
+	if err := opts.validate(); err != nil {
+		return SweepPoint{}, false, err
+	}
+	if !(0 < lo && lo < hi) {
+		return SweepPoint{}, false, fmt.Errorf("loadgen: need 0 < lo (%g) < hi (%g)", lo, hi)
+	}
+	// Check the floor first: if lo fails, there is no capacity to report.
+	p, err := measureRate(ctx, addr, lo, opts)
+	if err != nil {
+		return SweepPoint{}, false, err
+	}
+	if !p.MeetsSLO {
+		return p, false, nil
+	}
+	best, ok = p, true
+	// Binary search until the bracket is within 5%.
+	for hi/lo > 1.05 {
+		if err := ctx.Err(); err != nil {
+			return best, ok, err
+		}
+		mid := (lo + hi) / 2
+		p, err := measureRate(ctx, addr, mid, opts)
+		if err != nil {
+			return best, ok, err
+		}
+		if p.MeetsSLO {
+			best, ok = p, true
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best, ok, nil
+}

@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func sweepOpts() SweepOptions {
+	return SweepOptions{
+		Options:  Options{Conns: 4, Workload: smallWorkload(), Seed: 9},
+		Duration: 400 * time.Millisecond,
+		SLO:      SLO{Quantile: 0.99, Target: 50 * time.Millisecond},
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	srv := startServer(t)
+	ctx := context.Background()
+	bad := sweepOpts()
+	bad.Duration = 0
+	if _, err := Sweep(ctx, srv.Addr(), []float64{100}, bad); err == nil {
+		t.Error("zero duration should error")
+	}
+	bad = sweepOpts()
+	bad.SLO.Quantile = 0
+	if _, err := Sweep(ctx, srv.Addr(), []float64{100}, bad); err == nil {
+		t.Error("bad quantile should error")
+	}
+	bad = sweepOpts()
+	bad.SLO.Target = 0
+	if _, err := Sweep(ctx, srv.Addr(), []float64{100}, bad); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, err := Sweep(ctx, srv.Addr(), nil, sweepOpts()); err == nil {
+		t.Error("no rates should error")
+	}
+	if _, err := Sweep(ctx, srv.Addr(), []float64{-5}, sweepOpts()); err == nil {
+		t.Error("negative rate should error")
+	}
+}
+
+func TestSweepCurve(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	points, err := Sweep(context.Background(), srv.Addr(), []float64{2000, 500}, sweepOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Rates are measured in ascending order.
+	if points[0].TargetRate != 500 || points[1].TargetRate != 2000 {
+		t.Errorf("order: %v, %v", points[0].TargetRate, points[1].TargetRate)
+	}
+	for _, p := range points {
+		if p.AchievedRate < p.TargetRate*0.7 || p.AchievedRate > p.TargetRate*1.3 {
+			t.Errorf("rate %g achieved %g", p.TargetRate, p.AchievedRate)
+		}
+		if p.P50 <= 0 || p.P99 < p.P50 {
+			t.Errorf("latencies p50=%v p99=%v", p.P50, p.P99)
+		}
+		// Loopback at these rates easily meets a 50ms p99.
+		if !p.MeetsSLO {
+			t.Errorf("rate %g should meet the generous SLO (p99=%v)", p.TargetRate, p.P99)
+		}
+	}
+}
+
+func TestFindCapacityFindsPassingPoint(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	best, ok, err := FindCapacity(context.Background(), srv.Addr(), 500, 4000, sweepOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("no capacity found; floor point: %+v", best)
+	}
+	if !best.MeetsSLO {
+		t.Errorf("best point violates SLO: %+v", best)
+	}
+	if best.TargetRate < 500 {
+		t.Errorf("best rate %g below floor", best.TargetRate)
+	}
+}
+
+func TestFindCapacityImpossibleSLO(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	opts := sweepOpts()
+	opts.SLO.Target = time.Nanosecond // unmeetable
+	_, ok, err := FindCapacity(context.Background(), srv.Addr(), 200, 1000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("nanosecond SLO reported as met")
+	}
+}
+
+func TestFindCapacityValidation(t *testing.T) {
+	srv := startServer(t)
+	if _, _, err := FindCapacity(context.Background(), srv.Addr(), 100, 50, sweepOpts()); err == nil {
+		t.Error("lo >= hi should error")
+	}
+	if _, _, err := FindCapacity(context.Background(), srv.Addr(), 0, 50, sweepOpts()); err == nil {
+		t.Error("lo = 0 should error")
+	}
+}

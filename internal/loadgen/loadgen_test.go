@@ -1,0 +1,251 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"treadmill/internal/client"
+	"treadmill/internal/server"
+	"treadmill/internal/workload"
+)
+
+func startServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func smallWorkload() workload.Config {
+	cfg := workload.Default()
+	cfg.Keys = 200
+	cfg.ValueSize = workload.SizeDist{Kind: "constant", Value: 64}
+	return cfg
+}
+
+func TestPreload(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.Store().Len(); n != 200 {
+		t.Errorf("store has %d items after preload, want 200", n)
+	}
+}
+
+func TestOpenLoopAchievesRate(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var rtts []float64
+	ol, err := NewOpenLoop(srv.Addr(), Options{
+		Rate: 2000, Conns: 4, Workload: cfg, Seed: 2,
+		OnResult: func(r *client.Result) {
+			mu.Lock()
+			rtts = append(rtts, r.RTT().Seconds())
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	stats, err := ol.Run(context.Background(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 0 {
+		t.Errorf("%d errors", stats.Errors)
+	}
+	if stats.Completed != stats.Sent {
+		t.Errorf("sent %d != completed %d", stats.Sent, stats.Completed)
+	}
+	// Poisson with rate 2000 over 2s: ~4000 sends, sd ~63.
+	if math.Abs(stats.OfferedRate()-2000) > 200 {
+		t.Errorf("offered rate = %g, want ~2000", stats.OfferedRate())
+	}
+	mu.Lock()
+	n := len(rtts)
+	mu.Unlock()
+	if uint64(n) != stats.Completed {
+		t.Errorf("OnResult saw %d, completed %d", n, stats.Completed)
+	}
+}
+
+func TestOpenLoopPrecision(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	ol, err := NewOpenLoop(srv.Addr(), Options{Rate: 5000, Conns: 8, Workload: cfg, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	stats, err := ol.Run(context.Background(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spinWait {
+		// With spare cores the generator spin-waits: fewer than 5% of
+		// sends more than one period late.
+		if frac := float64(stats.LateSends) / float64(stats.Sent); frac > 0.05 {
+			t.Errorf("late sends fraction = %g", frac)
+		}
+	}
+	// Regardless of per-send precision, the offered rate must hold: the
+	// schedule self-corrects by sending immediately when behind.
+	if rate := stats.OfferedRate(); rate < 4000 || rate > 6000 {
+		t.Errorf("offered rate = %g, want ~5000", rate)
+	}
+}
+
+func TestOpenLoopContextCancel(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	ol, err := NewOpenLoop(srv.Addr(), Options{Rate: 1000, Conns: 2, Workload: cfg, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := ol.Run(ctx, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancel did not stop the run promptly")
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	srv := startServer(t)
+	if _, err := NewOpenLoop(srv.Addr(), Options{Rate: 0, Conns: 1, Workload: smallWorkload()}); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := NewOpenLoop(srv.Addr(), Options{Rate: 100, Conns: 0, Workload: smallWorkload()}); err == nil {
+		t.Error("zero conns should error")
+	}
+	ol, err := NewOpenLoop(srv.Addr(), Options{Rate: 100, Conns: 1, Workload: smallWorkload()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	if _, err := ol.Run(context.Background(), 0); err == nil {
+		t.Error("zero duration should error")
+	}
+}
+
+func TestClosedLoopKeepsOneOutstandingPerWorker(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	const conns = 4
+	clg, err := NewClosedLoop(srv.Addr(), Options{Conns: conns, Workload: cfg, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clg.Close()
+	stats, err := clg.Run(context.Background(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 0 {
+		t.Errorf("%d errors", stats.Errors)
+	}
+	if stats.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	// Closed loop on loopback: throughput = conns / rtt. Just sanity-check
+	// it ran at a plausible clip and sent≈completed.
+	if stats.Sent-stats.Completed > conns {
+		t.Errorf("sent %d vs completed %d", stats.Sent, stats.Completed)
+	}
+}
+
+func TestClosedLoopThinkTimeLowersThroughput(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	run := func(think time.Duration) float64 {
+		clg, err := NewClosedLoop(srv.Addr(), Options{Conns: 2, ThinkTime: think, Workload: cfg, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer clg.Close()
+		stats, err := clg.Run(context.Background(), 800*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.OfferedRate()
+	}
+	fast := run(0)
+	slow := run(5 * time.Millisecond)
+	if slow >= fast/2 {
+		t.Errorf("think time did not lower throughput: %g vs %g", slow, fast)
+	}
+	// 2 workers with 5ms think: at most ~2/5ms = 400 rps.
+	if slow > 500 {
+		t.Errorf("closed loop with think time ran at %g rps, want <= ~400", slow)
+	}
+}
+
+func TestClosedLoopValidation(t *testing.T) {
+	srv := startServer(t)
+	if _, err := NewClosedLoop(srv.Addr(), Options{Conns: 0, Workload: smallWorkload()}); err == nil {
+		t.Error("zero conns should error")
+	}
+	cl, err := NewClosedLoop(srv.Addr(), Options{Conns: 1, Workload: smallWorkload()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Run(context.Background(), 0); err == nil {
+		t.Error("zero duration should error")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := NewOpenLoop("127.0.0.1:1", Options{Rate: 100, Conns: 1, Workload: smallWorkload()}); err == nil {
+		t.Error("open loop dial to dead port should error")
+	}
+	if _, err := NewClosedLoop("127.0.0.1:1", Options{Conns: 1, Workload: smallWorkload()}); err == nil {
+		t.Error("closed loop dial to dead port should error")
+	}
+}
+
+func TestSleepUntilPrecision(t *testing.T) {
+	for _, d := range []time.Duration{50 * time.Microsecond, 500 * time.Microsecond, 3 * time.Millisecond} {
+		deadline := time.Now().Add(d)
+		sleepUntil(deadline)
+		lag := time.Since(deadline)
+		if lag < 0 {
+			t.Errorf("woke before deadline by %v", -lag)
+		}
+		if lag > 2*time.Millisecond {
+			t.Errorf("woke %v after a %v deadline", lag, d)
+		}
+	}
+}

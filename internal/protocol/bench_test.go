@@ -1,0 +1,74 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+func BenchmarkWriteGetRequest(b *testing.B) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	req := &Request{Op: OpGet, Key: "benchmark-key-0001"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		w.Reset(&buf)
+		if err := WriteRequest(w, req); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseGetRequest(b *testing.B) {
+	wire := []byte("get benchmark-key-0001\r\n")
+	r := bufio.NewReader(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(bytes.NewReader(wire))
+		if _, err := ParseRequest(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseSetRequest(b *testing.B) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteRequest(w, &Request{Op: OpSet, Key: "k", Value: make([]byte, 1024)}); err != nil {
+		b.Fatal(err)
+	}
+	w.Flush()
+	wire := buf.Bytes()
+	r := bufio.NewReader(nil)
+	b.ResetTimer()
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		r.Reset(bytes.NewReader(wire))
+		if _, err := ParseRequest(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseGetResponse(b *testing.B) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteGetResponse(w, "k", 0, make([]byte, 1024), true); err != nil {
+		b.Fatal(err)
+	}
+	w.Flush()
+	wire := buf.Bytes()
+	r := bufio.NewReader(nil)
+	b.ResetTimer()
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		r.Reset(bytes.NewReader(wire))
+		if _, err := ParseResponse(r, OpGet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

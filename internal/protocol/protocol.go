@@ -1,0 +1,416 @@
+// Package protocol implements the memcached ASCII protocol subset that the
+// Treadmill TCP backend exercises: get / set / delete plus the stats and
+// version commands the tools use for health checks.
+//
+// Framing reference: https://github.com/memcached/memcached/blob/master/doc/protocol.txt
+//
+//	set <key> <flags> <exptime> <bytes>\r\n<data>\r\n  →  STORED\r\n
+//	get <key>\r\n  →  VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n
+//	delete <key>\r\n  →  DELETED\r\n | NOT_FOUND\r\n
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Op is the request operation.
+type Op int
+
+// Supported operations.
+const (
+	OpGet Op = iota
+	OpSet
+	OpDelete
+	OpVersion
+	OpStats
+)
+
+// String returns the wire verb.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpDelete:
+		return "delete"
+	case OpVersion:
+		return "version"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// MaxKeyLen is the protocol's key-length limit.
+const MaxKeyLen = 250
+
+// MaxValueLen bounds value sizes accepted by this implementation (1 MiB,
+// memcached's default item limit).
+const MaxValueLen = 1 << 20
+
+// ErrProtocol reports malformed input from the peer.
+var ErrProtocol = errors.New("protocol error")
+
+// Request is one parsed client request.
+type Request struct {
+	Op    Op
+	Key   string
+	Flags uint32
+	// Keys holds the key list of a multi-key get ("get k1 k2 ...").
+	// When set, Key is Keys[0]. Single-key requests may leave it nil.
+	Keys []string
+	// Exptime is the raw expiration field (this implementation stores it
+	// but does not expire).
+	Exptime int64
+	Value   []byte
+	// NoReply suppresses the response for set/delete.
+	NoReply bool
+}
+
+// AllKeys returns the request's key set: Keys when present, else [Key].
+func (r *Request) AllKeys() []string {
+	if len(r.Keys) > 0 {
+		return r.Keys
+	}
+	return []string{r.Key}
+}
+
+// Item is one returned value of a (multi-)get.
+type Item struct {
+	Key   string
+	Flags uint32
+	Value []byte
+}
+
+// Response is one server reply.
+type Response struct {
+	// Status is the response line ("STORED", "DELETED", "NOT_FOUND",
+	// "END", "VERSION <v>", ...). For hits it is "VALUE".
+	Status string
+	Key    string
+	Flags  uint32
+	Value  []byte
+	// Items holds every returned value of a (multi-)get; for a single-key
+	// hit it has one element mirrored into Key/Flags/Value.
+	Items []Item
+	// Hit reports whether a get found at least one key.
+	Hit bool
+}
+
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c <= ' ' || c == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteRequest encodes req to w.
+func WriteRequest(w *bufio.Writer, req *Request) error {
+	// OpGet validates its (possibly multiple) keys below; version and
+	// stats carry no key.
+	if req.Op != OpGet && req.Op != OpVersion && req.Op != OpStats && !validKey(req.Key) {
+		return fmt.Errorf("%w: invalid key %q", ErrProtocol, req.Key)
+	}
+	switch req.Op {
+	case OpGet:
+		keys := req.AllKeys()
+		for _, k := range keys {
+			if !validKey(k) {
+				return fmt.Errorf("%w: invalid key %q", ErrProtocol, k)
+			}
+		}
+		if _, err := w.WriteString("get"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := w.WriteString(" " + k); err != nil {
+				return err
+			}
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	case OpSet:
+		if len(req.Value) > MaxValueLen {
+			return fmt.Errorf("%w: value too large (%d bytes)", ErrProtocol, len(req.Value))
+		}
+		suffix := ""
+		if req.NoReply {
+			suffix = " noreply"
+		}
+		if _, err := fmt.Fprintf(w, "set %s %d %d %d%s\r\n", req.Key, req.Flags, req.Exptime, len(req.Value), suffix); err != nil {
+			return err
+		}
+		if _, err := w.Write(req.Value); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	case OpDelete:
+		suffix := ""
+		if req.NoReply {
+			suffix = " noreply"
+		}
+		if _, err := fmt.Fprintf(w, "delete %s%s\r\n", req.Key, suffix); err != nil {
+			return err
+		}
+	case OpVersion:
+		if _, err := w.WriteString("version\r\n"); err != nil {
+			return err
+		}
+	case OpStats:
+		if _, err := w.WriteString("stats\r\n"); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %v", ErrProtocol, req.Op)
+	}
+	return nil
+}
+
+// splitFields tokenizes a command line on ASCII spaces only, collapsing
+// runs. bytes.Fields would split on any Unicode space (U+0085, U+00A0,
+// ...), corrupting binary-ish keys that are legal on the wire; memcached
+// delimits tokens with 0x20 alone.
+func splitFields(line []byte) [][]byte {
+	var out [][]byte
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == ' ' {
+			if start >= 0 {
+				out = append(out, line[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+// readLine reads one CRLF-terminated line without the terminator.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("%w: line not CRLF-terminated", ErrProtocol)
+	}
+	return line[:len(line)-2], nil
+}
+
+// ParseRequest reads one request from r. io.EOF is returned unchanged on a
+// clean connection close between requests.
+func ParseRequest(r *bufio.Reader) (*Request, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	fields := splitFields(line)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("%w: empty command", ErrProtocol)
+	}
+	switch string(fields[0]) {
+	case "get":
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: get wants at least 1 key", ErrProtocol)
+		}
+		keys := make([]string, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			key := string(f)
+			if !validKey(key) {
+				return nil, fmt.Errorf("%w: invalid key", ErrProtocol)
+			}
+			keys = append(keys, key)
+		}
+		req := &Request{Op: OpGet, Key: keys[0]}
+		if len(keys) > 1 {
+			req.Keys = keys
+		}
+		return req, nil
+	case "set":
+		if len(fields) != 5 && len(fields) != 6 {
+			return nil, fmt.Errorf("%w: set wants 4-5 args", ErrProtocol)
+		}
+		key := string(fields[1])
+		if !validKey(key) {
+			return nil, fmt.Errorf("%w: invalid key", ErrProtocol)
+		}
+		flags, err := strconv.ParseUint(string(fields[2]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad flags: %v", ErrProtocol, err)
+		}
+		exp, err := strconv.ParseInt(string(fields[3]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad exptime: %v", ErrProtocol, err)
+		}
+		n, err := strconv.Atoi(string(fields[4]))
+		if err != nil || n < 0 || n > MaxValueLen {
+			return nil, fmt.Errorf("%w: bad byte count", ErrProtocol)
+		}
+		noreply := false
+		if len(fields) == 6 {
+			if string(fields[5]) != "noreply" {
+				return nil, fmt.Errorf("%w: unexpected %q", ErrProtocol, fields[5])
+			}
+			noreply = true
+		}
+		value := make([]byte, n)
+		if _, err := io.ReadFull(r, value); err != nil {
+			return nil, fmt.Errorf("%w: short value: %v", ErrProtocol, err)
+		}
+		crlf := make([]byte, 2)
+		if _, err := io.ReadFull(r, crlf); err != nil || crlf[0] != '\r' || crlf[1] != '\n' {
+			return nil, fmt.Errorf("%w: value not CRLF-terminated", ErrProtocol)
+		}
+		return &Request{Op: OpSet, Key: key, Flags: uint32(flags), Exptime: exp, Value: value, NoReply: noreply}, nil
+	case "delete":
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("%w: delete wants 1 key", ErrProtocol)
+		}
+		key := string(fields[1])
+		if !validKey(key) {
+			return nil, fmt.Errorf("%w: invalid key", ErrProtocol)
+		}
+		noreply := len(fields) == 3 && string(fields[2]) == "noreply"
+		if len(fields) == 3 && !noreply {
+			return nil, fmt.Errorf("%w: unexpected %q", ErrProtocol, fields[2])
+		}
+		return &Request{Op: OpDelete, Key: key, NoReply: noreply}, nil
+	case "version":
+		return &Request{Op: OpVersion}, nil
+	case "stats":
+		return &Request{Op: OpStats}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown command %q", ErrProtocol, fields[0])
+	}
+}
+
+// WriteGetResponse writes a hit or miss reply for a get.
+func WriteGetResponse(w *bufio.Writer, key string, flags uint32, value []byte, hit bool) error {
+	if hit {
+		if _, err := fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, flags, len(value)); err != nil {
+			return err
+		}
+		if _, err := w.Write(value); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+// WriteItemsResponse writes a multi-get reply: a VALUE block per item,
+// then END.
+func WriteItemsResponse(w *bufio.Writer, items []Item) error {
+	for _, it := range items {
+		if _, err := fmt.Fprintf(w, "VALUE %s %d %d\r\n", it.Key, it.Flags, len(it.Value)); err != nil {
+			return err
+		}
+		if _, err := w.Write(it.Value); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+// WriteStatusResponse writes a bare status line such as STORED.
+func WriteStatusResponse(w *bufio.Writer, status string) error {
+	_, err := fmt.Fprintf(w, "%s\r\n", status)
+	return err
+}
+
+// ParseResponse reads one response to the given op from r.
+func ParseResponse(r *bufio.Reader, op Op) (*Response, error) {
+	switch op {
+	case OpGet:
+		var items []Item
+		for {
+			line, err := readLine(r)
+			if err != nil {
+				return nil, err
+			}
+			if bytes.Equal(line, []byte("END")) {
+				break
+			}
+			fields := splitFields(line)
+			if len(fields) != 4 || !bytes.Equal(fields[0], []byte("VALUE")) {
+				return nil, fmt.Errorf("%w: bad get response %q", ErrProtocol, line)
+			}
+			flags, err := strconv.ParseUint(string(fields[2]), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad flags", ErrProtocol)
+			}
+			n, err := strconv.Atoi(string(fields[3]))
+			if err != nil || n < 0 || n > MaxValueLen {
+				return nil, fmt.Errorf("%w: bad byte count", ErrProtocol)
+			}
+			value := make([]byte, n)
+			if _, err := io.ReadFull(r, value); err != nil {
+				return nil, fmt.Errorf("%w: short value: %v", ErrProtocol, err)
+			}
+			crlf := make([]byte, 2)
+			if _, err := io.ReadFull(r, crlf); err != nil || crlf[0] != '\r' || crlf[1] != '\n' {
+				return nil, fmt.Errorf("%w: value not CRLF-terminated", ErrProtocol)
+			}
+			items = append(items, Item{Key: string(fields[1]), Flags: uint32(flags), Value: value})
+		}
+		if len(items) == 0 {
+			return &Response{Status: "END"}, nil
+		}
+		return &Response{
+			Status: "VALUE",
+			Key:    items[0].Key,
+			Flags:  items[0].Flags,
+			Value:  items[0].Value,
+			Items:  items,
+			Hit:    true,
+		}, nil
+	case OpSet, OpDelete, OpVersion:
+		line, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Status: string(line)}, nil
+	case OpStats:
+		resp := &Response{Status: "END"}
+		var body bytes.Buffer
+		for {
+			line, err := readLine(r)
+			if err != nil {
+				return nil, err
+			}
+			if bytes.Equal(line, []byte("END")) {
+				break
+			}
+			body.Write(line)
+			body.WriteByte('\n')
+		}
+		resp.Value = body.Bytes()
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown op %v", ErrProtocol, op)
+	}
+}

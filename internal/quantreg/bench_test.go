@@ -1,0 +1,67 @@
+package quantreg
+
+import (
+	"testing"
+
+	"treadmill/internal/dist"
+)
+
+func paperShapedProblem() (*Model, [][]float64, []float64) {
+	rng := dist.NewRNG(1)
+	m, err := FullFactorialModel([]string{"numa", "turbo", "dvfs", "nic"})
+	if err != nil {
+		panic(err)
+	}
+	var x [][]float64
+	var y []float64
+	for rep := 0; rep < 30; rep++ {
+		for mask := 0; mask < 16; mask++ {
+			row := []float64{float64(mask & 1), float64(mask >> 1 & 1), float64(mask >> 2 & 1), float64(mask >> 3 & 1)}
+			x = append(x, row)
+			y = append(y, 355+56*row[0]-29*row[1]+10*rng.Normal())
+		}
+	}
+	return m, x, y
+}
+
+func BenchmarkFitIRLS(b *testing.B) {
+	m, x, y := paperShapedProblem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(m, x, y, 0.99, Options{Solver: IRLS}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitSimplex(b *testing.B) {
+	m, x, y := paperShapedProblem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(m, x, y, 0.99, Options{Solver: Simplex}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitWithBootstrap(b *testing.B) {
+	m, x, y := paperShapedProblem()
+	rng := dist.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := Options{Solver: IRLS, BootstrapSamples: 50, RNG: rng, StratifiedBootstrap: true}
+		if _, err := Fit(m, x, y, 0.99, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDesignMatrix(b *testing.B) {
+	m, x, _ := paperShapedProblem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Design(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

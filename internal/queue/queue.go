@@ -1,0 +1,154 @@
+// Package queue provides closed-form queueing-theory results (M/M/1 and
+// M/M/c) used to validate the discrete-event simulator and to reason about
+// the open- vs closed-loop findings: the paper's Finding 1 cites the M/M/1
+// variance of outstanding requests, ρ/(1−ρ)², to explain why latency
+// variance grows with utilization.
+package queue
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 is the single-server Markovian queue with arrival rate Lambda and
+// service rate Mu (both per second).
+type MM1 struct {
+	Lambda float64
+	Mu     float64
+}
+
+// NewMM1 validates and returns an MM1. The system must be stable (λ < μ).
+func NewMM1(lambda, mu float64) (MM1, error) {
+	if lambda <= 0 || mu <= 0 {
+		return MM1{}, fmt.Errorf("queue: rates must be positive (λ=%g, μ=%g)", lambda, mu)
+	}
+	if lambda >= mu {
+		return MM1{}, fmt.Errorf("queue: unstable system λ=%g >= μ=%g", lambda, mu)
+	}
+	return MM1{Lambda: lambda, Mu: mu}, nil
+}
+
+// Rho returns the utilization λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanOutstanding returns E[N], the mean number in system: ρ/(1−ρ).
+func (q MM1) MeanOutstanding() float64 {
+	rho := q.Rho()
+	return rho / (1 - rho)
+}
+
+// VarOutstanding returns Var[N] = ρ/(1−ρ)², the quantity the paper's
+// Finding 1 cites for why tail variance grows with load.
+func (q MM1) VarOutstanding() float64 {
+	rho := q.Rho()
+	return rho / ((1 - rho) * (1 - rho))
+}
+
+// OutstandingCDF returns P(N <= n) for the number in system, which is
+// geometric: P(N = k) = (1−ρ)ρᵏ.
+func (q MM1) OutstandingCDF(n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	rho := q.Rho()
+	return 1 - math.Pow(rho, float64(n+1))
+}
+
+// MeanLatency returns E[T] = 1/(μ−λ), the mean sojourn (response) time.
+func (q MM1) MeanLatency() float64 { return 1 / (q.Mu - q.Lambda) }
+
+// LatencyQuantile returns the p-th quantile of sojourn time. Sojourn time
+// in M/M/1-FCFS is exponential with rate μ−λ, so T_p = −ln(1−p)/(μ−λ).
+func (q MM1) LatencyQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("queue: quantile %g out of (0,1)", p)
+	}
+	return -math.Log(1-p) / (q.Mu - q.Lambda), nil
+}
+
+// MMc is the c-server Markovian queue (M/M/c, a.k.a. M/M/k).
+type MMc struct {
+	Lambda  float64
+	Mu      float64 // per-server service rate
+	Servers int
+}
+
+// NewMMc validates and returns an MMc. Stability requires λ < c·μ.
+func NewMMc(lambda, mu float64, servers int) (MMc, error) {
+	if lambda <= 0 || mu <= 0 {
+		return MMc{}, fmt.Errorf("queue: rates must be positive (λ=%g, μ=%g)", lambda, mu)
+	}
+	if servers < 1 {
+		return MMc{}, fmt.Errorf("queue: need >= 1 server, got %d", servers)
+	}
+	if lambda >= float64(servers)*mu {
+		return MMc{}, fmt.Errorf("queue: unstable system λ=%g >= c·μ=%g", lambda, float64(servers)*mu)
+	}
+	return MMc{Lambda: lambda, Mu: mu, Servers: servers}, nil
+}
+
+// Rho returns the per-server utilization λ/(c·μ).
+func (q MMc) Rho() float64 { return q.Lambda / (float64(q.Servers) * q.Mu) }
+
+// ErlangC returns the probability an arriving request must queue
+// (the Erlang-C formula).
+func (q MMc) ErlangC() float64 {
+	c := q.Servers
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	// Compute iteratively for numerical stability: inv = Σ_{k=0}^{c-1} (c!/(k! a^{c-k})) term recursion.
+	sum := 0.0
+	term := 1.0 // a^k / k! at k=0
+	for k := 0; k < c; k++ {
+		if k > 0 {
+			term *= a / float64(k)
+		}
+		sum += term
+	}
+	top := term * a / float64(c) // a^c / c!
+	rho := q.Rho()
+	pw := top / (1 - rho)
+	return pw / (sum + pw)
+}
+
+// MeanQueueWait returns E[W_q], the mean time spent waiting before service.
+func (q MMc) MeanQueueWait() float64 {
+	return q.ErlangC() / (float64(q.Servers)*q.Mu - q.Lambda)
+}
+
+// MeanLatency returns E[T] = E[W_q] + 1/μ.
+func (q MMc) MeanLatency() float64 { return q.MeanQueueWait() + 1/q.Mu }
+
+// MeanOutstanding returns E[N] by Little's law: λ·E[T].
+func (q MMc) MeanOutstanding() float64 { return q.Lambda * q.MeanLatency() }
+
+// WaitQuantile returns the p-th quantile of queueing delay W_q. W_q has an
+// atom at zero of mass 1−ErlangC and is otherwise exponential with rate
+// cμ−λ.
+func (q MMc) WaitQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("queue: quantile %g out of (0,1)", p)
+	}
+	pw := q.ErlangC()
+	if p <= 1-pw {
+		return 0, nil
+	}
+	// P(W_q > t) = pw · e^{−(cμ−λ)t}; solve for t at tail prob 1−p.
+	rate := float64(q.Servers)*q.Mu - q.Lambda
+	return -math.Log((1-p)/pw) / rate, nil
+}
+
+// ClosedLoopThroughput returns the throughput of a closed system with n
+// always-busy clients, zero think time, against a single exponential server
+// with rate mu: the machine-repairman result X = μ·(1 − p0) where the
+// system always has n jobs ⇒ X = μ for n ≥ 1. With think time Z and mean
+// service S, the asymptotic bound is X = min(n/(Z+S), 1/S). This helper
+// returns that bound; the paper's Fig. 1 closed-loop curves cap outstanding
+// requests at n by construction.
+func ClosedLoopThroughput(n int, thinkTime, serviceTime float64) float64 {
+	if n < 1 || serviceTime <= 0 {
+		return 0
+	}
+	bound := float64(n) / (thinkTime + serviceTime)
+	cap_ := 1 / serviceTime
+	return math.Min(bound, cap_)
+}

@@ -1,0 +1,212 @@
+package queue
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMM1Validation(t *testing.T) {
+	if _, err := NewMM1(0, 1); err == nil {
+		t.Error("λ=0 should error")
+	}
+	if _, err := NewMM1(1, 0); err == nil {
+		t.Error("μ=0 should error")
+	}
+	if _, err := NewMM1(2, 1); err == nil {
+		t.Error("unstable should error")
+	}
+	if _, err := NewMM1(1, 1); err == nil {
+		t.Error("λ=μ should error")
+	}
+}
+
+func TestMM1Basics(t *testing.T) {
+	q, err := NewMM1(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.Rho()-0.8) > 1e-12 {
+		t.Errorf("rho = %g", q.Rho())
+	}
+	if math.Abs(q.MeanOutstanding()-4) > 1e-12 {
+		t.Errorf("E[N] = %g, want 4", q.MeanOutstanding())
+	}
+	if math.Abs(q.VarOutstanding()-20) > 1e-12 {
+		t.Errorf("Var[N] = %g, want 20", q.VarOutstanding())
+	}
+	if math.Abs(q.MeanLatency()-0.5) > 1e-12 {
+		t.Errorf("E[T] = %g, want 0.5", q.MeanLatency())
+	}
+}
+
+func TestMM1OutstandingCDF(t *testing.T) {
+	q, _ := NewMM1(5, 10)
+	if q.OutstandingCDF(-1) != 0 {
+		t.Error("CDF(-1) should be 0")
+	}
+	// P(N <= 0) = 1 - ρ = 0.5.
+	if math.Abs(q.OutstandingCDF(0)-0.5) > 1e-12 {
+		t.Errorf("CDF(0) = %g", q.OutstandingCDF(0))
+	}
+	if q.OutstandingCDF(100) < 0.999999 {
+		t.Error("CDF should approach 1")
+	}
+	for n := 0; n < 20; n++ {
+		if q.OutstandingCDF(n+1) < q.OutstandingCDF(n) {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestMM1LatencyQuantile(t *testing.T) {
+	q, _ := NewMM1(8, 10)
+	p50, err := q.LatencyQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Ln2 / 2 // -ln(0.5)/(10-8)
+	if math.Abs(p50-want) > 1e-12 {
+		t.Errorf("p50 = %g, want %g", p50, want)
+	}
+	p99, _ := q.LatencyQuantile(0.99)
+	if p99 <= p50 {
+		t.Error("p99 should exceed p50")
+	}
+	if _, err := q.LatencyQuantile(0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if _, err := q.LatencyQuantile(1); err == nil {
+		t.Error("p=1 should error")
+	}
+}
+
+func TestVarianceGrowsWithUtilization(t *testing.T) {
+	// The paper's Finding 1: variance of outstanding requests explodes as
+	// ρ→1.
+	prev := 0.0
+	for _, rho := range []float64{0.5, 0.7, 0.8, 0.9, 0.95} {
+		q, _ := NewMM1(rho*100, 100)
+		v := q.VarOutstanding()
+		if v <= prev {
+			t.Fatalf("variance not increasing at rho=%g", rho)
+		}
+		prev = v
+	}
+}
+
+func TestNewMMcValidation(t *testing.T) {
+	if _, err := NewMMc(1, 1, 0); err == nil {
+		t.Error("0 servers should error")
+	}
+	if _, err := NewMMc(20, 10, 2); err == nil {
+		t.Error("unstable should error")
+	}
+	if _, err := NewMMc(-1, 10, 2); err == nil {
+		t.Error("negative λ should error")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	m1, _ := NewMM1(8, 10)
+	mc, _ := NewMMc(8, 10, 1)
+	if math.Abs(m1.MeanLatency()-mc.MeanLatency()) > 1e-12 {
+		t.Errorf("M/M/1 %g vs M/M/c(1) %g", m1.MeanLatency(), mc.MeanLatency())
+	}
+	// Erlang C with one server is ρ.
+	if math.Abs(mc.ErlangC()-0.8) > 1e-12 {
+		t.Errorf("ErlangC = %g, want 0.8", mc.ErlangC())
+	}
+}
+
+func TestMMcKnownValue(t *testing.T) {
+	// Classic textbook case: λ=2/min, μ=1/min per server, c=3 ⇒
+	// P(wait) = 0.444..., Lq = 0.888..., Wq = 0.444... min.
+	q, err := NewMMc(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.ErlangC()-4.0/9) > 1e-9 {
+		t.Errorf("ErlangC = %g, want %g", q.ErlangC(), 4.0/9)
+	}
+	if math.Abs(q.MeanQueueWait()-4.0/9) > 1e-9 {
+		t.Errorf("Wq = %g, want %g", q.MeanQueueWait(), 4.0/9)
+	}
+	if math.Abs(q.MeanLatency()-(4.0/9+1)) > 1e-9 {
+		t.Errorf("T = %g", q.MeanLatency())
+	}
+	// Little's law consistency.
+	if math.Abs(q.MeanOutstanding()-2*(4.0/9+1)) > 1e-9 {
+		t.Errorf("N = %g", q.MeanOutstanding())
+	}
+}
+
+func TestMMcWaitQuantile(t *testing.T) {
+	q, _ := NewMMc(2, 1, 3)
+	// P(W_q = 0) = 1 − 4/9 = 5/9, so the median is 0.
+	p50, err := q.WaitQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 != 0 {
+		t.Errorf("median wait = %g, want 0", p50)
+	}
+	p99, _ := q.WaitQuantile(0.99)
+	// P(W > t) = pw e^{-(cμ-λ)t}: t = ln(pw/0.01)/1.
+	want := math.Log((4.0 / 9) / 0.01)
+	if math.Abs(p99-want) > 1e-9 {
+		t.Errorf("p99 wait = %g, want %g", p99, want)
+	}
+	if _, err := q.WaitQuantile(1.5); err == nil {
+		t.Error("bad quantile should error")
+	}
+}
+
+func TestClosedLoopThroughput(t *testing.T) {
+	// One client, no think time, 1ms service: 1000 rps.
+	if x := ClosedLoopThroughput(1, 0, 1e-3); math.Abs(x-1000) > 1e-9 {
+		t.Errorf("X = %g, want 1000", x)
+	}
+	// Many clients saturate at 1/S regardless of n.
+	if x := ClosedLoopThroughput(1000, 0, 1e-3); math.Abs(x-1000) > 1e-9 {
+		t.Errorf("X = %g, want 1000", x)
+	}
+	// Think time dominated: X = n/(Z+S).
+	if x := ClosedLoopThroughput(2, 1e-3, 1e-3); math.Abs(x-1000) > 1e-9 {
+		t.Errorf("X = %g, want 1000", x)
+	}
+	if ClosedLoopThroughput(0, 0, 1e-3) != 0 || ClosedLoopThroughput(1, 0, 0) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+// Property: M/M/c latency quantiles are monotone in p and decrease with
+// more servers.
+func TestMMcMonotonicityProperty(t *testing.T) {
+	f := func(lam8, c8 uint8) bool {
+		c := int(c8%8) + 1
+		mu := 10.0
+		lam := (0.1 + 0.85*float64(lam8)/255) * float64(c) * mu
+		q, err := NewMMc(lam, mu, c)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			w, err := q.WaitQuantile(p)
+			if err != nil || w < prev {
+				return false
+			}
+			prev = w
+		}
+		// Adding a server must not increase mean latency.
+		q2, err := NewMMc(lam, mu, c+1)
+		if err != nil {
+			return false
+		}
+		return q2.MeanLatency() <= q.MeanLatency()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package report renders experiment outputs as aligned text tables and
+// figure series (plus CSV), so every table and figure of the paper can be
+// regenerated as comparable rows from the command line or benchmarks.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled, fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure is a set of series sharing an x-axis meaning.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a series.
+func (f *Figure) Add(name string, x, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+}
+
+// String renders each series as rows of (x, y) pairs.
+func (f *Figure) String() string {
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "# series: %s (%s vs %s)\n", s.Name, f.YLabel, f.XLabel)
+		for i := range s.X {
+			fmt.Fprintf(&b, "%-14.6g %-14.6g\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// CSV renders all series in long form: series,x,y.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,%s\n", sanitize(f.XLabel), sanitize(f.YLabel))
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%g,%g\n", sanitize(s.Name), s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, ",", ";")
+	s = strings.ReplaceAll(s, "\n", " ")
+	if s == "" {
+		return "value"
+	}
+	return s
+}
+
+// Micros formats a duration in seconds as microseconds, the paper's unit.
+func Micros(seconds float64) string {
+	if math.IsNaN(seconds) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.1fus", seconds*1e6)
+}
+
+// MicrosInt formats like the paper's tables: "<1 us" below a microsecond.
+func MicrosInt(seconds float64) string {
+	us := seconds * 1e6
+	if math.Abs(us) < 1 {
+		return "<1us"
+	}
+	return fmt.Sprintf("%.0fus", us)
+}
+
+// PValue formats a p-value as the paper does (scientific, floored).
+func PValue(p float64) string {
+	if math.IsNaN(p) {
+		return "n/a"
+	}
+	if p < 1e-6 {
+		return "<1e-06"
+	}
+	return fmt.Sprintf("%.2e", p)
+}
+
+// Percent formats a fraction as a percentage.
+func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

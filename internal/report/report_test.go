@@ -1,0 +1,91 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"Factor", "Est."}}
+	tab.AddRow("numa", "56us")
+	tab.AddRow("turbo", "-29us")
+	out := tab.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "Factor") || !strings.Contains(out, "-29us") {
+		t.Errorf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("%d lines", len(lines))
+	}
+	// Columns aligned: all data lines start "name padding value".
+	if !strings.HasPrefix(lines[3], "numa  ") {
+		t.Errorf("alignment: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("x,y", `quo"te`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"quo""te"`) {
+		t.Errorf("csv quoting: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("csv headers: %s", csv)
+	}
+}
+
+func TestFigureString(t *testing.T) {
+	f := &Figure{Title: "Fig", XLabel: "x", YLabel: "y"}
+	f.Add("s1", []float64{1, 2}, []float64{10, 20})
+	out := f.String()
+	if !strings.Contains(out, "series: s1") || !strings.Contains(out, "10") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{XLabel: "util, load", YLabel: ""}
+	f.Add("open,loop", []float64{1}, []float64{2})
+	csv := f.CSV()
+	if !strings.Contains(csv, "util; load") {
+		t.Errorf("x label sanitization: %s", csv)
+	}
+	if !strings.Contains(csv, "value") {
+		t.Errorf("empty y label default: %s", csv)
+	}
+	if !strings.Contains(csv, "open;loop,1,2") {
+		t.Errorf("row: %s", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Micros(125e-6) != "125.0us" {
+		t.Errorf("Micros = %s", Micros(125e-6))
+	}
+	if Micros(math.NaN()) != "NaN" {
+		t.Error("NaN handling")
+	}
+	if MicrosInt(0.5e-6) != "<1us" {
+		t.Errorf("MicrosInt small = %s", MicrosInt(0.5e-6))
+	}
+	if MicrosInt(56e-6) != "56us" {
+		t.Errorf("MicrosInt = %s", MicrosInt(56e-6))
+	}
+	if MicrosInt(-29e-6) != "-29us" {
+		t.Errorf("MicrosInt neg = %s", MicrosInt(-29e-6))
+	}
+	if PValue(1e-9) != "<1e-06" {
+		t.Errorf("PValue small = %s", PValue(1e-9))
+	}
+	if PValue(0.05) != "5.00e-02" {
+		t.Errorf("PValue = %s", PValue(0.05))
+	}
+	if PValue(math.NaN()) != "n/a" {
+		t.Error("PValue NaN")
+	}
+	if Percent(0.431) != "43.1%" {
+		t.Errorf("Percent = %s", Percent(0.431))
+	}
+}

@@ -1,0 +1,382 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"treadmill/internal/client"
+	"treadmill/internal/protocol"
+	"treadmill/internal/server"
+)
+
+// startBackends launches n kv servers and returns their addresses.
+func startBackends(t *testing.T, n int) ([]*server.Server, []string) {
+	t.Helper()
+	var srvs []*server.Server
+	var addrs []string
+	for i := 0; i < n; i++ {
+		s, err := server.New(server.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		srvs = append(srvs, s)
+		addrs = append(addrs, s.Addr())
+	}
+	return srvs, addrs
+}
+
+func startRouter(t *testing.T, backends []string) *Router {
+	t.Helper()
+	r, err := New(DefaultConfig(backends))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(nil)); err == nil {
+		t.Error("no backends should error")
+	}
+	if _, err := New(DefaultConfig([]string{"127.0.0.1:1"})); err == nil {
+		t.Error("dead backend should error at pool dial")
+	}
+}
+
+func TestRouterEndToEnd(t *testing.T) {
+	_, addrs := startBackends(t, 3)
+	r := startRouter(t, addrs)
+	c, err := client.Dial(r.Addr(), client.DefaultConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key%d", i)
+		if err := c.Set(key, uint32(i), []byte("value-"+key)); err != nil {
+			t.Fatalf("set %s: %v", key, err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key%d", i)
+		resp, err := c.Get(key)
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		if !resp.Hit || string(resp.Value) != "value-"+key || resp.Flags != uint32(i) {
+			t.Fatalf("get %s = %+v", key, resp)
+		}
+	}
+	ok, err := c.Delete("key0")
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	resp, err := c.Get("key0")
+	if err != nil || resp.Hit {
+		t.Fatalf("get after delete: %v %+v", err, resp)
+	}
+}
+
+func TestRouterSpreadsKeys(t *testing.T) {
+	srvs, addrs := startBackends(t, 4)
+	r := startRouter(t, addrs)
+	c, err := client.Dial(r.Addr(), client.DefaultConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 400; i++ {
+		if err := c.Set(fmt.Sprintf("spread%d", i), 0, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every backend should own a meaningful share of the keyspace.
+	for i, s := range srvs {
+		if n := s.Store().Len(); n < 40 {
+			t.Errorf("backend %d holds only %d/400 keys; consistent hashing badly skewed", i, n)
+		}
+	}
+}
+
+func TestRoutingStability(t *testing.T) {
+	_, addrs := startBackends(t, 4)
+	r := startRouter(t, addrs)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("stable%d", i)
+		first := r.PickBackend(key)
+		for rep := 0; rep < 5; rep++ {
+			if got := r.PickBackend(key); got != first {
+				t.Fatalf("key %s routed to %d then %d", key, first, got)
+			}
+		}
+	}
+}
+
+func TestConsistentHashMinimalRemap(t *testing.T) {
+	backends4 := []string{"b0", "b1", "b2", "b3"}
+	backends5 := append(append([]string{}, backends4...), "b4")
+	r4 := newHashRing(backends4, 64)
+	r5 := newHashRing(backends5, 64)
+	moved := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key%d", i)
+		a, b := r4.pick(key), r5.pick(key)
+		if a != b {
+			if b != 4 {
+				t.Fatalf("key %s moved from %d to %d (not the new backend)", key, a, b)
+			}
+			moved++
+		}
+	}
+	// Expect ~1/5 of keys to move; allow generous bounds.
+	if moved < n/10 || moved > n/3 {
+		t.Errorf("moved %d/%d keys on backend addition, want ~%d", moved, n, n/5)
+	}
+}
+
+func TestRouterPipelinedOrdering(t *testing.T) {
+	_, addrs := startBackends(t, 3)
+	r := startRouter(t, addrs)
+	c, err := client.Dial(r.Addr(), client.DefaultConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Store values then pipeline many async gets; responses must come back
+	// in request order even though they hit different backends.
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := c.Set(fmt.Sprintf("ord%d", i), 0, []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	var outOfOrder atomic.Int64
+	var mu sync.Mutex
+	next := 0
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		err := c.Do(&protocol.Request{Op: protocol.OpGet, Key: fmt.Sprintf("ord%d", i)}, func(res *client.Result) {
+			defer wg.Done()
+			mu.Lock()
+			if next != i {
+				outOfOrder.Add(1)
+			}
+			next++
+			mu.Unlock()
+			if res.Err != nil || !res.Resp.Hit || string(res.Resp.Value) != fmt.Sprintf("%d", i) {
+				outOfOrder.Add(1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if outOfOrder.Load() != 0 {
+		t.Fatalf("%d out-of-order or wrong responses", outOfOrder.Load())
+	}
+}
+
+func TestRouterVersionAndStats(t *testing.T) {
+	_, addrs := startBackends(t, 1)
+	r := startRouter(t, addrs)
+	c, err := client.Dial(r.Addr(), client.DefaultConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.Version()
+	if err != nil || v != "VERSION treadmill-mcrouter/1.0" {
+		t.Fatalf("version = %q, %v", v, err)
+	}
+	ch := make(chan *client.Result, 1)
+	if err := c.Do(&protocol.Request{Op: protocol.OpStats}, func(res *client.Result) { ch <- res }); err != nil {
+		t.Fatal(err)
+	}
+	res := <-ch
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestRouterNoreplyForwarding(t *testing.T) {
+	_, addrs := startBackends(t, 2)
+	r := startRouter(t, addrs)
+	c, err := client.Dial(r.Addr(), client.DefaultConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan struct{})
+	err = c.Do(&protocol.Request{Op: protocol.OpSet, Key: "nr", Value: []byte("v"), NoReply: true}, func(*client.Result) { close(done) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// Poll for the async write to land.
+	for i := 0; i < 100; i++ {
+		resp, err := c.Get("nr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Hit {
+			return
+		}
+	}
+	t.Fatal("noreply set never landed through the router")
+}
+
+func TestRouterConcurrentClients(t *testing.T) {
+	_, addrs := startBackends(t, 3)
+	r := startRouter(t, addrs)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(r.Addr(), client.DefaultConnConfig())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("c%dk%d", g, i)
+				if err := c.Set(key, 0, []byte("v")); err != nil {
+					errs <- fmt.Errorf("set %s: %w", key, err)
+					return
+				}
+				resp, err := c.Get(key)
+				if err != nil || !resp.Hit {
+					errs <- fmt.Errorf("get %s: %v %+v", key, err, resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if r.Requests() < 1600 {
+		t.Errorf("router proxied %d requests, want >= 1600", r.Requests())
+	}
+}
+
+func TestRouterCloseIdempotent(t *testing.T) {
+	_, addrs := startBackends(t, 1)
+	r, err := New(DefaultConfig(addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestRouterMultiGetFanOut(t *testing.T) {
+	srvs, addrs := startBackends(t, 3)
+	r := startRouter(t, addrs)
+	c, err := client.Dial(r.Addr(), client.DefaultConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Store 30 keys (spread across backends), multi-get them in one shot.
+	var keys []string
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("mg%d", i)
+		keys = append(keys, k)
+		if err := c.Set(k, uint32(i), []byte("val-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Confirm the keys really live on different backends.
+	spread := map[int]bool{}
+	for _, k := range keys {
+		spread[r.PickBackend(k)] = true
+	}
+	if len(spread) < 2 {
+		t.Fatalf("keys all landed on one backend; fan-out not exercised")
+	}
+	ch := make(chan *client.Result, 1)
+	err = c.Do(&protocol.Request{Op: protocol.OpGet, Keys: keys}, func(res *client.Result) { ch <- res })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-ch
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Resp.Items) != 30 {
+		t.Fatalf("%d items returned", len(res.Resp.Items))
+	}
+	// Items come back in requested order with correct values.
+	for i, it := range res.Resp.Items {
+		if it.Key != keys[i] || string(it.Value) != "val-"+keys[i] || it.Flags != uint32(i) {
+			t.Fatalf("item %d = %+v", i, it)
+		}
+	}
+	for _, s := range srvs {
+		_ = s
+	}
+}
+
+func TestRouterMultiGetWithMisses(t *testing.T) {
+	_, addrs := startBackends(t, 2)
+	r := startRouter(t, addrs)
+	c, err := client.Dial(r.Addr(), client.DefaultConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("present1", 0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("present2", 0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan *client.Result, 1)
+	err = c.Do(&protocol.Request{Op: protocol.OpGet, Keys: []string{"present1", "missing", "present2"}},
+		func(res *client.Result) { ch <- res })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-ch
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Resp.Items) != 2 {
+		t.Fatalf("items = %+v", res.Resp.Items)
+	}
+	if res.Resp.Items[0].Key != "present1" || res.Resp.Items[1].Key != "present2" {
+		t.Errorf("order: %+v", res.Resp.Items)
+	}
+	// Pipelined ordering still holds around a multiget.
+	v, err := c.Version()
+	if err != nil || v == "" {
+		t.Fatalf("version after multiget: %q %v", v, err)
+	}
+}

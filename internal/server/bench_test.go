@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkStoreSet(b *testing.B) {
+	st, err := NewStore(64, 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%04d", i)
+	}
+	value := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Set(keys[i%len(keys)], 0, value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	st, _ := NewStore(64, 1<<30)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%04d", i)
+		st.Set(keys[i], 0, make([]byte, 1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := st.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkStoreGetParallel(b *testing.B) {
+	st, _ := NewStore(64, 1<<30)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%04d", i)
+		st.Set(keys[i], 0, make([]byte, 256))
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, ok := st.Get(keys[i%len(keys)]); !ok {
+				b.Fatal("miss")
+			}
+			i++
+		}
+	})
+}

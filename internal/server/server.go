@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"treadmill/internal/protocol"
+)
+
+// Version is reported to the protocol's version command.
+const Version = "treadmill-kv/1.0"
+
+// Config controls the TCP server.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Shards and CapacityBytes size the store.
+	Shards        int
+	CapacityBytes int64
+	// ReadBufferSize / WriteBufferSize size per-connection bufio buffers.
+	ReadBufferSize, WriteBufferSize int
+	// Logger receives connection-level errors; nil discards them.
+	Logger *log.Logger
+}
+
+// DefaultConfig returns a production-shaped configuration listening on an
+// ephemeral localhost port.
+func DefaultConfig() Config {
+	return Config{
+		Addr:            "127.0.0.1:0",
+		Shards:          64,
+		CapacityBytes:   256 << 20,
+		ReadBufferSize:  16 << 10,
+		WriteBufferSize: 16 << 10,
+	}
+}
+
+// Server is the TCP memcached-compatible server. Each connection is owned
+// by one goroutine, reading pipelined requests and writing responses in
+// order — the same threading structure memcached's worker model presents
+// to a single connection.
+type Server struct {
+	cfg   Config
+	store *Store
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	requests atomic.Uint64
+}
+
+// New creates a Server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 64
+	}
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = 256 << 20
+	}
+	if cfg.ReadBufferSize == 0 {
+		cfg.ReadBufferSize = 16 << 10
+	}
+	if cfg.WriteBufferSize == 0 {
+		cfg.WriteBufferSize = 16 << 10
+	}
+	st, err := NewStore(cfg.Shards, cfg.CapacityBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, store: st, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Store exposes the underlying store (examples preload data through it).
+func (s *Server) Store() *Store { return s.store }
+
+// Requests returns the number of requests served.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// Addr returns the bound listen address; empty before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Start begins listening and serving in background goroutines. Use Close
+// to stop. The returned error covers listen failures only; per-connection
+// errors go to the configured logger.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			// Latency measurement demands immediate segments.
+			_ = tc.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, s.cfg.ReadBufferSize)
+	w := bufio.NewWriterSize(conn, s.cfg.WriteBufferSize)
+	for {
+		req, err := protocol.ParseRequest(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("conn %s: %v", conn.RemoteAddr(), err)
+			}
+			if errors.Is(err, protocol.ErrProtocol) {
+				_ = protocol.WriteStatusResponse(w, "ERROR")
+				_ = w.Flush()
+			}
+			return
+		}
+		s.requests.Add(1)
+		if err := s.handle(w, req); err != nil {
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("conn %s write: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		// Flush when no further pipelined request is buffered, batching
+		// responses under pipelining without adding latency otherwise.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handle(w *bufio.Writer, req *protocol.Request) error {
+	switch req.Op {
+	case protocol.OpGet:
+		keys := req.AllKeys()
+		if len(keys) == 1 {
+			value, flags, ok := s.store.Get(keys[0])
+			return protocol.WriteGetResponse(w, keys[0], flags, value, ok)
+		}
+		var items []protocol.Item
+		for _, key := range keys {
+			if value, flags, ok := s.store.Get(key); ok {
+				items = append(items, protocol.Item{Key: key, Flags: flags, Value: value})
+			}
+		}
+		return protocol.WriteItemsResponse(w, items)
+	case protocol.OpSet:
+		err := s.store.Set(req.Key, req.Flags, req.Value)
+		if req.NoReply {
+			return nil
+		}
+		if err != nil {
+			return protocol.WriteStatusResponse(w, "SERVER_ERROR object too large for cache")
+		}
+		return protocol.WriteStatusResponse(w, "STORED")
+	case protocol.OpDelete:
+		ok := s.store.Delete(req.Key)
+		if req.NoReply {
+			return nil
+		}
+		if ok {
+			return protocol.WriteStatusResponse(w, "DELETED")
+		}
+		return protocol.WriteStatusResponse(w, "NOT_FOUND")
+	case protocol.OpVersion:
+		return protocol.WriteStatusResponse(w, "VERSION "+Version)
+	case protocol.OpStats:
+		st := s.store.Stats()
+		for _, line := range []string{
+			fmt.Sprintf("STAT curr_items %d", st.Items),
+			fmt.Sprintf("STAT bytes %d", st.Bytes),
+			fmt.Sprintf("STAT cmd_get %d", st.Gets),
+			fmt.Sprintf("STAT get_hits %d", st.Hits),
+			fmt.Sprintf("STAT cmd_set %d", st.Sets),
+			fmt.Sprintf("STAT evictions %d", st.Evictions),
+		} {
+			if err := protocol.WriteStatusResponse(w, line); err != nil {
+				return err
+			}
+		}
+		return protocol.WriteStatusResponse(w, "END")
+	default:
+		return protocol.WriteStatusResponse(w, "ERROR")
+	}
+}
+
+// Close stops listening, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Serve runs the server until ctx is cancelled (convenience for cmd/).
+func (s *Server) Serve(ctx context.Context) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	return s.Close()
+}

@@ -1,0 +1,408 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"treadmill/internal/protocol"
+)
+
+func TestStoreValidation(t *testing.T) {
+	if _, err := NewStore(0, 100); err == nil {
+		t.Error("0 shards should error")
+	}
+	if _, err := NewStore(4, 0); err == nil {
+		t.Error("0 capacity should error")
+	}
+}
+
+func TestStoreSetGetDelete(t *testing.T) {
+	st, err := NewStore(8, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Get("missing"); ok {
+		t.Error("missing key reported present")
+	}
+	if err := st.Set("k", 7, []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	v, flags, ok := st.Get("k")
+	if !ok || string(v) != "value" || flags != 7 {
+		t.Errorf("get = %q/%d/%v", v, flags, ok)
+	}
+	// Overwrite.
+	if err := st.Set("k", 9, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, flags, _ = st.Get("k")
+	if string(v) != "v2" || flags != 9 {
+		t.Errorf("after overwrite: %q/%d", v, flags)
+	}
+	if !st.Delete("k") {
+		t.Error("delete existing returned false")
+	}
+	if st.Delete("k") {
+		t.Error("delete missing returned true")
+	}
+}
+
+func TestStoreReturnsCopies(t *testing.T) {
+	st, _ := NewStore(1, 1<<20)
+	orig := []byte("abc")
+	st.Set("k", 0, orig)
+	orig[0] = 'X'
+	v, _, _ := st.Get("k")
+	if string(v) != "abc" {
+		t.Error("Set aliased caller's slice")
+	}
+	v[0] = 'Y'
+	v2, _, _ := st.Get("k")
+	if string(v2) != "abc" {
+		t.Error("Get returned internal slice")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	// Single shard, tiny capacity: inserting beyond capacity evicts the
+	// least recently used.
+	st, _ := NewStore(1, 64)
+	for i := 0; i < 4; i++ {
+		if err := st.Set(fmt.Sprintf("key%d", i), 0, []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 items × 14 bytes = 56 <= 64; a 5th evicts key0.
+	if err := st.Set("key4", 0, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Get("key0"); ok {
+		t.Error("LRU victim key0 still present")
+	}
+	if _, _, ok := st.Get("key4"); !ok {
+		t.Error("newly inserted key4 missing")
+	}
+	if st.Stats().Evictions == 0 {
+		t.Error("evictions not counted")
+	}
+}
+
+func TestStoreLRUTouchOnGet(t *testing.T) {
+	st, _ := NewStore(1, 64)
+	for i := 0; i < 4; i++ {
+		st.Set(fmt.Sprintf("key%d", i), 0, []byte("0123456789"))
+	}
+	// Touch key0 so key1 becomes the LRU victim.
+	st.Get("key0")
+	st.Set("key4", 0, []byte("0123456789"))
+	if _, _, ok := st.Get("key0"); !ok {
+		t.Error("recently read key0 was evicted")
+	}
+	if _, _, ok := st.Get("key1"); ok {
+		t.Error("key1 should have been the LRU victim")
+	}
+}
+
+func TestStoreOversizeItem(t *testing.T) {
+	st, _ := NewStore(1, 32)
+	if err := st.Set("k", 0, make([]byte, 100)); err == nil {
+		t.Error("oversize item accepted")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	st, _ := NewStore(16, 8<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%50)
+				switch i % 3 {
+				case 0:
+					if err := st.Set(key, 0, []byte("v")); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					st.Get(key)
+				default:
+					st.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// startServer returns a running server and a cleanup-registered client
+// connection factory.
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dial(t *testing.T, srv *Server) (net.Conn, *bufio.Reader, *bufio.Writer) {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, bufio.NewReader(conn), bufio.NewWriter(conn)
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := startServer(t)
+	_, r, w := dial(t, srv)
+
+	// set
+	if err := protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpSet, Key: "hello", Flags: 5, Value: []byte("world")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	resp, err := protocol.ParseResponse(r, protocol.OpSet)
+	if err != nil || resp.Status != "STORED" {
+		t.Fatalf("set: %v %+v", err, resp)
+	}
+	// get hit
+	protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpGet, Key: "hello"})
+	w.Flush()
+	resp, err = protocol.ParseResponse(r, protocol.OpGet)
+	if err != nil || !resp.Hit || string(resp.Value) != "world" || resp.Flags != 5 {
+		t.Fatalf("get: %v %+v", err, resp)
+	}
+	// get miss
+	protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpGet, Key: "nope"})
+	w.Flush()
+	resp, err = protocol.ParseResponse(r, protocol.OpGet)
+	if err != nil || resp.Hit {
+		t.Fatalf("miss: %v %+v", err, resp)
+	}
+	// delete
+	protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpDelete, Key: "hello"})
+	w.Flush()
+	resp, err = protocol.ParseResponse(r, protocol.OpDelete)
+	if err != nil || resp.Status != "DELETED" {
+		t.Fatalf("delete: %v %+v", err, resp)
+	}
+	protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpDelete, Key: "hello"})
+	w.Flush()
+	resp, err = protocol.ParseResponse(r, protocol.OpDelete)
+	if err != nil || resp.Status != "NOT_FOUND" {
+		t.Fatalf("delete missing: %v %+v", err, resp)
+	}
+	// version
+	protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpVersion})
+	w.Flush()
+	resp, err = protocol.ParseResponse(r, protocol.OpVersion)
+	if err != nil || !strings.HasPrefix(resp.Status, "VERSION ") {
+		t.Fatalf("version: %v %+v", err, resp)
+	}
+	// stats
+	protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpStats})
+	w.Flush()
+	resp, err = protocol.ParseResponse(r, protocol.OpStats)
+	if err != nil || !strings.Contains(string(resp.Value), "cmd_get") {
+		t.Fatalf("stats: %v %+v", err, resp)
+	}
+	if srv.Requests() < 6 {
+		t.Errorf("requests = %d", srv.Requests())
+	}
+}
+
+func TestServerPipelining(t *testing.T) {
+	srv := startServer(t)
+	_, r, w := dial(t, srv)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpSet, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	for i := 0; i < n; i++ {
+		resp, err := protocol.ParseResponse(r, protocol.OpSet)
+		if err != nil || resp.Status != "STORED" {
+			t.Fatalf("pipelined set %d: %v %+v", i, err, resp)
+		}
+	}
+	for i := 0; i < n; i++ {
+		protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpGet, Key: fmt.Sprintf("k%d", i)})
+	}
+	w.Flush()
+	for i := 0; i < n; i++ {
+		resp, err := protocol.ParseResponse(r, protocol.OpGet)
+		if err != nil || !resp.Hit {
+			t.Fatalf("pipelined get %d: %v %+v", i, err, resp)
+		}
+	}
+}
+
+func TestServerNoreply(t *testing.T) {
+	srv := startServer(t)
+	_, r, w := dial(t, srv)
+	protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpSet, Key: "a", Value: []byte("1"), NoReply: true})
+	// Follow immediately with a get; the only response must be the get's.
+	protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpGet, Key: "a"})
+	w.Flush()
+	resp, err := protocol.ParseResponse(r, protocol.OpGet)
+	if err != nil || !resp.Hit || string(resp.Value) != "1" {
+		t.Fatalf("get after noreply set: %v %+v", err, resp)
+	}
+}
+
+func TestServerMalformedCommand(t *testing.T) {
+	srv := startServer(t)
+	conn, r, _ := dial(t, srv)
+	fmt.Fprintf(conn, "garbage command\r\n")
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "ERROR") {
+		t.Fatalf("line = %q, err = %v", line, err)
+	}
+}
+
+func TestServerConcurrentConnections(t *testing.T) {
+	srv := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			w := bufio.NewWriter(conn)
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpSet, Key: key, Value: []byte("x")})
+				w.Flush()
+				resp, err := protocol.ParseResponse(r, protocol.OpSet)
+				if err != nil || resp.Status != "STORED" {
+					errs <- fmt.Errorf("g%d i%d: %v %+v", g, i, err, resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestServerAddrBeforeStart(t *testing.T) {
+	srv, _ := New(DefaultConfig())
+	if srv.Addr() != "" {
+		t.Error("Addr before Start should be empty")
+	}
+}
+
+// Property: the store behaves like a map for any set/get sequence that
+// fits in capacity.
+func TestStoreMapEquivalenceProperty(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Val byte
+		Del bool
+	}) bool {
+		st, err := NewStore(4, 1<<20)
+		if err != nil {
+			return false
+		}
+		model := map[string][]byte{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op.Key%16)
+			if op.Del {
+				got := st.Delete(key)
+				_, want := model[key]
+				delete(model, key)
+				if got != want {
+					return false
+				}
+			} else {
+				val := []byte{op.Val}
+				if err := st.Set(key, 0, val); err != nil {
+					return false
+				}
+				model[key] = val
+			}
+		}
+		for key, want := range model {
+			got, _, ok := st.Get(key)
+			if !ok || string(got) != string(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerMultiGet(t *testing.T) {
+	srv := startServer(t)
+	_, r, w := dial(t, srv)
+	for _, k := range []string{"ma", "mc"} {
+		protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpSet, Key: k, Value: []byte("v-" + k)})
+	}
+	w.Flush()
+	for i := 0; i < 2; i++ {
+		if resp, err := protocol.ParseResponse(r, protocol.OpSet); err != nil || resp.Status != "STORED" {
+			t.Fatalf("set %d: %v %+v", i, err, resp)
+		}
+	}
+	// Multi-get with one miss in the middle.
+	protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpGet, Keys: []string{"ma", "mb", "mc"}})
+	w.Flush()
+	resp, err := protocol.ParseResponse(r, protocol.OpGet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 2 {
+		t.Fatalf("items = %+v", resp.Items)
+	}
+	if resp.Items[0].Key != "ma" || string(resp.Items[0].Value) != "v-ma" {
+		t.Errorf("item 0 = %+v", resp.Items[0])
+	}
+	if resp.Items[1].Key != "mc" || string(resp.Items[1].Value) != "v-mc" {
+		t.Errorf("item 1 = %+v", resp.Items[1])
+	}
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"treadmill/internal/dist"
+)
+
+// pool is a fixed-frequency multi-core FIFO resource used to model client
+// machines (DVFS is a server-side factor; clients stay simple).
+type pool struct {
+	eng    *Engine
+	freq   float64
+	free   int
+	queue  []task
+	busySz int // total servers
+	busyT  float64
+}
+
+func newPool(eng *Engine, servers int, freq float64) *pool {
+	return &pool{eng: eng, freq: freq, free: servers, busySz: servers}
+}
+
+func (p *pool) submit(cycles float64, done func()) {
+	p.queue = append(p.queue, task{cycles: cycles, done: done})
+	p.dispatch()
+}
+
+func (p *pool) dispatch() {
+	for p.free > 0 && len(p.queue) > 0 {
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		p.free--
+		dur := t.cycles / p.freq
+		p.busyT += dur
+		p.eng.Schedule(dur, func() {
+			p.free++
+			if t.done != nil {
+				t.done()
+			}
+			p.dispatch()
+		})
+	}
+}
+
+func (p *pool) utilization() float64 {
+	if p.eng.Now() == 0 {
+		return 0
+	}
+	u := p.busyT / (float64(p.busySz) * p.eng.Now())
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// CallbackStyle models how a load tester's client executes response
+// callbacks — the design axis behind the paper's client-side bias findings.
+type CallbackStyle int
+
+const (
+	// InlineCallback executes the response callback immediately when the
+	// response is processed, as Treadmill does via wangle (§III-A).
+	InlineCallback CallbackStyle = iota
+	// BatchedCallback defers completions to a periodic event-loop poll, as
+	// simpler load testers do. It adds uniform latency noise of up to one
+	// poll period and distorts the measured distribution's shape.
+	BatchedCallback
+)
+
+// ClientConfig describes one load-generating machine.
+type ClientConfig struct {
+	// Cores and FreqHz size the client CPU pool.
+	Cores  int
+	FreqHz float64
+	// SendCycles is client work to build+send one request.
+	SendCycles float64
+	// RecvCycles is client work to process one response and run its
+	// callback.
+	RecvCycles float64
+	// KernelDelay is the fixed in-kernel interrupt-handling time per
+	// response before user code sees it — the paper's constant ~30µs gap
+	// between tcpdump and Treadmill curves (§III-C1).
+	KernelDelay float64
+	// Callback selects inline vs batched completion.
+	Callback CallbackStyle
+	// PollPeriod is the event-loop period for BatchedCallback.
+	PollPeriod float64
+	// ReqBytes / RespBytes are wire sizes.
+	ReqBytes, RespBytes int
+	// ConnSkew is the Zipf exponent of per-connection load (0 = uniform).
+	// Real multiplexed connections never carry identical traffic; this
+	// mild inequality is what makes connection-to-core placement matter
+	// across restarts (performance hysteresis). Keep it small: a skew
+	// that lets one core exceed its service capacity turns hysteresis
+	// into divergence.
+	ConnSkew float64
+}
+
+// DefaultClientConfig returns a well-provisioned Treadmill-style client.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		Cores:       4,
+		FreqHz:      2.4e9,
+		SendCycles:  2600,
+		RecvCycles:  4200,
+		KernelDelay: 30e-6,
+		Callback:    InlineCallback,
+		PollPeriod:  50e-6,
+		ReqBytes:    120,
+		RespBytes:   1100,
+		ConnSkew:    0.15,
+	}
+}
+
+func (c ClientConfig) validate() error {
+	if c.Cores < 1 || c.FreqHz <= 0 {
+		return fmt.Errorf("sim: client needs cores >= 1 and positive freq")
+	}
+	if c.SendCycles < 0 || c.RecvCycles < 0 || c.KernelDelay < 0 {
+		return fmt.Errorf("sim: client costs must be >= 0")
+	}
+	if c.Callback == BatchedCallback && c.PollPeriod <= 0 {
+		return fmt.Errorf("sim: batched callbacks need a positive poll period")
+	}
+	if c.ReqBytes <= 0 || c.RespBytes <= 0 {
+		return fmt.Errorf("sim: packet sizes must be positive")
+	}
+	if c.ConnSkew < 0 {
+		return fmt.Errorf("sim: ConnSkew %g must be >= 0", c.ConnSkew)
+	}
+	return nil
+}
+
+// Client is one simulated load-generating machine connected to a server
+// through a pair of links.
+type Client struct {
+	ID  int
+	cfg ClientConfig
+
+	eng    *Engine
+	rng    *dist.RNG
+	cpu    *pool
+	toSrv  *Link
+	fromSr *Link
+	server *Server
+
+	// OnComplete receives every finished request. The experiment layer
+	// decides what to record; the Request is not retained by the client.
+	OnComplete func(*Request)
+
+	nextID      uint64
+	outstanding int
+	sent        uint64
+	done        uint64
+
+	stopped bool
+}
+
+// NewClient wires a client to a server via the given directional links.
+func NewClient(id int, eng *Engine, cfg ClientConfig, rng *dist.RNG, server *Server, toServer, fromServer *Link) (*Client, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Client{
+		ID:     id,
+		cfg:    cfg,
+		eng:    eng,
+		rng:    rng,
+		cpu:    newPool(eng, cfg.Cores, cfg.FreqHz),
+		toSrv:  toServer,
+		fromSr: fromServer,
+		server: server,
+	}, nil
+}
+
+// Outstanding returns the number of this client's in-flight requests.
+func (c *Client) Outstanding() int { return c.outstanding }
+
+// Sent and Done report request counters.
+func (c *Client) Sent() uint64 { return c.sent }
+
+// Done returns the number of completed requests.
+func (c *Client) Done() uint64 { return c.done }
+
+// Utilization returns the client CPU utilization — the quantity that must
+// stay low to avoid client-side queueing bias (paper §II-C).
+func (c *Client) Utilization() float64 { return c.cpu.utilization() }
+
+// Stop halts load generation after in-flight work drains.
+func (c *Client) Stop() { c.stopped = true }
+
+// StartOpenLoop generates requests with exponential inter-arrival times at
+// the given rate across conns connections, the paper's required open-loop
+// design (§II-A). Generation continues until Stop or the engine horizon.
+func (c *Client) StartOpenLoop(rate float64, conns int) error {
+	if rate <= 0 || math.IsNaN(rate) {
+		return fmt.Errorf("sim: open-loop rate %g must be positive", rate)
+	}
+	if conns < 1 {
+		return fmt.Errorf("sim: need >= 1 connection")
+	}
+	base := c.ID * 1000
+	for k := 0; k < conns; k++ {
+		c.server.Connect(base + k)
+	}
+	// Per-connection load is unequal per ConnSkew, over a
+	// per-client-shuffled connection order (paper §II-D hysteresis).
+	zipf, err := dist.NewZipf(conns, c.cfg.ConnSkew)
+	if err != nil {
+		return err
+	}
+	order := c.rng.Perm(conns)
+	inter := dist.Exponential{Rate: rate}
+	var arrive func()
+	arrive = func() {
+		if c.stopped {
+			return
+		}
+		conn := base + order[zipf.Rank(c.rng)]
+		c.issue(conn, nil)
+		c.eng.Schedule(inter.Sample(c.rng), arrive)
+	}
+	c.eng.Schedule(inter.Sample(c.rng), arrive)
+	return nil
+}
+
+// StartClosedLoop runs conns concurrent connections that each wait for the
+// previous response (plus thinkTime) before sending again — the flawed
+// worker-thread pattern of prior load testers (§II-A).
+func (c *Client) StartClosedLoop(conns int, thinkTime float64) error {
+	if conns < 1 {
+		return fmt.Errorf("sim: need >= 1 connection")
+	}
+	if thinkTime < 0 {
+		return fmt.Errorf("sim: negative think time")
+	}
+	base := c.ID * 1000
+	for k := 0; k < conns; k++ {
+		conn := base + k
+		c.server.Connect(conn)
+		var next func(*Request)
+		next = func(*Request) {
+			if c.stopped {
+				return
+			}
+			if thinkTime > 0 {
+				c.eng.Schedule(thinkTime, func() { c.issue(conn, next) })
+			} else {
+				c.issue(conn, next)
+			}
+		}
+		c.issue(conn, next)
+	}
+	return nil
+}
+
+// issue creates and sends one request; then, if set, runs after completion.
+func (c *Client) issue(connID int, after func(*Request)) {
+	req := &Request{
+		ID:       c.nextID,
+		ConnID:   connID,
+		SizeReq:  c.cfg.ReqBytes,
+		SizeResp: c.cfg.RespBytes,
+		Created:  c.eng.Now(),
+	}
+	c.nextID++
+	c.sent++
+	c.outstanding++
+	// Send path: client CPU work, then the wire.
+	c.cpu.submit(c.cfg.SendCycles, func() {
+		req.ReqAtClientNIC = c.eng.Now()
+		c.toSrv.Send(req.SizeReq, func() {
+			c.server.Arrive(req, func() {
+				c.fromSr.Send(req.SizeResp, func() {
+					c.receive(req, after)
+				})
+			})
+		})
+	})
+}
+
+// receive models the response path on the client: kernel interrupt
+// handling, then user-space processing, then the callback (inline or at the
+// next poll boundary).
+func (c *Client) receive(req *Request, after func(*Request)) {
+	req.RespAtClientNIC = c.eng.Now()
+	c.eng.Schedule(c.cfg.KernelDelay, func() {
+		c.cpu.submit(c.cfg.RecvCycles, func() {
+			complete := func() {
+				req.ClientDone = c.eng.Now()
+				c.outstanding--
+				c.done++
+				if c.OnComplete != nil {
+					c.OnComplete(req)
+				}
+				if after != nil {
+					after(req)
+				}
+			}
+			if c.cfg.Callback == BatchedCallback {
+				now := c.eng.Now()
+				boundary := math.Ceil(now/c.cfg.PollPeriod) * c.cfg.PollPeriod
+				c.eng.At(boundary, complete)
+			} else {
+				complete()
+			}
+		})
+	})
+}

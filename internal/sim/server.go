@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+
+	"treadmill/internal/dist"
+)
+
+// NUMAPolicy is the memory-placement policy for connection buffers (paper
+// Table III: "numa" factor; low level = same-node, high = interleave).
+type NUMAPolicy int
+
+const (
+	// NUMASameNode allocates each connection's buffers on node 0 until it
+	// fills. Workers on socket 0 access locally; workers on socket 1 pay
+	// the full remote penalty — so half the connections are fast and half
+	// slow (paper Finding 6 explains the same mechanism).
+	NUMASameNode NUMAPolicy = iota
+	// NUMAInterleave round-robins pages across nodes, so every worker
+	// pays a partial remote penalty on most requests and loses spatial
+	// locality; on average it is worse than same-node.
+	NUMAInterleave
+)
+
+// String returns the policy name as used in the paper.
+func (p NUMAPolicy) String() string {
+	if p == NUMASameNode {
+		return "same-node"
+	}
+	return "interleave"
+}
+
+// NICAffinity is the mapping of RSS interrupt queues to cores (paper Table
+// III: "nic" factor; low = same-node, high = all-nodes).
+type NICAffinity int
+
+const (
+	// NICSameNode maps all interrupt queues to cores on socket 0,
+	// concentrating kernel work there.
+	NICSameNode NICAffinity = iota
+	// NICAllNodes spreads interrupt queues across every core.
+	NICAllNodes
+)
+
+// String returns the affinity name as used in the paper.
+func (a NICAffinity) String() string {
+	if a == NICSameNode {
+		return "same-node"
+	}
+	return "all-nodes"
+}
+
+// ServerConfig describes the simulated server under test.
+type ServerConfig struct {
+	CPU CPUConfig
+	// RSSQueues is the number of NIC interrupt queues (the paper's NIC
+	// exposes a 4-bit hash = 16 queues).
+	RSSQueues   int
+	NICAffinity NICAffinity
+	NUMA        NUMAPolicy
+	// IRQCycles is kernel interrupt-handling work per incoming request.
+	IRQCycles float64
+	// UserCycles samples the user-space service demand per request.
+	UserCycles dist.Sampler
+	// RemotePenaltyCycles is the extra per-request cost of fully remote
+	// buffer access.
+	RemotePenaltyCycles float64
+	// InterleaveFraction is the effective fraction of the remote penalty
+	// paid per request under NUMAInterleave (spatial locality loss makes
+	// it exceed the naive 0.5 for two nodes).
+	InterleaveFraction float64
+	// Forward, when non-nil, turns the server into an mcrouter-style
+	// proxy: after user-space work (parse + route) the request waits a
+	// backend round trip sampled from Forward before the response departs.
+	Forward dist.Sampler
+	// RandomPlacement assigns connections round-robin over a randomly
+	// shuffled core order instead of core-ID order. Per-core connection
+	// counts stay balanced (as memcached's round-robin guarantees), but
+	// WHICH connections share a core with the interrupt-heavy cores and
+	// which land on the remote NUMA socket is re-rolled on every server
+	// (re)start. Combined with unequal per-connection load this models
+	// the run-to-run thread/connection-to-resource remapping behind
+	// performance hysteresis (paper §II-D).
+	RandomPlacement bool
+}
+
+// DefaultServerConfig models the memcached testbed: ~16µs mean total
+// demand per request at 2.2GHz, so 100k RPS ≈ 10% utilization and 800k ≈
+// 80%, matching the paper's §III-C setup.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		CPU:                 DefaultCPUConfig(),
+		RSSQueues:           16,
+		NICAffinity:         NICSameNode,
+		NUMA:                NUMASameNode,
+		IRQCycles:           3500,
+		UserCycles:          dist.LognormalFromMoments(31700, 0.35),
+		RemotePenaltyCycles: 5200,
+		InterleaveFraction:  0.75,
+	}
+}
+
+// McrouterServerConfig models the protocol-router workload: heavier
+// CPU-bound deserialization (which Turbo accelerates, paper Finding 8) and
+// a fast local backend pool behind it.
+func McrouterServerConfig() ServerConfig {
+	cfg := DefaultServerConfig()
+	cfg.UserCycles = dist.LognormalFromMoments(39000, 0.20)
+	cfg.IRQCycles = 4000
+	cfg.RemotePenaltyCycles = 2600
+	// Backend round trip: lightly loaded memcacheds one hop away.
+	cfg.Forward = dist.LognormalFromMoments(45e-6, 0.15)
+	return cfg
+}
+
+func (c ServerConfig) validate() error {
+	if err := c.CPU.validate(); err != nil {
+		return err
+	}
+	if c.RSSQueues < 1 {
+		return fmt.Errorf("sim: need >= 1 RSS queue, got %d", c.RSSQueues)
+	}
+	if c.IRQCycles < 0 || c.RemotePenaltyCycles < 0 {
+		return fmt.Errorf("sim: cycle costs must be >= 0")
+	}
+	if c.UserCycles == nil {
+		return fmt.Errorf("sim: UserCycles sampler required")
+	}
+	if c.InterleaveFraction < 0 || c.InterleaveFraction > 1 {
+		return fmt.Errorf("sim: InterleaveFraction %g out of [0,1]", c.InterleaveFraction)
+	}
+	return nil
+}
+
+// Server is the simulated machine under test.
+type Server struct {
+	cfg ServerConfig
+	eng *Engine
+	cpu *CPU
+	rng *dist.RNG
+
+	rssMap []int // interrupt queue -> core ID
+
+	nextWorker int
+	placement  []int       // core assignment order (shuffled when RandomPlacement)
+	workerOf   map[int]int // connID -> worker core ID
+
+	inflight  int
+	completed uint64
+}
+
+// NewServer builds a server on the engine. rng drives service-time draws.
+func NewServer(eng *Engine, cfg ServerConfig, rng *dist.RNG) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cpu, err := NewCPU(eng, cfg.CPU)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, eng: eng, cpu: cpu, rng: rng, workerOf: make(map[int]int)}
+	s.rssMap = make([]int, cfg.RSSQueues)
+	perSocket := cfg.CPU.Cores / cfg.CPU.Sockets
+	for q := range s.rssMap {
+		switch cfg.NICAffinity {
+		case NICSameNode:
+			s.rssMap[q] = q % perSocket // socket-0 cores only
+		default:
+			s.rssMap[q] = q % cfg.CPU.Cores
+		}
+	}
+	return s, nil
+}
+
+// CPU exposes the processor model (for utilization and transition probes).
+func (s *Server) CPU() *CPU { return s.cpu }
+
+// Inflight returns the number of requests currently inside the server.
+func (s *Server) Inflight() int { return s.inflight }
+
+// Completed returns the number of requests fully served.
+func (s *Server) Completed() uint64 { return s.completed }
+
+// Connect registers a connection: it is assigned a worker core round-robin
+// (as memcached distributes connections over its threads) and its buffer
+// placement is fixed by the NUMA policy for the connection's lifetime.
+func (s *Server) Connect(connID int) {
+	if _, ok := s.workerOf[connID]; ok {
+		return
+	}
+	if s.placement == nil {
+		s.placement = make([]int, s.cfg.CPU.Cores)
+		for i := range s.placement {
+			s.placement[i] = i
+		}
+		if s.cfg.RandomPlacement {
+			s.rng.Shuffle(len(s.placement), func(i, j int) {
+				s.placement[i], s.placement[j] = s.placement[j], s.placement[i]
+			})
+		}
+	}
+	core := s.placement[s.nextWorker%len(s.placement)]
+	s.nextWorker++
+	s.workerOf[connID] = core
+}
+
+// rssHash mixes a connection ID the way a NIC's receive-side-scaling hash
+// mixes the flow tuple, so queues spread uniformly regardless of the ID
+// pattern (a plain modulo aliases structured IDs onto few queues).
+func rssHash(connID int) int {
+	x := uint64(connID)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x & 0x7fffffff)
+}
+
+// numaPenalty returns the extra cycles a request on connID pays for memory
+// placement, given the worker core that will serve it.
+func (s *Server) numaPenalty(workerCore int) float64 {
+	socket := s.cpu.Cores[workerCore].Socket
+	switch s.cfg.NUMA {
+	case NUMASameNode:
+		if socket == 0 {
+			return 0
+		}
+		return s.cfg.RemotePenaltyCycles
+	default: // interleave
+		return s.cfg.RemotePenaltyCycles * s.cfg.InterleaveFraction
+	}
+}
+
+// Arrive is called when a request packet reaches the server NIC. respond
+// runs when the response is ready to leave the server.
+func (s *Server) Arrive(req *Request, respond func()) {
+	s.inflight++
+	req.ArriveServer = s.eng.Now()
+	queue := rssHash(req.ConnID) % s.cfg.RSSQueues
+	irqCore := s.cpu.Cores[s.rssMap[queue]]
+	workerCore, ok := s.workerOf[req.ConnID]
+	if !ok {
+		// Auto-connect keeps simple experiments terse.
+		s.Connect(req.ConnID)
+		workerCore = s.workerOf[req.ConnID]
+	}
+	worker := s.cpu.Cores[workerCore]
+	// Kernel interrupt handling on the RSS-mapped core, then user-space
+	// service on the connection's worker core.
+	irqCore.Submit(s.cfg.IRQCycles, func() {
+		cycles := s.cfg.UserCycles.Sample(s.rng) + s.numaPenalty(workerCore)
+		worker.SubmitTimed(cycles,
+			func() { req.ServiceStart = s.eng.Now() },
+			func() {
+				if s.cfg.Forward != nil {
+					// mcrouter: wait for the backend round trip.
+					s.eng.Schedule(s.cfg.Forward.Sample(s.rng), func() {
+						s.finish(req, respond)
+					})
+					return
+				}
+				s.finish(req, respond)
+			})
+	})
+}
+
+func (s *Server) finish(req *Request, respond func()) {
+	req.ServerDone = s.eng.Now()
+	s.inflight--
+	s.completed++
+	respond()
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"testing"
+
+	"treadmill/internal/dist"
+)
+
+func benchData(n int) []float64 {
+	rng := dist.NewRNG(1)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 1000
+	}
+	return out
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	xs := benchData(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Quantile(xs, 0.99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := benchData(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBootstrapCI(b *testing.B) {
+	xs := benchData(2000)
+	rng := dist.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BootstrapCI(xs, Mean, 0.95, 200, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPermutationTest(b *testing.B) {
+	a := benchData(200)
+	c := benchData(200)
+	rng := dist.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PermutationTest(a, c, 500, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package workload turns a JSON workload description into a request
+// generator, implementing the paper's "configurable workload" requirement
+// (§III-A): GET/SET mix, key-space size and popularity skew, and value-size
+// distribution all shape system performance (Atikoglu et al.), so the load
+// tester must be able to reproduce them.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/protocol"
+)
+
+// SizeDist describes a distribution in JSON.
+type SizeDist struct {
+	// Kind is one of "constant", "uniform", "lognormal", "pareto".
+	Kind string `json:"kind"`
+	// Value is used by constant.
+	Value float64 `json:"value,omitempty"`
+	// Lo/Hi are used by uniform.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Mean/CV2 are used by lognormal (mean and squared coefficient of
+	// variation).
+	Mean float64 `json:"mean,omitempty"`
+	CV2  float64 `json:"cv2,omitempty"`
+	// Xm/Alpha are used by pareto.
+	Xm    float64 `json:"xm,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// Build converts the JSON form into a Sampler.
+func (s SizeDist) Build() (dist.Sampler, error) {
+	switch s.Kind {
+	case "constant":
+		if s.Value <= 0 {
+			return nil, fmt.Errorf("workload: constant needs positive value, got %g", s.Value)
+		}
+		return dist.Constant{V: s.Value}, nil
+	case "uniform":
+		if s.Hi <= s.Lo || s.Lo < 0 {
+			return nil, fmt.Errorf("workload: uniform needs 0 <= lo < hi, got [%g,%g)", s.Lo, s.Hi)
+		}
+		return dist.Uniform{Lo: s.Lo, Hi: s.Hi}, nil
+	case "lognormal":
+		if s.Mean <= 0 || s.CV2 < 0 {
+			return nil, fmt.Errorf("workload: lognormal needs positive mean and cv2 >= 0")
+		}
+		return dist.LognormalFromMoments(s.Mean, s.CV2), nil
+	case "pareto":
+		if s.Xm <= 0 || s.Alpha <= 0 {
+			return nil, fmt.Errorf("workload: pareto needs positive xm and alpha")
+		}
+		return dist.Pareto{Xm: s.Xm, Alpha: s.Alpha}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution kind %q", s.Kind)
+	}
+}
+
+// Config is the JSON workload description Treadmill consumes.
+type Config struct {
+	// Name labels the workload in reports.
+	Name string `json:"name"`
+	// GetFraction is the share of requests that are GETs. Production
+	// memcached pools are GET-dominated (~0.9+).
+	GetFraction float64 `json:"get_fraction"`
+	// DeleteFraction is the share of requests that are DELETEs
+	// (invalidations). The remainder after GETs and DELETEs are SETs.
+	DeleteFraction float64 `json:"delete_fraction,omitempty"`
+	// Keys is the key-space size.
+	Keys int `json:"keys"`
+	// KeySkew is the Zipf exponent for key popularity (0 = uniform).
+	KeySkew float64 `json:"key_skew"`
+	// ValueSize describes SET value sizes in bytes.
+	ValueSize SizeDist `json:"value_size"`
+	// KeyPrefix namespaces keys so concurrent workloads don't collide.
+	KeyPrefix string `json:"key_prefix,omitempty"`
+}
+
+// Default returns the GET-dominated mixed workload used across the
+// experiments: 90% GETs over a 100k-key space with production-like skew
+// and ~1KB lognormal values.
+func Default() Config {
+	return Config{
+		Name:        "memcached-mixed",
+		GetFraction: 0.9,
+		Keys:        100000,
+		KeySkew:     0.99,
+		ValueSize:   SizeDist{Kind: "lognormal", Mean: 1024, CV2: 1.0},
+		KeyPrefix:   "tm",
+	}
+}
+
+// Load reads a Config from a JSON file.
+func Load(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("workload: read %s: %w", path, err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes a Config from JSON bytes and validates it.
+func Parse(data []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("workload: parse: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+func (c Config) validate() error {
+	if c.GetFraction < 0 || c.GetFraction > 1 {
+		return fmt.Errorf("workload: get_fraction %g out of [0,1]", c.GetFraction)
+	}
+	if c.DeleteFraction < 0 || c.GetFraction+c.DeleteFraction > 1 {
+		return fmt.Errorf("workload: get_fraction %g + delete_fraction %g exceeds 1",
+			c.GetFraction, c.DeleteFraction)
+	}
+	if c.Keys < 1 {
+		return fmt.Errorf("workload: keys %d must be >= 1", c.Keys)
+	}
+	if c.KeySkew < 0 {
+		return fmt.Errorf("workload: key_skew %g must be >= 0", c.KeySkew)
+	}
+	if _, err := c.ValueSize.Build(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Generator produces protocol requests following the configured mix. It is
+// not safe for concurrent use; create one per goroutine with independent
+// RNG streams.
+type Generator struct {
+	cfg    Config
+	rng    *dist.RNG
+	zipf   *dist.Zipf
+	values dist.Sampler
+}
+
+// NewGenerator builds a Generator for cfg driven by rng.
+func NewGenerator(cfg Config, rng *dist.RNG) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	z, err := dist.NewZipf(cfg.Keys, cfg.KeySkew)
+	if err != nil {
+		return nil, err
+	}
+	v, err := cfg.ValueSize.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg, rng: rng, zipf: z, values: v}, nil
+}
+
+// Key returns the key for a rank, stable across generators for the same
+// config.
+func (g *Generator) Key(rank int) string {
+	return fmt.Sprintf("%s-%08d", g.cfg.KeyPrefix, rank)
+}
+
+// Next returns the next request in the workload's mix.
+func (g *Generator) Next() *protocol.Request {
+	key := g.Key(g.zipf.Rank(g.rng))
+	u := g.rng.Float64()
+	if u < g.cfg.GetFraction {
+		return &protocol.Request{Op: protocol.OpGet, Key: key}
+	}
+	if u < g.cfg.GetFraction+g.cfg.DeleteFraction {
+		return &protocol.Request{Op: protocol.OpDelete, Key: key}
+	}
+	n := int(g.values.Sample(g.rng))
+	if n < 1 {
+		n = 1
+	}
+	if n > protocol.MaxValueLen {
+		n = protocol.MaxValueLen
+	}
+	value := make([]byte, n)
+	for i := range value {
+		value[i] = 'a' + byte((i+n)%26)
+	}
+	return &protocol.Request{Op: protocol.OpSet, Key: key, Value: value}
+}
+
+// Preload returns SET requests covering the entire key space, used to warm
+// the store before measuring so GETs hit.
+func (g *Generator) Preload() []*protocol.Request {
+	reqs := make([]*protocol.Request, g.cfg.Keys)
+	for i := range reqs {
+		n := int(g.values.Sample(g.rng))
+		if n < 1 {
+			n = 1
+		}
+		if n > protocol.MaxValueLen {
+			n = protocol.MaxValueLen
+		}
+		value := make([]byte, n)
+		for j := range value {
+			value[j] = 'a' + byte((j+i)%26)
+		}
+		reqs[i] = &protocol.Request{Op: protocol.OpSet, Key: g.Key(i), Value: value}
+	}
+	return reqs
+}

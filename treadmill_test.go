@@ -1,0 +1,125 @@
+package treadmill_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"treadmill"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as a downstream user
+// would: bring up the bundled server, preload a workload, and run the full
+// measurement procedure.
+func TestFacadeEndToEnd(t *testing.T) {
+	srv, err := treadmill.NewServer(treadmill.DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	wl := treadmill.DefaultWorkload()
+	wl.Keys = 100
+	if err := treadmill.Preload(srv.Addr(), wl, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := treadmill.DefaultConfig()
+	cfg.MinRuns, cfg.MaxRuns = 2, 3
+	cfg.ConvergenceWindow = 1
+	cfg.ConvergenceTolerance = 0.5
+	cfg.Hist.WarmupSamples = 50
+	cfg.Hist.CalibrationSamples = 200
+	m, err := treadmill.Measure(context.Background(), cfg, &treadmill.TCPRunner{
+		Addr:        srv.Addr(),
+		Instances:   2,
+		PerInstance: treadmill.LoadOptions{Rate: 2000, Conns: 2, Workload: wl},
+		Duration:    400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Estimate[0.99] <= 0 {
+		t.Errorf("p99 estimate = %g", m.Estimate[0.99])
+	}
+	if m.Estimate[0.99] < m.Estimate[0.5] {
+		t.Error("p99 < p50")
+	}
+}
+
+// TestFacadeSimulatorAndRegression exercises the simulator and quantile
+// regression through the facade.
+func TestFacadeSimulatorAndRegression(t *testing.T) {
+	cluster, err := treadmill.NewSimCluster(treadmill.DefaultSimCluster(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lats []float64
+	for _, c := range cluster.Clients {
+		c.OnComplete = func(r *treadmill.SimRequest) {
+			lats = append(lats, r.MeasuredLatency())
+		}
+		if err := c.StartOpenLoop(20000, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.Run(0.2)
+	if len(lats) < 1000 {
+		t.Fatalf("only %d simulated samples", len(lats))
+	}
+
+	// Fit a tiny quantile regression through the facade.
+	model, err := treadmill.FullFactorialModel([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := treadmill.NewRNG(1)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a, b := float64(i%2), float64((i/2)%2)
+		x = append(x, []float64{a, b})
+		y = append(y, 10+4*a-2*b+rng.Normal()*0.1)
+	}
+	fit, err := treadmill.FitQuantileRegression(model, x, y, 0.5, treadmill.QuantRegOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := fit.Coef("a"); !ok || c.Est < 3.5 || c.Est > 4.5 {
+		t.Errorf("a coefficient = %+v", c)
+	}
+	if fit.PseudoR2 < 0.9 {
+		t.Errorf("pseudo-R2 = %g", fit.PseudoR2)
+	}
+}
+
+// TestFacadeRouter exercises the bundled router through the facade.
+func TestFacadeRouter(t *testing.T) {
+	srv, err := treadmill.NewServer(treadmill.DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	r, err := treadmill.NewRouter(treadmill.DefaultRouterConfig([]string{srv.Addr()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	wl := treadmill.DefaultWorkload()
+	wl.Keys = 20
+	if err := treadmill.Preload(r.Addr(), wl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Store().Len() != 20 {
+		t.Errorf("backend holds %d keys", srv.Store().Len())
+	}
+}
