@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +27,7 @@ import (
 
 	"treadmill/internal/experiments"
 	"treadmill/internal/report"
+	"treadmill/internal/telemetry"
 )
 
 type printer struct{ csv bool }
@@ -52,6 +54,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	seed := flag.Uint64("seed", 1, "random seed")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars, and /debug/pprof on this address")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -75,6 +78,27 @@ func main() {
 	defer stop()
 	p := printer{csv: *csv}
 
+	// fatal distinguishes Ctrl-C (clean exit with the conventional signal
+	// status) from real failures.
+	fatal := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tailbench: interrupted")
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
+
+	if *telemetryAddr != "" {
+		reg := telemetry.New()
+		scale.Telemetry = reg
+		srv, err := reg.Serve(*telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+		defer srv.Close()
+	}
+
 	var memcached, mcrouter *experiments.Attribution
 	needMemcached := func() *experiments.Attribution {
 		if memcached == nil {
@@ -82,7 +106,7 @@ func main() {
 			var err error
 			memcached, err = experiments.RunAttribution(ctx, scale, "memcached")
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		return memcached
@@ -93,7 +117,7 @@ func main() {
 			var err error
 			mcrouter, err = experiments.RunAttribution(ctx, scale, "mcrouter")
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		return mcrouter
@@ -126,41 +150,41 @@ func main() {
 		case "fig1":
 			fig, err := experiments.Fig1(scale)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.figure(fig)
 		case "fig2":
 			fig, tab, err := experiments.Fig2(scale)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.figure(fig)
 			p.table(tab)
 		case "fig3":
 			single, multi, err := experiments.Fig3(scale)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.figure(single)
 			p.figure(multi)
 		case "fig4":
 			fig, tab, err := experiments.Fig4(scale)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.figure(fig)
 			p.table(tab)
 		case "fig5":
 			fig, tab, err := experiments.Fig5(scale)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.figure(fig)
 			p.table(tab)
 		case "fig6":
 			fig, tab, err := experiments.Fig6(scale)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.figure(fig)
 			p.table(tab)
@@ -169,25 +193,25 @@ func main() {
 		case "fig7":
 			tab, err := experiments.Fig7(needMemcached())
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.table(tab)
 		case "fig8":
 			tab, err := experiments.Fig8(needMemcached())
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.table(tab)
 		case "fig9":
 			tab, err := experiments.Fig7(needMcrouter())
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.table(tab)
 		case "fig10":
 			tab, err := experiments.Fig8(needMcrouter())
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.table(tab)
 		case "fig11":
@@ -195,13 +219,13 @@ func main() {
 		case "findings":
 			fs, err := experiments.Findings(scale)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.table(experiments.FindingsTable(fs))
 		case "fig12":
 			tab, _, err := experiments.Fig12(needMemcached())
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			p.table(tab)
 		default:

@@ -9,10 +9,18 @@
 //	treadmill -target 127.0.0.1:11211 -rate 50000 [-instances 4]
 //	          [-conns 8] [-duration 5s] [-runs 5] [-workload w.json]
 //	          [-ground-truth] [-closed-loop]
+//	          [-journal run.jsonl] [-trace traces.jsonl] [-trace-sample 1000]
+//	          [-slippage-alert 1ms] [-telemetry-addr 127.0.0.1:9150]
+//
+// Observability: -journal appends structured JSONL events (config, per-run
+// quantile snapshots, convergence trajectory, final estimates) that survive
+// Ctrl-C; -trace samples per-request lifecycle records to JSONL;
+// -telemetry-addr serves /metrics, /debug/vars, and /debug/pprof live.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,75 +36,148 @@ import (
 	"treadmill/internal/loadgen"
 	"treadmill/internal/report"
 	"treadmill/internal/stats"
+	"treadmill/internal/telemetry"
 	"treadmill/internal/workload"
 )
 
+// options carries every parsed flag so run can stay a plain function whose
+// defers (journal close, trace flush) execute on all exit paths — log.Fatal
+// in main would skip them.
+type options struct {
+	target        string
+	rate          float64
+	instances     int
+	conns         int
+	duration      time.Duration
+	minRuns       int
+	maxRuns       int
+	workloadPath  string
+	seed          uint64
+	groundTruth   bool
+	closedLoop    bool
+	preload       bool
+	findCapacity  bool
+	sloQuantile   float64
+	sloTarget     time.Duration
+	journalPath   string
+	tracePath     string
+	traceSample   int
+	slippageAlert time.Duration
+	telemetryAddr string
+}
+
 func main() {
-	target := flag.String("target", "", "server address (required)")
-	rate := flag.Float64("rate", 10000, "total request rate across instances")
-	instances := flag.Int("instances", 4, "Treadmill instances")
-	conns := flag.Int("conns", 8, "connections per instance")
-	duration := flag.Duration("duration", 5*time.Second, "load duration per run")
-	minRuns := flag.Int("runs", 3, "minimum repeated runs (hysteresis procedure)")
-	maxRuns := flag.Int("max-runs", 10, "maximum repeated runs")
-	workloadPath := flag.String("workload", "", "JSON workload config (default: built-in mixed workload)")
-	seed := flag.Uint64("seed", 1, "random seed")
-	groundTruth := flag.Bool("ground-truth", false, "run a tcpdump-style wire-latency prober alongside")
-	closedLoop := flag.Bool("closed-loop", false, "use the (flawed) closed-loop controller instead, for comparison")
-	preload := flag.Bool("preload", true, "preload the key space before measuring")
-	findCapacity := flag.Bool("find-capacity", false, "binary-search the max rate meeting the SLO instead of measuring one rate")
-	sloQuantile := flag.Float64("slo-quantile", 0.99, "SLO quantile for -find-capacity")
-	sloTarget := flag.Duration("slo-target", 2*time.Millisecond, "SLO latency bound for -find-capacity")
+	var o options
+	flag.StringVar(&o.target, "target", "", "server address (required)")
+	flag.Float64Var(&o.rate, "rate", 10000, "total request rate across instances")
+	flag.IntVar(&o.instances, "instances", 4, "Treadmill instances")
+	flag.IntVar(&o.conns, "conns", 8, "connections per instance")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "load duration per run")
+	flag.IntVar(&o.minRuns, "runs", 3, "minimum repeated runs (hysteresis procedure)")
+	flag.IntVar(&o.maxRuns, "max-runs", 10, "maximum repeated runs")
+	flag.StringVar(&o.workloadPath, "workload", "", "JSON workload config (default: built-in mixed workload)")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.BoolVar(&o.groundTruth, "ground-truth", false, "run a tcpdump-style wire-latency prober alongside")
+	flag.BoolVar(&o.closedLoop, "closed-loop", false, "use the (flawed) closed-loop controller instead, for comparison")
+	flag.BoolVar(&o.preload, "preload", true, "preload the key space before measuring")
+	flag.BoolVar(&o.findCapacity, "find-capacity", false, "binary-search the max rate meeting the SLO instead of measuring one rate")
+	flag.Float64Var(&o.sloQuantile, "slo-quantile", 0.99, "SLO quantile for -find-capacity")
+	flag.DurationVar(&o.sloTarget, "slo-target", 2*time.Millisecond, "SLO latency bound for -find-capacity")
+	flag.StringVar(&o.journalPath, "journal", "", "append structured JSONL run-journal events to this file")
+	flag.StringVar(&o.tracePath, "trace", "", "write sampled per-request trace records (JSONL) to this file")
+	flag.IntVar(&o.traceSample, "trace-sample", 1000, "trace 1 in N requests when -trace is set")
+	flag.DurationVar(&o.slippageAlert, "slippage-alert", telemetry.DefaultSlippageThreshold, "send-slippage alert threshold for the self-audit")
+	flag.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve live /metrics, /debug/vars, and /debug/pprof on this address")
 	flag.Parse()
 
-	if *target == "" {
+	if o.target == "" {
 		fmt.Fprintln(os.Stderr, "treadmill: -target is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	wl := workload.Default()
-	if *workloadPath != "" {
-		var err error
-		wl, err = workload.Load(*workloadPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if err := run(ctx, o); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	if *preload {
+func run(ctx context.Context, o options) (err error) {
+	wl := workload.Default()
+	if o.workloadPath != "" {
+		wl, err = workload.Load(o.workloadPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Telemetry plumbing: one shared registry for every layer, an optional
+	// journal and tracer, and an optional live exposition endpoint.
+	reg := telemetry.New()
+	var journal *telemetry.Journal
+	if o.journalPath != "" {
+		journal, err = telemetry.OpenJournal(o.journalPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := journal.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	var tracer *telemetry.Tracer
+	if o.tracePath != "" {
+		tracer, err = telemetry.NewTracer(o.traceSample, telemetry.DefaultTraceBuffer)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if werr := writeTraces(tracer, o.tracePath); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+	if o.telemetryAddr != "" {
+		srv, serr := reg.Serve(o.telemetryAddr)
+		if serr != nil {
+			return serr
+		}
+		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+		defer srv.Close()
+	}
+
+	if o.preload {
 		fmt.Printf("preloading %d keys...\n", wl.Keys)
-		if err := loadgen.Preload(*target, wl, *seed); err != nil {
-			log.Fatal(err)
+		if err := loadgen.Preload(o.target, wl, o.seed); err != nil {
+			return err
 		}
 	}
 
 	var prober *capture.Prober
 	proberStop := make(chan struct{})
 	proberDone := make(chan error, 1)
-	if *groundTruth {
-		var err error
-		prober, err = capture.NewProber(*target, "treadmill-probe")
+	if o.groundTruth {
+		prober, err = capture.NewProber(o.target, "treadmill-probe")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		go func() { proberDone <- prober.Run(500*time.Microsecond, 0, proberStop) }()
 	}
 
 	switch {
-	case *findCapacity:
-		runFindCapacity(ctx, *target, wl, *rate, *conns, *duration, *seed, *sloQuantile, *sloTarget)
-	case *closedLoop:
-		runClosedLoop(ctx, *target, wl, *conns, *duration, *seed)
+	case o.findCapacity:
+		err = runFindCapacity(ctx, o, wl)
+	case o.closedLoop:
+		err = runClosedLoop(ctx, o, wl, reg)
 	default:
-		runTreadmill(ctx, *target, wl, *rate, *instances, *conns, *duration, *minRuns, *maxRuns, *seed)
+		err = runTreadmill(ctx, o, wl, reg, journal, tracer)
 	}
 
 	if prober != nil {
 		close(proberStop)
-		if err := <-proberDone; err != nil {
-			log.Printf("prober: %v", err)
+		if perr := <-proberDone; perr != nil {
+			log.Printf("prober: %v", perr)
 		}
 		wires := prober.Wires()
 		if len(wires) > 0 {
@@ -106,31 +187,69 @@ func main() {
 		}
 		prober.Close()
 	}
+	return err
 }
 
-func runTreadmill(ctx context.Context, target string, wl workload.Config, rate float64, instances, conns int, duration time.Duration, minRuns, maxRuns int, seed uint64) {
+// writeTraces flushes the sampled trace buffer to path.
+func writeTraces(tracer *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("traces: wrote %d sampled records to %s (%d dropped)\n",
+		tracer.Len(), path, tracer.Dropped())
+	return nil
+}
+
+func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telemetry.Registry, journal *telemetry.Journal, tracer *telemetry.Tracer) error {
 	cfg := core.DefaultConfig()
-	cfg.Seed = seed
-	cfg.MinRuns = minRuns
-	cfg.MaxRuns = maxRuns
+	cfg.Seed = o.seed
+	cfg.MinRuns = o.minRuns
+	cfg.MaxRuns = o.maxRuns
+	cfg.Journal = journal
+	cfg.Registry = reg
+	cfg.Progress = func(u core.ProgressUpdate) {
+		fmt.Println(report.ProgressLine(u.Run, u.Runs, u.Estimate, u.RunningMean, u.Converged))
+	}
 	tcpRunner := &core.TCPRunner{
-		Addr:      target,
-		Instances: instances,
+		Addr:      o.target,
+		Instances: o.instances,
 		PerInstance: loadgen.Options{
-			Rate:     rate / float64(instances),
-			Conns:    conns,
+			Rate:     o.rate / float64(o.instances),
+			Conns:    o.conns,
 			Workload: wl,
 		},
-		Duration: duration,
+		Duration:      o.duration,
+		Telemetry:     reg,
+		Tracer:        tracer,
+		SlippageAlert: o.slippageAlert,
 	}
 	fmt.Printf("measuring %s: %d instances x %.0f rps, %v per run, %d-%d runs\n",
-		target, instances, rate/float64(instances), duration, minRuns, maxRuns)
+		o.target, o.instances, o.rate/float64(o.instances), o.duration, o.minRuns, o.maxRuns)
 	m, err := core.Measure(ctx, cfg, tcpRunner)
 	if err != nil {
-		log.Fatal(err)
+		// A Ctrl-C before any run completed still returns an error; the
+		// journal defer in run has already recorded whatever happened.
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("interrupted before the first run completed; no estimates")
+			return nil
+		}
+		return err
+	}
+	title := fmt.Sprintf("Treadmill measurement (%d runs, converged=%v, %d samples)",
+		len(m.Runs), m.Converged, m.TotalSamples)
+	if m.Interrupted {
+		title += " [interrupted]"
 	}
 	tab := &report.Table{
-		Title:   fmt.Sprintf("Treadmill measurement (%d runs, converged=%v, %d samples)", len(m.Runs), m.Converged, m.TotalSamples),
+		Title:   title,
 		Headers: []string{"quantile", "estimate", "run-to-run stddev"},
 	}
 	for _, q := range cfg.Quantiles {
@@ -138,15 +257,33 @@ func runTreadmill(ctx context.Context, target string, wl workload.Config, rate f
 	}
 	fmt.Println(tab)
 	fmt.Printf("hysteresis spread (p99): %s\n", report.Percent(m.RelativeSpread()))
+	printSlippage(reg, o.slippageAlert)
+	return nil
 }
 
-func runClosedLoop(ctx context.Context, target string, wl workload.Config, conns int, duration time.Duration, seed uint64) {
+// printSlippage summarizes the send-slippage self-audit: how far actual
+// send instants drifted from the open-loop schedule (the paper's pitfall-3
+// client-side bias, quantified).
+func printSlippage(reg *telemetry.Registry, threshold time.Duration) {
+	snap := reg.Snapshot()
+	rs, ok := snap.Recorders["loadgen.send_slippage"]
+	if !ok || rs.Count == 0 {
+		return
+	}
+	alerts := snap.Counters["loadgen.send_slippage_alerts"]
+	fmt.Printf("send slippage: p50=%s p99=%s max=%s over %d sends; %d over the %v alert threshold\n",
+		report.Micros(rs.P50), report.Micros(rs.P99), report.Micros(rs.Max),
+		rs.Count, alerts, threshold)
+}
+
+func runClosedLoop(ctx context.Context, o options, wl workload.Config, reg *telemetry.Registry) error {
 	var mu sync.Mutex
 	var rtts []float64
-	cl, err := loadgen.NewClosedLoop(target, loadgen.Options{
-		Conns:    conns,
-		Workload: wl,
-		Seed:     seed,
+	cl, err := loadgen.NewClosedLoop(o.target, loadgen.Options{
+		Conns:     o.conns,
+		Workload:  wl,
+		Seed:      o.seed,
+		Telemetry: reg,
 		OnResult: func(r *client.Result) {
 			if r.Err == nil {
 				mu.Lock()
@@ -156,12 +293,12 @@ func runClosedLoop(ctx context.Context, target string, wl workload.Config, conns
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cl.Close()
-	st, err := cl.Run(ctx, duration)
+	st, err := cl.Run(ctx, o.duration)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("closed-loop run: %d sent, %d completed, %.0f rps\n",
 		st.Sent, st.Completed, st.OfferedRate())
@@ -170,28 +307,30 @@ func runClosedLoop(ctx context.Context, target string, wl workload.Config, conns
 		fmt.Printf("closed-loop (biased) latency: p50=%s p99=%s — compare with -ground-truth\n",
 			report.Micros(sum.P50), report.Micros(sum.P99))
 	}
+	return nil
 }
 
 // runFindCapacity binary-searches the highest rate whose measured SLO
 // quantile stays within budget. The -rate flag supplies the search ceiling.
-func runFindCapacity(ctx context.Context, target string, wl workload.Config, ceiling float64, conns int, duration time.Duration, seed uint64, sloQ float64, sloT time.Duration) {
+func runFindCapacity(ctx context.Context, o options, wl workload.Config) error {
 	opts := loadgen.SweepOptions{
-		Options:  loadgen.Options{Conns: conns, Workload: wl, Seed: seed},
-		Duration: duration,
-		SLO:      loadgen.SLO{Quantile: sloQ, Target: sloT},
+		Options:  loadgen.Options{Conns: o.conns, Workload: wl, Seed: o.seed},
+		Duration: o.duration,
+		SLO:      loadgen.SLO{Quantile: o.sloQuantile, Target: o.sloTarget},
 	}
-	floor := ceiling / 64
+	floor := o.rate / 64
 	fmt.Printf("searching [%g, %g] rps for the highest rate with p%g <= %v...\n",
-		floor, ceiling, sloQ*100, sloT)
-	best, ok, err := loadgen.FindCapacity(ctx, target, floor, ceiling, opts)
+		floor, o.rate, o.sloQuantile*100, o.sloTarget)
+	best, ok, err := loadgen.FindCapacity(ctx, o.target, floor, o.rate, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !ok {
 		fmt.Printf("even %g rps violates the SLO (p%g = %v); lower the floor or relax the SLO\n",
-			floor, sloQ*100, best.QuantileSLO)
-		return
+			floor, o.sloQuantile*100, best.QuantileSLO)
+		return nil
 	}
 	fmt.Printf("capacity: ~%.0f rps (achieved %.0f), p50=%v p99=%v, SLO quantile=%v\n",
 		best.TargetRate, best.AchievedRate, best.P50, best.P99, best.QuantileSLO)
+	return nil
 }

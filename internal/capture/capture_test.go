@@ -1,6 +1,7 @@
 package capture
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -135,5 +136,76 @@ func TestProberAfterServerClose(t *testing.T) {
 	srv.Close()
 	if _, err := p.ProbeOnce(); err == nil {
 		t.Error("probe against closed server should error")
+	}
+}
+
+// TestProberShutdownNoGoroutineLeak verifies the full start/probe/stop/close
+// cycle parks no goroutines: the prober itself runs none, and stopping Run
+// must not strand the caller's goroutine on a blocked read.
+func TestProberShutdownNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		srv := startServer(t)
+		p, err := NewProber(srv.Addr(), "probe-key")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		done := make(chan error, 1)
+		go func() { done <- p.Run(100*time.Microsecond, 0, stop) }()
+		time.Sleep(5 * time.Millisecond)
+		close(stop)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Run did not stop")
+		}
+		p.Close()
+		srv.Close()
+	}
+	// Server/connection teardown is asynchronous; give goroutines a moment
+	// to exit before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d after 5 prober cycles", before, runtime.NumGoroutine())
+}
+
+// TestProberMidProbeCloseKeepsSamples kills the server while Run is mid
+// loop: Run must surface the error, and every sample collected before the
+// failure must survive in Wires.
+func TestProberMidProbeCloseKeepsSamples(t *testing.T) {
+	srv := startServer(t)
+	p, err := NewProber(srv.Addr(), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Collect a known-good baseline first.
+	for i := 0; i < 10; i++ {
+		if _, err := p.ProbeOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- p.Run(100*time.Microsecond, 0, stop) }()
+	time.Sleep(10 * time.Millisecond)
+	srv.Close() // yank the connection out from under the prober
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after server close")
+	}
+	if runErr == nil {
+		t.Error("Run should report the connection failure")
+	}
+	if got := len(p.Wires()); got < 10 {
+		t.Errorf("samples lost on mid-probe close: have %d, want >= 10", got)
 	}
 }

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"treadmill/internal/protocol"
+	"treadmill/internal/telemetry"
 )
 
 // ErrClosed is returned for operations on a closed connection.
@@ -41,6 +43,12 @@ type pending struct {
 	op    protocol.Op
 	cb    Callback
 	start time.Time
+	// trace is non-nil when this request was sampled for tracing. The
+	// send stamp goes through sendNs: the writer stores it after the
+	// flush, concurrently with the reader goroutine that publishes the
+	// trace, so it must be atomic.
+	trace  *telemetry.Trace
+	sendNs atomic.Int64
 }
 
 // Conn is one pipelined client connection.
@@ -56,6 +64,14 @@ type Conn struct {
 
 	readerErr error
 	readerEnd sync.Once
+
+	// Telemetry handles; all nil-safe, so a connection without a registry
+	// pays only inlined nil checks on the hot path.
+	tracer    *telemetry.Tracer
+	reqs      *telemetry.Counter
+	resps     *telemetry.Counter
+	fails     *telemetry.Counter
+	inflightG *telemetry.Gauge
 }
 
 // ConnConfig tunes a connection.
@@ -67,6 +83,12 @@ type ConnConfig struct {
 	BufferSize int
 	// DialTimeout bounds connection establishment.
 	DialTimeout time.Duration
+	// Telemetry, when non-nil, receives connection-pool metrics
+	// (client.conns_opened, client.requests, client.responses,
+	// client.errors, client.inflight).
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, samples per-request lifecycle traces.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConnConfig returns sensible load-test defaults.
@@ -97,6 +119,14 @@ func Dial(addr string, cfg ConnConfig) (*Conn, error) {
 		w:        bufio.NewWriterSize(nc, cfg.BufferSize),
 		inflight: make(chan *pending, cfg.MaxInflight),
 		done:     make(chan struct{}),
+		tracer:   cfg.Tracer,
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		reg.Counter("client.conns_opened").Inc()
+		c.reqs = reg.Counter("client.requests")
+		c.resps = reg.Counter("client.responses")
+		c.fails = reg.Counter("client.errors")
+		c.inflightG = reg.Gauge("client.inflight")
 	}
 	go c.readLoop(bufio.NewReaderSize(nc, cfg.BufferSize))
 	return c, nil
@@ -118,7 +148,17 @@ func (c *Conn) readLoop(r *bufio.Reader) {
 			c.failFrom(p, err)
 			return
 		}
+		if p.trace != nil {
+			p.trace.FirstByteNs = now.UnixNano()
+		}
 		p.cb(&Result{Resp: resp, Start: p.start, Done: now})
+		c.resps.Inc()
+		c.inflightG.Add(-1)
+		if p.trace != nil {
+			p.trace.SendNs = p.sendNs.Load()
+			p.trace.CompleteNs = time.Now().UnixNano()
+			c.tracer.Emit(*p.trace)
+		}
 	}
 }
 
@@ -128,11 +168,22 @@ func (c *Conn) failFrom(p *pending, err error) {
 	c.readerEnd.Do(func() {
 		c.readerErr = err
 		now := time.Now()
-		p.cb(&Result{Err: err, Start: p.start, Done: now})
+		fail := func(q *pending) {
+			q.cb(&Result{Err: err, Start: q.start, Done: now})
+			c.fails.Inc()
+			c.inflightG.Add(-1)
+			if q.trace != nil {
+				q.trace.Err = err.Error()
+				q.trace.SendNs = q.sendNs.Load()
+				q.trace.CompleteNs = now.UnixNano()
+				c.tracer.Emit(*q.trace)
+			}
+		}
+		fail(p)
 		for {
 			select {
 			case q := <-c.inflight:
-				q.cb(&Result{Err: err, Start: q.start, Done: now})
+				fail(q)
 			default:
 				c.Close()
 				return
@@ -145,11 +196,29 @@ func (c *Conn) failFrom(p *pending, err error) {
 // the write for noreply requests). Do is safe for concurrent use. It
 // blocks when the pipeline is full.
 func (c *Conn) Do(req *protocol.Request, cb Callback) error {
+	return c.DoAt(req, time.Time{}, cb)
+}
+
+// DoAt is Do with the request's intended (open-loop scheduled) issue
+// instant, so sampled traces can attribute generator slippage. A zero
+// arrival means "now" (untimed callers).
+func (c *Conn) DoAt(req *protocol.Request, arrival time.Time, cb Callback) error {
 	if cb == nil {
 		return errors.New("client: nil callback")
 	}
 	start := time.Now()
 	p := &pending{op: req.Op, cb: cb, start: start}
+	if c.tracer.Sample() {
+		if arrival.IsZero() {
+			arrival = start
+		}
+		p.trace = &telemetry.Trace{
+			ID:        c.tracer.NextID(),
+			Op:        req.Op.String(),
+			ArrivalNs: arrival.UnixNano(),
+			EnqueueNs: start.UnixNano(),
+		}
+	}
 
 	c.mu.Lock()
 	if c.closed {
@@ -165,17 +234,29 @@ func (c *Conn) Do(req *protocol.Request, cb Callback) error {
 			c.mu.Unlock()
 			return fmt.Errorf("client: pipeline full (%d inflight)", cap(c.inflight))
 		}
+		c.inflightG.Add(1)
 	}
 	err := protocol.WriteRequest(c.w, req)
 	if err == nil {
 		err = c.w.Flush()
 	}
+	if err == nil && p.trace != nil {
+		p.sendNs.Store(time.Now().UnixNano())
+	}
 	c.mu.Unlock()
 	if err != nil {
+		c.fails.Inc()
 		return fmt.Errorf("client: write: %w", err)
 	}
+	c.reqs.Inc()
 	if req.NoReply {
-		cb(&Result{Start: start, Done: time.Now()})
+		done := time.Now()
+		cb(&Result{Start: start, Done: done})
+		if p.trace != nil {
+			p.trace.SendNs = p.sendNs.Load()
+			p.trace.CompleteNs = done.UnixNano()
+			c.tracer.Emit(*p.trace)
+		}
 	}
 	return nil
 }
@@ -268,11 +349,17 @@ func DialPool(addr string, n int, cfg ConnConfig) (*Pool, error) {
 
 // Do dispatches req on the next connection round-robin.
 func (p *Pool) Do(req *protocol.Request, cb Callback) error {
+	return p.DoAt(req, time.Time{}, cb)
+}
+
+// DoAt dispatches req round-robin, carrying its intended issue instant for
+// trace attribution (see Conn.DoAt).
+func (p *Pool) DoAt(req *protocol.Request, arrival time.Time, cb Callback) error {
 	p.mu.Lock()
 	c := p.conns[p.next%len(p.conns)]
 	p.next++
 	p.mu.Unlock()
-	return c.Do(req, cb)
+	return c.DoAt(req, arrival, cb)
 }
 
 // Size returns the number of connections.

@@ -24,6 +24,7 @@ import (
 	"treadmill/internal/agg"
 	"treadmill/internal/hist"
 	"treadmill/internal/stats"
+	"treadmill/internal/telemetry"
 )
 
 // Runner executes one full experiment run — all load-tester instances
@@ -60,6 +61,31 @@ type Config struct {
 	ConvergenceTolerance float64
 	// Seed derives per-run seeds (seed + run index).
 	Seed uint64
+
+	// Journal, when non-nil, receives structured JSONL events — the
+	// configuration, every run's estimates and convergence trajectory, and
+	// the final outcome — so the experiment is auditable and re-plottable
+	// after the fact.
+	Journal *telemetry.Journal
+	// Registry, when non-nil, receives live convergence metrics
+	// (core.runs_completed, core.running_mean, core.converged) alongside
+	// whatever the runner registers.
+	Registry *telemetry.Registry
+	// Progress, when non-nil, is invoked after every completed run with
+	// the convergence state (for live progress rendering).
+	Progress func(ProgressUpdate)
+}
+
+// ProgressUpdate is the per-run convergence state handed to Progress.
+type ProgressUpdate struct {
+	// Run counts completed runs (1-based, for display); Runs is the total
+	// budget (MaxRuns).
+	Run, Runs int
+	// Estimate is this run's primary-quantile estimate; RunningMean the
+	// mean over all runs so far — the quantity the stopping rule watches.
+	Estimate, RunningMean float64
+	// Converged reports whether the stopping rule has fired.
+	Converged bool
 }
 
 // DefaultConfig returns the paper-shaped procedure: P50/P95/P99 metrics,
@@ -119,6 +145,9 @@ type Measurement struct {
 	Runs   []RunEstimate
 	// Converged reports whether the stopping rule fired before MaxRuns.
 	Converged bool
+	// Interrupted reports that the context was cancelled before the
+	// procedure finished; the estimates cover only the completed runs.
+	Interrupted bool
 
 	// Estimate maps each quantile to the mean of per-run estimates — the
 	// final reported value.
@@ -140,6 +169,14 @@ func (m *Measurement) PerRun(q float64) []float64 {
 }
 
 // Measure executes the full Treadmill procedure.
+//
+// When ctx is cancelled mid-procedure, the partially measured experiment
+// is still finalized: the in-progress run is discarded (its stream is
+// truncated and would bias the estimate), estimates are computed over the
+// completed runs, the journal receives its final event, and the
+// measurement returns with Interrupted set — so an interrupted experiment
+// flushes its journal instead of dying mid-write. Cancellation before any
+// run completes returns ctx's error.
 func Measure(ctx context.Context, cfg Config, runner Runner) (*Measurement, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -150,13 +187,31 @@ func Measure(ctx context.Context, cfg Config, runner Runner) (*Measurement, erro
 		Window:    cfg.ConvergenceWindow,
 		Tolerance: cfg.ConvergenceTolerance,
 	}
+	if err := cfg.Journal.Emit(telemetry.Event{Kind: telemetry.EventConfig, Config: cfg.configRecord()}); err != nil {
+		return nil, err
+	}
+	runsG := cfg.Registry.Gauge("core.runs_completed")
+	meanG := cfg.Registry.FloatGauge("core.running_mean")
+	convG := cfg.Registry.Gauge("core.converged")
 	for run := 0; run < cfg.MaxRuns; run++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if ctx.Err() != nil {
+			m.Interrupted = true
+			break
 		}
-		streams, err := runner.RunOnce(ctx, run, cfg.Seed+uint64(run))
+		seed := cfg.Seed + uint64(run)
+		streams, err := runner.RunOnce(ctx, run, seed)
 		if err != nil {
+			if ctx.Err() != nil {
+				m.Interrupted = true
+				break
+			}
 			return nil, fmt.Errorf("core: run %d: %w", run, err)
+		}
+		if ctx.Err() != nil {
+			// The run was cut short; its streams are truncated. Discard it
+			// rather than let a partial run contaminate the estimate.
+			m.Interrupted = true
+			break
 		}
 		est, err := estimateRun(cfg, run, streams)
 		if err != nil {
@@ -166,10 +221,32 @@ func Measure(ctx context.Context, cfg Config, runner Runner) (*Measurement, erro
 		for _, n := range est.InstanceSamples {
 			m.TotalSamples += n
 		}
-		if det.Observe(est.ByQuantile[cfg.PrimaryQuantile]) {
+		converged := det.Observe(est.ByQuantile[cfg.PrimaryQuantile])
+		runsG.Set(int64(len(m.Runs)))
+		meanG.Set(det.Mean())
+		if err := cfg.Journal.Emit(telemetry.Event{Kind: telemetry.EventRun, Run: runRecord(cfg, est, seed, det.Mean())}); err != nil {
+			return nil, err
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(ProgressUpdate{
+				Run:         run + 1,
+				Runs:        cfg.MaxRuns,
+				Estimate:    est.ByQuantile[cfg.PrimaryQuantile],
+				RunningMean: det.Mean(),
+				Converged:   converged,
+			})
+		}
+		if converged {
 			m.Converged = true
+			convG.Set(1)
 			break
 		}
+	}
+	if len(m.Runs) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: no runs completed")
 	}
 	m.Estimate = make(map[float64]float64, len(cfg.Quantiles))
 	m.StdDev = make(map[float64]float64, len(cfg.Quantiles))
@@ -178,7 +255,71 @@ func Measure(ctx context.Context, cfg Config, runner Runner) (*Measurement, erro
 		m.Estimate[q] = stats.Mean(per)
 		m.StdDev[q] = stats.StdDev(per)
 	}
+	if err := cfg.Journal.Emit(telemetry.Event{Kind: telemetry.EventFinal, Final: m.finalRecord()}); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// configRecord maps the Config onto its journal representation.
+func (c Config) configRecord() *telemetry.ConfigRecord {
+	return &telemetry.ConfigRecord{
+		Quantiles:            append([]float64(nil), c.Quantiles...),
+		PrimaryQuantile:      c.PrimaryQuantile,
+		MinRuns:              c.MinRuns,
+		MaxRuns:              c.MaxRuns,
+		ConvergenceWindow:    c.ConvergenceWindow,
+		ConvergenceTolerance: c.ConvergenceTolerance,
+		Seed:                 c.Seed,
+		WarmupSamples:        c.Hist.WarmupSamples,
+		CalibrationSamples:   c.Hist.CalibrationSamples,
+		HistBins:             c.Hist.Bins,
+	}
+}
+
+// runRecord maps one run's estimate onto its journal representation.
+func runRecord(cfg Config, est RunEstimate, seed uint64, runningMean float64) *telemetry.RunRecord {
+	rec := &telemetry.RunRecord{
+		Run:             est.Run,
+		Seed:            seed,
+		Quantiles:       append([]float64(nil), cfg.Quantiles...),
+		Estimates:       make([]float64, len(cfg.Quantiles)),
+		InstanceSamples: append([]uint64(nil), est.InstanceSamples...),
+		RunningMean:     runningMean,
+	}
+	for i, q := range cfg.Quantiles {
+		rec.Estimates[i] = est.ByQuantile[q]
+	}
+	return rec
+}
+
+// finalRecord maps the measurement outcome onto its journal
+// representation, picking up the send-slippage self-audit from the
+// registry when one was attached.
+func (m *Measurement) finalRecord() *telemetry.FinalRecord {
+	rec := &telemetry.FinalRecord{
+		Quantiles:    append([]float64(nil), m.Config.Quantiles...),
+		Estimates:    make([]float64, len(m.Config.Quantiles)),
+		StdDevs:      make([]float64, len(m.Config.Quantiles)),
+		Runs:         len(m.Runs),
+		Converged:    m.Converged,
+		Interrupted:  m.Interrupted,
+		TotalSamples: m.TotalSamples,
+	}
+	for i, q := range m.Config.Quantiles {
+		rec.Estimates[i] = m.Estimate[q]
+		rec.StdDevs[i] = m.StdDev[q]
+	}
+	if reg := m.Config.Registry; reg != nil {
+		// The TCP path audits under loadgen.send_slippage, the simulator
+		// under sim.send_slippage; report whichever was active.
+		if p := reg.Recorder("loadgen.send_slippage").Quantile(0.99); p > 0 {
+			rec.SlippageP99 = p
+		} else {
+			rec.SlippageP99 = reg.Recorder("sim.send_slippage").Quantile(0.99)
+		}
+	}
+	return rec
 }
 
 // estimateRun pushes each instance's stream through a fresh adaptive

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"treadmill/internal/loadgen"
+	"treadmill/internal/server"
+	"treadmill/internal/telemetry"
+	"treadmill/internal/workload"
+)
+
+// TestJournalRoundTripTCP is the end-to-end observability check: a seeded
+// measurement against a real in-process server, journaled to disk, must be
+// reconstructible from the JSONL alone — config, per-run P99 trajectory,
+// and final estimates all byte-exact — and the same run must produce a
+// positive send-slippage P99 from the self-audit.
+func TestJournalRoundTripTCP(t *testing.T) {
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	wl := workload.Default()
+	wl.Keys = 100
+	wl.ValueSize = workload.SizeDist{Kind: "constant", Value: 64}
+	if err := loadgen.Preload(srv.Addr(), wl, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	journal, err := telemetry.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+
+	cfg := smallCfg()
+	cfg.Seed = 42
+	cfg.MinRuns = 2
+	cfg.MaxRuns = 2
+	cfg.Journal = journal
+	cfg.Registry = reg
+	r := &TCPRunner{
+		Addr:        srv.Addr(),
+		Instances:   2,
+		PerInstance: loadgen.Options{Rate: 2500, Conns: 2, Workload: wl},
+		Duration:    700 * time.Millisecond,
+		Telemetry:   reg,
+	}
+	m, err := Measure(context.Background(), cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := telemetry.ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1+len(m.Runs)+1 {
+		t.Fatalf("journal has %d events, want config + %d runs + final", len(events), len(m.Runs))
+	}
+
+	// Config event reconstructs the procedure parameters exactly.
+	ec := events[0]
+	if ec.Kind != telemetry.EventConfig || ec.Config == nil {
+		t.Fatalf("first event = %+v, want config", ec)
+	}
+	if ec.Config.Seed != cfg.Seed || ec.Config.MinRuns != cfg.MinRuns ||
+		ec.Config.MaxRuns != cfg.MaxRuns || ec.Config.PrimaryQuantile != cfg.PrimaryQuantile ||
+		ec.Config.WarmupSamples != cfg.Hist.WarmupSamples ||
+		ec.Config.CalibrationSamples != cfg.Hist.CalibrationSamples {
+		t.Errorf("config record %+v does not match config %+v", ec.Config, cfg)
+	}
+
+	// Per-run events reconstruct the P99 trajectory exactly (float64
+	// round-trips losslessly through encoding/json).
+	var mean float64
+	for i := 0; i < len(m.Runs); i++ {
+		er := events[1+i]
+		if er.Kind != telemetry.EventRun || er.Run == nil {
+			t.Fatalf("event %d = %+v, want run", 1+i, er)
+		}
+		if er.Run.Run != i {
+			t.Errorf("run event %d has index %d", i, er.Run.Run)
+		}
+		if er.Run.Seed != cfg.Seed+uint64(i) {
+			t.Errorf("run %d seed = %d, want %d", i, er.Run.Seed, cfg.Seed+uint64(i))
+		}
+		for j, q := range er.Run.Quantiles {
+			if got, want := er.Run.Estimates[j], m.Runs[i].ByQuantile[q]; got != want {
+				t.Errorf("run %d p%g = %v, want exactly %v", i, q*100, got, want)
+			}
+			if q == cfg.PrimaryQuantile {
+				mean += er.Run.Estimates[j]
+			}
+		}
+		if got, want := er.Run.RunningMean, mean/float64(i+1); got != want {
+			t.Errorf("run %d running mean = %v, want %v", i, got, want)
+		}
+	}
+
+	// Final event reconstructs the reported estimates exactly and carries
+	// the send-slippage self-audit.
+	ef := events[len(events)-1]
+	if ef.Kind != telemetry.EventFinal || ef.Final == nil {
+		t.Fatalf("last event = %+v, want final", ef)
+	}
+	if ef.Final.Runs != len(m.Runs) || ef.Final.Converged != m.Converged ||
+		ef.Final.Interrupted || ef.Final.TotalSamples != m.TotalSamples {
+		t.Errorf("final record %+v does not match measurement", ef.Final)
+	}
+	for j, q := range ef.Final.Quantiles {
+		if got, want := ef.Final.Estimates[j], m.Estimate[q]; got != want {
+			t.Errorf("final p%g = %v, want exactly %v", q*100, got, want)
+		}
+		if got, want := ef.Final.StdDevs[j], m.StdDev[q]; got != want {
+			t.Errorf("final stddev p%g = %v, want exactly %v", q*100, got, want)
+		}
+	}
+	if ef.Final.SlippageP99 <= 0 {
+		t.Errorf("final slippage p99 = %v, want > 0 (self-audit should have fired)", ef.Final.SlippageP99)
+	}
+	if got := reg.Recorder("loadgen.send_slippage").Quantile(0.99); got != ef.Final.SlippageP99 {
+		t.Errorf("journal slippage %v != registry %v", ef.Final.SlippageP99, got)
+	}
+}
+
+// TestMeasureInterruptedFlushesJournal cancels the context after the first
+// completed run: the measurement must finalize over that run, mark itself
+// interrupted, and still emit the final journal event.
+func TestMeasureInterruptedFlushesJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "interrupted.jsonl")
+	journal, err := telemetry.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cfg := smallCfg()
+	cfg.MinRuns = 3
+	cfg.MaxRuns = 10
+	cfg.Journal = journal
+	cfg.Progress = func(u ProgressUpdate) {
+		if u.Run == 1 {
+			cancel() // "Ctrl-C" after the first run completes
+		}
+	}
+	m, err := Measure(ctx, cfg, syntheticRunner(2, 2000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Interrupted {
+		t.Error("measurement not marked interrupted")
+	}
+	if len(m.Runs) != 1 {
+		t.Errorf("%d runs completed, want 1", len(m.Runs))
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 { // config, one run, final
+		t.Fatalf("journal has %d events, want 3", len(events))
+	}
+	final := events[2]
+	if final.Kind != telemetry.EventFinal || final.Final == nil {
+		t.Fatalf("last event = %+v, want final", final)
+	}
+	if !final.Final.Interrupted {
+		t.Error("final journal event not marked interrupted")
+	}
+	if got, want := final.Final.Runs, 1; got != want {
+		t.Errorf("final runs = %d, want %d", got, want)
+	}
+}
+
+// TestMeasureCancelBeforeFirstRun verifies cancellation before any run
+// completes returns the context error and journals config only.
+func TestMeasureCancelBeforeFirstRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cancelled.jsonl")
+	journal, err := telemetry.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := smallCfg()
+	cfg.Journal = journal
+	if _, err := Measure(ctx, cfg, syntheticRunner(1, 2000, 0)); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != telemetry.EventConfig {
+		t.Fatalf("journal events = %+v, want config only", events)
+	}
+}
+
+// TestMeasureRegistryGauges checks the live convergence gauges a registry
+// exposes during a measurement.
+func TestMeasureRegistryGauges(t *testing.T) {
+	reg := telemetry.New()
+	cfg := smallCfg()
+	cfg.Registry = reg
+	m, err := Measure(context.Background(), cfg, syntheticRunner(2, 2000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["core.runs_completed"]; got != int64(len(m.Runs)) {
+		t.Errorf("core.runs_completed = %d, want %d", got, len(m.Runs))
+	}
+	if m.Converged && snap.Gauges["core.converged"] != 1 {
+		t.Error("core.converged gauge not set")
+	}
+	if snap.FloatGauges["core.running_mean"] <= 0 {
+		t.Error("core.running_mean gauge not set")
+	}
+}

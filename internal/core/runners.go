@@ -9,6 +9,7 @@ import (
 	"treadmill/internal/client"
 	"treadmill/internal/loadgen"
 	"treadmill/internal/sim"
+	"treadmill/internal/telemetry"
 )
 
 // SimRunner executes experiment runs on the discrete-event simulator. Each
@@ -26,10 +27,19 @@ type SimRunner struct {
 	Duration float64
 	// Warmup discards samples created before this simulated time.
 	Warmup float64
+	// Telemetry, when non-nil, receives engine event counts, sampled
+	// queue depths, and the simulated send-slippage self-audit
+	// (sim.send_slippage: client NIC departure minus intended open-loop
+	// issue instant — the in-sim client-side bias).
+	Telemetry *telemetry.Registry
 }
 
+// simRunSlices is how many chunks a simulated run is split into so the
+// context can interrupt a long campaign between chunks.
+const simRunSlices = 64
+
 // RunOnce implements Runner.
-func (r *SimRunner) RunOnce(_ context.Context, _ int, seed uint64) ([][]float64, error) {
+func (r *SimRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float64, error) {
 	if r.RatePerClient <= 0 || r.ConnsPerClient < 1 || r.Duration <= 0 {
 		return nil, fmt.Errorf("core: sim runner needs positive rate/conns/duration")
 	}
@@ -39,6 +49,13 @@ func (r *SimRunner) RunOnce(_ context.Context, _ int, seed uint64) ([][]float64,
 	if err != nil {
 		return nil, err
 	}
+	horizon := r.Warmup + r.Duration
+	var slip *telemetry.Slippage
+	if r.Telemetry != nil {
+		slip = telemetry.NewSlippage(r.Telemetry, "sim.send_slippage", 0)
+		// Sample queue depths ~1000 times per run.
+		cluster.Register(r.Telemetry, horizon/1000)
+	}
 	streams := make([][]float64, len(cluster.Clients))
 	for i, c := range cluster.Clients {
 		i := i
@@ -46,12 +63,20 @@ func (r *SimRunner) RunOnce(_ context.Context, _ int, seed uint64) ([][]float64,
 			if req.Created >= r.Warmup {
 				streams[i] = append(streams[i], req.MeasuredLatency())
 			}
+			slip.Observe(req.ReqAtClientNIC - req.Created)
 		}
 		if err := c.StartOpenLoop(r.RatePerClient, r.ConnsPerClient); err != nil {
 			return nil, err
 		}
 	}
-	cluster.Run(r.Warmup + r.Duration)
+	// Advance the engine in slices so Ctrl-C interrupts a long simulated
+	// run between slices instead of after the full horizon.
+	for s := 1; s <= simRunSlices; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cluster.Run(horizon * float64(s) / simRunSlices)
+	}
 	return streams, nil
 }
 
@@ -73,6 +98,15 @@ type TCPRunner struct {
 	// server between runs). It returns the address to use for the run,
 	// allowing the restarted server to land on a new port.
 	Restart func() (string, error)
+	// Telemetry, when non-nil, is shared by every instance across every
+	// run: connection-pool and in-flight stats from the client layer and
+	// the loadgen.send_slippage self-audit aggregate here.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, samples per-request lifecycle traces.
+	Tracer *telemetry.Tracer
+	// SlippageAlert is the send-slippage alert threshold (<= 0 selects
+	// telemetry.DefaultSlippageThreshold).
+	SlippageAlert time.Duration
 }
 
 // RunOnce implements Runner.
@@ -98,6 +132,9 @@ func (r *TCPRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float6
 		i := i
 		opts := r.PerInstance
 		opts.Seed = seed*1000003 + uint64(i)
+		opts.Telemetry = r.Telemetry
+		opts.Tracer = r.Tracer
+		opts.SlippageAlert = r.SlippageAlert
 		opts.OnResult = func(res *client.Result) {
 			if res.Err != nil {
 				return

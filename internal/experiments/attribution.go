@@ -53,6 +53,7 @@ func newStudy(s Scale, workloadName string, rate float64) (*runner.Study, error)
 		Replicates:     s.Replicates,
 		Quantiles:      attributionQuantiles,
 		Seed:           s.Seed,
+		Telemetry:      s.Telemetry,
 	}, nil
 }
 

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"treadmill/internal/sim"
+	"treadmill/internal/telemetry"
 )
 
 // Scale sizes the experiments. Full reproduces the paper's sample sizes;
@@ -24,6 +25,9 @@ type Scale struct {
 	TuningRuns int
 	// Seed makes every experiment deterministic.
 	Seed uint64
+	// Telemetry, when non-nil, receives live campaign-progress gauges
+	// from the studies this scale drives (see runner.Study.Telemetry).
+	Telemetry *telemetry.Registry
 }
 
 // Quick returns a scale that exercises every code path in seconds.

@@ -140,6 +140,12 @@ func Micros(seconds float64) string {
 	if math.IsNaN(seconds) {
 		return "NaN"
 	}
+	if math.IsInf(seconds, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(seconds, -1) {
+		return "-Inf"
+	}
 	return fmt.Sprintf("%.1fus", seconds*1e6)
 }
 
@@ -165,3 +171,15 @@ func PValue(p float64) string {
 
 // Percent formats a fraction as a percentage.
 func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// ProgressLine renders one live convergence line for a completed run —
+// what a CLI prints between runs so an operator can watch the running
+// mean settle without waiting for the final table.
+func ProgressLine(run, runs int, estimate, runningMean float64, converged bool) string {
+	status := "running"
+	if converged {
+		status = "converged"
+	}
+	return fmt.Sprintf("run %d/%d: estimate=%s running-mean=%s [%s]",
+		run, runs, Micros(estimate), Micros(runningMean), status)
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -36,6 +37,42 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestTableCSVExact(t *testing.T) {
+	tab := &Table{Headers: []string{"quantile", "estimate"}}
+	tab.AddRow("p99", "125.0us")
+	tab.AddRow("plain", "no quoting needed")
+	if got, want := tab.CSV(), "quantile,estimate\np99,125.0us\nplain,no quoting needed\n"; got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestTableCSVNewlineAndRoundTrip(t *testing.T) {
+	tab := &Table{Headers: []string{"name", "note"}}
+	tab.AddRow("multi\nline", `say "hi", twice`)
+	tab.AddRow("", "empty first cell")
+	out := tab.CSV()
+	// A standards-compliant reader must recover the original cells.
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v\ncsv: %q", err, out)
+	}
+	want := [][]string{
+		{"name", "note"},
+		{"multi\nline", `say "hi", twice`},
+		{"", "empty first cell"},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, row := range want {
+		for j, cell := range row {
+			if recs[i][j] != cell {
+				t.Errorf("record[%d][%d] = %q, want %q", i, j, recs[i][j], cell)
+			}
+		}
+	}
+}
+
 func TestFigureString(t *testing.T) {
 	f := &Figure{Title: "Fig", XLabel: "x", YLabel: "y"}
 	f.Add("s1", []float64{1, 2}, []float64{10, 20})
@@ -67,6 +104,12 @@ func TestFormatters(t *testing.T) {
 	if Micros(math.NaN()) != "NaN" {
 		t.Error("NaN handling")
 	}
+	if Micros(math.Inf(1)) != "+Inf" {
+		t.Errorf("Micros +Inf = %s", Micros(math.Inf(1)))
+	}
+	if Micros(math.Inf(-1)) != "-Inf" {
+		t.Errorf("Micros -Inf = %s", Micros(math.Inf(-1)))
+	}
 	if MicrosInt(0.5e-6) != "<1us" {
 		t.Errorf("MicrosInt small = %s", MicrosInt(0.5e-6))
 	}
@@ -87,5 +130,15 @@ func TestFormatters(t *testing.T) {
 	}
 	if Percent(0.431) != "43.1%" {
 		t.Errorf("Percent = %s", Percent(0.431))
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	got := ProgressLine(2, 10, 125e-6, 130e-6, false)
+	if got != "run 2/10: estimate=125.0us running-mean=130.0us [running]" {
+		t.Errorf("ProgressLine = %q", got)
+	}
+	if !strings.Contains(ProgressLine(3, 10, 1e-3, 1e-3, true), "[converged]") {
+		t.Error("converged status missing")
 	}
 }

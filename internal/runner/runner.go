@@ -14,6 +14,7 @@ import (
 	"treadmill/internal/quantreg"
 	"treadmill/internal/sim"
 	"treadmill/internal/stats"
+	"treadmill/internal/telemetry"
 )
 
 // Factor is one 2-level experimental factor.
@@ -113,6 +114,10 @@ type Study struct {
 	// Progress, when non-nil, receives (done, total) after each
 	// experiment.
 	Progress func(done, total int)
+	// Telemetry, when non-nil, exposes campaign progress as live gauges
+	// (runner.experiments_done, runner.experiments_total) so a long
+	// full-scale campaign can be watched over the exposition endpoint.
+	Telemetry *telemetry.Registry
 }
 
 func (s *Study) validate() error {
@@ -161,6 +166,9 @@ func (s *Study) Run(ctx context.Context) (*Result, error) {
 	for _, f := range s.Factors {
 		res.Factors = append(res.Factors, f.Name)
 	}
+	doneG := s.Telemetry.Gauge("runner.experiments_done")
+	totalG := s.Telemetry.Gauge("runner.experiments_total")
+	totalG.Set(int64(len(schedule)))
 	for i, levels := range schedule {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -170,6 +178,7 @@ func (s *Study) Run(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("runner: experiment %d (levels %v): %w", i, levels, err)
 		}
 		res.Samples = append(res.Samples, sample)
+		doneG.Set(int64(i + 1))
 		if s.Progress != nil {
 			s.Progress(i+1, len(schedule))
 		}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"treadmill/internal/protocol"
+	"treadmill/internal/telemetry"
 )
 
 // Version is reported to the protocol's version command.
@@ -28,6 +29,9 @@ type Config struct {
 	ReadBufferSize, WriteBufferSize int
 	// Logger receives connection-level errors; nil discards them.
 	Logger *log.Logger
+	// Telemetry, when non-nil, receives server metrics
+	// (server.connections, server.active_conns, server.requests).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns a production-shaped configuration listening on an
@@ -56,6 +60,10 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 	requests atomic.Uint64
+
+	connsC  *telemetry.Counter
+	activeG *telemetry.Gauge
+	reqsC   *telemetry.Counter
 }
 
 // New creates a Server (not yet listening).
@@ -76,7 +84,13 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, store: st, conns: make(map[net.Conn]struct{})}, nil
+	s := &Server{cfg: cfg, store: st, conns: make(map[net.Conn]struct{})}
+	if reg := cfg.Telemetry; reg != nil {
+		s.connsC = reg.Counter("server.connections")
+		s.activeG = reg.Gauge("server.active_conns")
+		s.reqsC = reg.Counter("server.requests")
+	}
+	return s, nil
 }
 
 // Store exposes the underlying store (examples preload data through it).
@@ -132,12 +146,15 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	s.connsC.Inc()
+	s.activeG.Add(1)
 	defer s.wg.Done()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.activeG.Add(-1)
 	}()
 	r := bufio.NewReaderSize(conn, s.cfg.ReadBufferSize)
 	w := bufio.NewWriterSize(conn, s.cfg.WriteBufferSize)
@@ -154,6 +171,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		s.requests.Add(1)
+		s.reqsC.Inc()
 		if err := s.handle(w, req); err != nil {
 			if s.cfg.Logger != nil {
 				s.cfg.Logger.Printf("conn %s write: %v", conn.RemoteAddr(), err)

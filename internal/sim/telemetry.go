@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"treadmill/internal/telemetry"
+)
+
+// Register wires the cluster into a telemetry registry: engine event
+// counts and a periodically sampled total-outstanding gauge — the in-sim
+// equivalent of the queue-depth and event-loop metrics a real deployment
+// exports. period is in simulated seconds.
+//
+// Metrics:
+//
+//	sim.events_processed   — engine events executed so far (gauge)
+//	sim.events_pending     — engine queue depth at the last sample (gauge)
+//	sim.outstanding        — in-flight requests at the last sample (gauge)
+//	sim.outstanding_max    — high-water mark of in-flight requests (gauge)
+//	sim.outstanding_sum    — sum of sampled depths (counter; divide by
+//	sim.outstanding_samples  for the time-averaged queue depth)
+//
+// A nil registry or non-positive period is a no-op.
+func (c *Cluster) Register(reg *telemetry.Registry, period float64) {
+	if reg == nil || period <= 0 {
+		return
+	}
+	events := reg.Gauge("sim.events_processed")
+	pending := reg.Gauge("sim.events_pending")
+	outst := reg.Gauge("sim.outstanding")
+	outstMax := reg.Gauge("sim.outstanding_max")
+	outstSum := reg.Counter("sim.outstanding_sum")
+	samples := reg.Counter("sim.outstanding_samples")
+	var probe func()
+	probe = func() {
+		n := c.TotalOutstanding()
+		outst.Set(int64(n))
+		outstMax.SetMax(int64(n))
+		outstSum.Add(uint64(n))
+		samples.Inc()
+		events.Set(int64(c.Eng.Processed()))
+		pending.Set(int64(c.Eng.Pending()))
+		c.Eng.Schedule(period, probe)
+	}
+	c.Eng.Schedule(period, probe)
+}

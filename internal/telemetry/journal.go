@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is a structured, append-only JSONL run journal. Every experiment
+// the core engine executes appends typed events — the configuration it ran
+// with, each run's per-quantile estimates and convergence trajectory, and
+// the final combined estimates — so any experiment is auditable and
+// re-plottable after the fact without rerunning it.
+//
+// Events are written (and the underlying file synced on Close) as they
+// happen, so an interrupted experiment still leaves a parseable journal of
+// everything it completed. A nil *Journal is a disabled no-op.
+type Journal struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer
+	err    error
+}
+
+// Event is one journal line. Exactly one payload pointer is set, selected
+// by Kind; Fields carries free-form metadata for "note" events.
+type Event struct {
+	Kind   string         `json:"event"`
+	Config *ConfigRecord  `json:"config,omitempty"`
+	Run    *RunRecord     `json:"run,omitempty"`
+	Final  *FinalRecord   `json:"final,omitempty"`
+	Note   string         `json:"note,omitempty"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Event kinds emitted by the core engine.
+const (
+	EventConfig = "config"
+	EventRun    = "run"
+	EventFinal  = "final"
+	EventNote   = "note"
+)
+
+// ConfigRecord journals the measurement procedure's configuration.
+type ConfigRecord struct {
+	Quantiles            []float64 `json:"quantiles"`
+	PrimaryQuantile      float64   `json:"primary_quantile"`
+	MinRuns              int       `json:"min_runs"`
+	MaxRuns              int       `json:"max_runs"`
+	ConvergenceWindow    int       `json:"convergence_window"`
+	ConvergenceTolerance float64   `json:"convergence_tolerance"`
+	Seed                 uint64    `json:"seed"`
+	WarmupSamples        int       `json:"warmup_samples"`
+	CalibrationSamples   int       `json:"calibration_samples"`
+	HistBins             int       `json:"hist_bins"`
+}
+
+// RunRecord journals one experiment run: per-quantile combined estimates
+// (Estimates[i] corresponds to Quantiles[i]), per-instance sample counts,
+// and the running mean of the primary quantile after this run — the
+// convergence trajectory.
+type RunRecord struct {
+	Run             int       `json:"run"`
+	Seed            uint64    `json:"seed"`
+	Quantiles       []float64 `json:"quantiles"`
+	Estimates       []float64 `json:"estimates"`
+	InstanceSamples []uint64  `json:"instance_samples"`
+	RunningMean     float64   `json:"running_mean"`
+}
+
+// FinalRecord journals the procedure's outcome: the final combined
+// estimates and run-to-run standard deviations (parallel to Quantiles),
+// whether the stopping rule fired, and whether the experiment was
+// interrupted.
+type FinalRecord struct {
+	Quantiles    []float64 `json:"quantiles"`
+	Estimates    []float64 `json:"estimates"`
+	StdDevs      []float64 `json:"stddevs"`
+	Runs         int       `json:"runs"`
+	Converged    bool      `json:"converged"`
+	Interrupted  bool      `json:"interrupted,omitempty"`
+	TotalSamples uint64    `json:"total_samples"`
+	// SlippageP99 is the load generator's own send-slippage self-audit
+	// (seconds), when a registry was attached.
+	SlippageP99 float64 `json:"slippage_p99,omitempty"`
+}
+
+// NewJournal writes events to w. The caller retains responsibility for
+// closing w unless it is also passed as an io.Closer via OpenJournal.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w}
+}
+
+// OpenJournal creates (truncating) a journal file at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open journal: %w", err)
+	}
+	return &Journal{w: f, closer: f}, nil
+}
+
+// Emit appends one event. Events are written immediately (no buffering) so
+// a crash or interrupt loses at most the event being written. Emit is safe
+// for concurrent use. The first write error is retained and returned by
+// every subsequent Emit and by Close.
+func (j *Journal) Emit(e Event) error {
+	if j == nil {
+		return nil
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("telemetry: marshal journal event: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if _, err := j.w.Write(data); err != nil {
+		j.err = fmt.Errorf("telemetry: write journal: %w", err)
+		return j.err
+	}
+	return nil
+}
+
+// Note emits a free-form note event with optional fields.
+func (j *Journal) Note(note string, fields map[string]any) error {
+	return j.Emit(Event{Kind: EventNote, Note: note, Fields: fields})
+}
+
+// Err returns the first write error encountered, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close syncs and closes the underlying file when the journal owns one.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if f, ok := j.closer.(*os.File); ok {
+		if err := f.Sync(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	if j.closer != nil {
+		if err := j.closer.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.closer = nil
+	}
+	return j.err
+}
+
+// ReadJournal parses a JSONL journal stream back into events.
+func ReadJournal(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("telemetry: parse journal event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadJournalFile parses the journal at path.
+func ReadJournalFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open journal: %w", err)
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	cfg := &ConfigRecord{
+		Quantiles:            []float64{0.5, 0.99},
+		PrimaryQuantile:      0.99,
+		MinRuns:              3,
+		MaxRuns:              10,
+		ConvergenceWindow:    3,
+		ConvergenceTolerance: 0.01,
+		Seed:                 42,
+		WarmupSamples:        100,
+		CalibrationSamples:   500,
+		HistBins:             4096,
+	}
+	if err := j.Emit(Event{Kind: EventConfig, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	run := &RunRecord{
+		Run:             0,
+		Seed:            42,
+		Quantiles:       []float64{0.5, 0.99},
+		Estimates:       []float64{0.000123456789, 0.00234567891011},
+		InstanceSamples: []uint64{1000, 1001},
+		RunningMean:     0.00234567891011,
+	}
+	if err := j.Emit(Event{Kind: EventRun, Run: run}); err != nil {
+		t.Fatal(err)
+	}
+	final := &FinalRecord{
+		Quantiles:    []float64{0.5, 0.99},
+		Estimates:    []float64{0.000123, 0.00234},
+		StdDevs:      []float64{1e-6, 2e-6},
+		Runs:         1,
+		Converged:    true,
+		TotalSamples: 2001,
+		SlippageP99:  3.5e-6,
+	}
+	if err := j.Emit(Event{Kind: EventFinal, Final: final}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Note("hello", map[string]any{"target": "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(events))
+	}
+	if events[0].Kind != EventConfig || events[0].Config == nil {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	got := events[0].Config
+	if got.Seed != cfg.Seed || got.PrimaryQuantile != cfg.PrimaryQuantile ||
+		got.ConvergenceTolerance != cfg.ConvergenceTolerance || got.HistBins != cfg.HistBins {
+		t.Errorf("config round-trip lost fields: %+v", got)
+	}
+	// Float64 values must round-trip exactly through JSON.
+	gr := events[1].Run
+	if gr == nil {
+		t.Fatal("run event lost payload")
+	}
+	for i := range run.Estimates {
+		if gr.Estimates[i] != run.Estimates[i] {
+			t.Errorf("estimate[%d] = %v, want exactly %v", i, gr.Estimates[i], run.Estimates[i])
+		}
+	}
+	if gr.RunningMean != run.RunningMean {
+		t.Errorf("running mean = %v, want exactly %v", gr.RunningMean, run.RunningMean)
+	}
+	gf := events[2].Final
+	if gf == nil || !gf.Converged || gf.TotalSamples != 2001 || gf.SlippageP99 != 3.5e-6 {
+		t.Errorf("final event = %+v", gf)
+	}
+	if events[3].Kind != EventNote || events[3].Note != "hello" || events[3].Fields["target"] != "127.0.0.1:1" {
+		t.Errorf("note event = %+v", events[3])
+	}
+}
+
+func TestJournalFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Note("one", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Note("two", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Note != "one" || events[1].Note != "two" {
+		t.Fatalf("events = %+v", events)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One JSON object per line, newline-terminated.
+	if got := strings.Count(string(data), "\n"); got != 2 {
+		t.Errorf("journal has %d lines, want 2", got)
+	}
+}
+
+func TestJournalWriteErrorSticks(t *testing.T) {
+	j := NewJournal(failWriter{})
+	if err := j.Note("x", nil); err == nil {
+		t.Fatal("write to failing writer must error")
+	}
+	if err := j.Err(); err == nil {
+		t.Error("error must stick")
+	}
+	if err := j.Note("y", nil); err == nil {
+		t.Error("subsequent emits must keep failing")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }
+
+func TestReadJournalMalformed(t *testing.T) {
+	events, err := ReadJournal(strings.NewReader("{\"event\":\"note\",\"note\":\"ok\"}\n{bad json"))
+	if err == nil {
+		t.Fatal("malformed journal must error")
+	}
+	if len(events) != 1 {
+		t.Errorf("must return events parsed before the error, got %d", len(events))
+	}
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"time"
+)
+
+// DefaultSlippageThreshold is the alert bound used when none is given: an
+// open-loop send landing more than 1ms behind its scheduled instant is far
+// outside the microsecond-scale precision the paper's generator targets.
+const DefaultSlippageThreshold = time.Millisecond
+
+// Slippage is the send-slippage self-audit: it records how far each actual
+// send drifted past its intended (scheduled) instant. The paper's pitfall-3
+// argument is that a load tester whose timer slips is no longer open-loop —
+// its measurements inherit the generator's own queueing. This audit makes
+// that bias a measurable, alertable quantity.
+//
+// Slippage is measured at the instant the request is handed to the client
+// (before the write syscall), so it isolates timer + scheduler drift from
+// connection backpressure; the per-request Tracer carries the post-write
+// send stamp for the full picture.
+//
+// A nil *Slippage is a disabled no-op.
+type Slippage struct {
+	rec       *Recorder
+	threshold float64 // seconds
+	total     *Counter
+	alerts    *Counter
+}
+
+// NewSlippage returns a Slippage audit whose metrics live in reg under
+// name (recorder), name+"_total" and name+"_alerts" (counters). threshold
+// <= 0 selects DefaultSlippageThreshold. A nil registry yields a nil
+// (disabled) audit.
+func NewSlippage(reg *Registry, name string, threshold time.Duration) *Slippage {
+	if reg == nil {
+		return nil
+	}
+	if threshold <= 0 {
+		threshold = DefaultSlippageThreshold
+	}
+	return &Slippage{
+		rec:       reg.Recorder(name),
+		threshold: threshold.Seconds(),
+		total:     reg.Counter(name + "_total"),
+		alerts:    reg.Counter(name + "_alerts"),
+	}
+}
+
+// Observe records one send's slippage in seconds (intended-to-actual
+// delay). Negative values (a send that fired early) clamp to zero and are
+// counted but not recorded, since the recorder only holds positive delays.
+func (s *Slippage) Observe(seconds float64) {
+	if s == nil {
+		return
+	}
+	s.total.Inc()
+	if seconds > s.threshold {
+		s.alerts.Inc()
+	}
+	if seconds > 0 {
+		s.rec.Record(seconds)
+	}
+}
+
+// ObserveSince records the slippage of a send whose intended instant was
+// `intended`, measured against the current wall clock.
+func (s *Slippage) ObserveSince(intended time.Time) {
+	if s == nil {
+		return
+	}
+	s.Observe(time.Since(intended).Seconds())
+}
+
+// Threshold returns the alert bound in seconds (0 for a nil audit).
+func (s *Slippage) Threshold() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.threshold
+}
+
+// Total returns how many sends were observed.
+func (s *Slippage) Total() uint64 { return s.total.Value() }
+
+// Alerts returns how many sends exceeded the threshold.
+func (s *Slippage) Alerts() uint64 { return s.alerts.Value() }
+
+// AlertRate returns the fraction of observed sends that exceeded the
+// threshold.
+func (s *Slippage) AlertRate() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Alerts()) / float64(t)
+}
+
+// Quantile returns the q-th quantile of recorded slippage in seconds.
+func (s *Slippage) Quantile(q float64) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.Quantile(q)
+}
+
+// P99 returns the 99th-percentile slippage in seconds — the headline
+// open-loop fidelity number a run reports about itself.
+func (s *Slippage) P99() float64 { return s.Quantile(0.99) }

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Trace is one sampled request's lifecycle, every stage a nanosecond
+// timestamp (wall-clock UnixNano for TCP runs; simulated seconds × 1e9 for
+// sim runs):
+//
+//	Arrival   — the open-loop schedule decided to issue the request,
+//	Enqueue   — the request was handed to the client,
+//	Send      — the write syscall returned (request on the wire),
+//	FirstByte — the response's first byte was parsed off the socket,
+//	Complete  — the completion callback finished.
+//
+// Arrival→Enqueue is generator slippage, Enqueue→Send is client write-path
+// time, Send→FirstByte brackets network + server, FirstByte→Complete is
+// callback overhead — together they attribute where the load tester itself
+// spends time on each sampled request.
+type Trace struct {
+	ID       uint64 `json:"id"`
+	Instance int    `json:"instance,omitempty"`
+	Op       string `json:"op,omitempty"`
+
+	ArrivalNs   int64 `json:"arrival_ns"`
+	EnqueueNs   int64 `json:"enqueue_ns"`
+	SendNs      int64 `json:"send_ns,omitempty"`
+	FirstByteNs int64 `json:"first_byte_ns,omitempty"`
+	CompleteNs  int64 `json:"complete_ns,omitempty"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// Tracer samples 1-in-N requests into a bounded in-memory buffer for JSONL
+// export. Sample and Emit are safe for concurrent use; a nil *Tracer is
+// disabled (Sample always false).
+type Tracer struct {
+	every   uint64
+	n       atomic.Uint64
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+
+	mu  sync.Mutex
+	buf []Trace
+	max int
+}
+
+// DefaultTraceBuffer bounds the in-memory trace buffer when maxRecords <= 0.
+const DefaultTraceBuffer = 65536
+
+// NewTracer returns a Tracer keeping every sampleEvery-th request (1 traces
+// everything), buffering at most maxRecords traces (older traces win; later
+// ones count as dropped).
+func NewTracer(sampleEvery, maxRecords int) (*Tracer, error) {
+	if sampleEvery < 1 {
+		return nil, fmt.Errorf("telemetry: trace sample interval %d must be >= 1", sampleEvery)
+	}
+	if maxRecords <= 0 {
+		maxRecords = DefaultTraceBuffer
+	}
+	return &Tracer{every: uint64(sampleEvery), max: maxRecords}, nil
+}
+
+// Sample reports whether the caller should trace this request. It is the
+// hot-path gate: one atomic add and a modulo.
+func (t *Tracer) Sample() bool {
+	if t == nil {
+		return false
+	}
+	return t.n.Add(1)%t.every == 0
+}
+
+// NextID returns a unique trace ID.
+func (t *Tracer) NextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Add(1)
+}
+
+// Emit stores one completed trace.
+func (t *Tracer) Emit(tr Trace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) >= t.max {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.buf = append(t.buf, tr)
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many traces were discarded because the buffer was
+// full.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Records returns a copy of the buffered traces.
+func (t *Tracer) Records() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, len(t.buf))
+	copy(out, t.buf)
+	return out
+}
+
+// WriteJSONL writes every buffered trace as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, tr := range t.Records() {
+		if err := enc.Encode(tr); err != nil {
+			return fmt.Errorf("telemetry: write trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraces parses a JSONL trace stream written by WriteJSONL.
+func ReadTraces(r io.Reader) ([]Trace, error) {
+	var out []Trace
+	dec := json.NewDecoder(r)
+	for {
+		var tr Trace
+		if err := dec.Decode(&tr); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("telemetry: parse trace %d: %w", len(out), err)
+		}
+		out = append(out, tr)
+	}
+}
