@@ -3,16 +3,22 @@
 //
 // Usage:
 //
-//	tailbench [-scale quick|full] [-csv] <experiment>...
+//	tailbench [-scale quick|full] [-csv] [-journal run.jsonl]
+//	          [-anatomy anatomy.csv] <experiment>...
 //
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
 //
-//	table4 fig7 fig8 fig9 fig10 fig11 fig12 attribution all
+//	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution all
 //
-// "attribution" runs table4 + fig7/8/11/12 (memcached) and fig9/10
-// (mcrouter) off shared campaigns; "all" runs everything. At -scale full
-// the attribution campaigns match the paper's 480-experiment design and
-// take several minutes each.
+// "attribution" runs table4 + fig7/8/11/12 + anatomy (memcached) and
+// fig9/10 (mcrouter) off shared campaigns; "all" runs everything. At
+// -scale full the attribution campaigns match the paper's 480-experiment
+// design and take several minutes each.
+//
+// Observability (shared flag set with treadmill, telemetry.ObsFlags):
+// -journal records one anatomy event per factorial cell; -anatomy exports
+// every cell's tail-vs-body breakdown to CSV or JSONL; -telemetry-addr
+// serves live campaign progress.
 package main
 
 import (
@@ -23,8 +29,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 
+	"treadmill/internal/anatomy"
 	"treadmill/internal/experiments"
 	"treadmill/internal/report"
 	"treadmill/internal/telemetry"
@@ -54,7 +62,8 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	seed := flag.Uint64("seed", 1, "random seed")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars, and /debug/pprof on this address")
+	var obsFlags telemetry.ObsFlags
+	obsFlags.RegisterSim(flag.CommandLine)
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -88,15 +97,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *telemetryAddr != "" {
-		reg := telemetry.New()
-		scale.Telemetry = reg
-		srv, err := reg.Serve(*telemetryAddr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
-		defer srv.Close()
+	obs, err := obsFlags.Open(telemetry.New())
+	if err != nil {
+		fatal(err)
+	}
+	defer obs.Close()
+	scale.Journal = obs.Journal
+	if obs.Server != nil {
+		scale.Telemetry = obs.Registry
+		fmt.Fprintln(os.Stderr, obs.ServingLine())
 	}
 
 	var memcached, mcrouter *experiments.Attribution
@@ -131,7 +140,7 @@ func main() {
 				out = append(out, "table1", "table2", "table3", "fig1", "fig2", "fig3",
 					"fig4", "fig5", "fig6", "findings", "attribution")
 			case "attribution":
-				out = append(out, "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+				out = append(out, "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "anatomy")
 			default:
 				out = append(out, n)
 			}
@@ -228,9 +237,44 @@ func main() {
 				fatal(err)
 			}
 			p.table(tab)
+		case "anatomy":
+			tab, err := experiments.AnatomyTable(needMemcached())
+			if err != nil {
+				fatal(err)
+			}
+			p.table(tab)
+			// Detail the turbo contrast: cell 0100 flips only the turbo
+			// factor relative to 0000.
+			for _, t := range experiments.AnatomyCellTables(needMemcached(), "0000", "0100") {
+				p.table(t)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "tailbench: unknown experiment %q\n", target)
 			os.Exit(2)
+		}
+	}
+
+	if obsFlags.AnatomyEnabled() {
+		var recs []*telemetry.AnatomyRecord
+		for _, a := range []*experiments.Attribution{memcached, mcrouter} {
+			if a == nil || a.High == nil || a.High.Anatomy == nil {
+				continue
+			}
+			keys := make([]string, 0, len(a.High.Anatomy))
+			for k := range a.High.Anatomy {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				recs = append(recs, a.High.Anatomy[k].Record(a.Workload+" cell "+k))
+			}
+		}
+		if len(recs) == 0 {
+			fmt.Fprintln(os.Stderr, "tailbench: -anatomy set but no attribution campaign ran; nothing exported")
+		} else if err := anatomy.ExportFile(obsFlags.Anatomy, recs); err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "anatomy: wrote %d cell breakdowns to %s\n", len(recs), obsFlags.Anatomy)
 		}
 	}
 }

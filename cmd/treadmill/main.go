@@ -11,11 +11,16 @@
 //	          [-ground-truth] [-closed-loop]
 //	          [-journal run.jsonl] [-trace traces.jsonl] [-trace-sample 1000]
 //	          [-slippage-alert 1ms] [-telemetry-addr 127.0.0.1:9150]
+//	          [-anatomy anatomy.csv]
 //
-// Observability: -journal appends structured JSONL events (config, per-run
-// quantile snapshots, convergence trajectory, final estimates) that survive
-// Ctrl-C; -trace samples per-request lifecycle records to JSONL;
-// -telemetry-addr serves /metrics, /debug/vars, and /debug/pprof live.
+// Observability (shared flag set with tailbench, telemetry.ObsFlags):
+// -journal appends structured JSONL events (config, per-run quantile
+// snapshots, convergence trajectory, per-run anatomy, final estimates) that
+// survive Ctrl-C; -trace samples per-request lifecycle records to JSONL;
+// -telemetry-addr serves /metrics, /debug/vars, and /debug/pprof live;
+// -anatomy collects every request's client-observable phase decomposition
+// (client send / wire+server / client receive) into a tail-vs-body
+// breakdown, prints it, and exports it as CSV or JSONL.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"treadmill/internal/anatomy"
 	"treadmill/internal/capture"
 	"treadmill/internal/client"
 	"treadmill/internal/core"
@@ -44,26 +50,22 @@ import (
 // defers (journal close, trace flush) execute on all exit paths — log.Fatal
 // in main would skip them.
 type options struct {
-	target        string
-	rate          float64
-	instances     int
-	conns         int
-	duration      time.Duration
-	minRuns       int
-	maxRuns       int
-	workloadPath  string
-	seed          uint64
-	groundTruth   bool
-	closedLoop    bool
-	preload       bool
-	findCapacity  bool
-	sloQuantile   float64
-	sloTarget     time.Duration
-	journalPath   string
-	tracePath     string
-	traceSample   int
-	slippageAlert time.Duration
-	telemetryAddr string
+	target       string
+	rate         float64
+	instances    int
+	conns        int
+	duration     time.Duration
+	minRuns      int
+	maxRuns      int
+	workloadPath string
+	seed         uint64
+	groundTruth  bool
+	closedLoop   bool
+	preload      bool
+	findCapacity bool
+	sloQuantile  float64
+	sloTarget    time.Duration
+	obs          telemetry.ObsFlags
 }
 
 func main() {
@@ -83,11 +85,7 @@ func main() {
 	flag.BoolVar(&o.findCapacity, "find-capacity", false, "binary-search the max rate meeting the SLO instead of measuring one rate")
 	flag.Float64Var(&o.sloQuantile, "slo-quantile", 0.99, "SLO quantile for -find-capacity")
 	flag.DurationVar(&o.sloTarget, "slo-target", 2*time.Millisecond, "SLO latency bound for -find-capacity")
-	flag.StringVar(&o.journalPath, "journal", "", "append structured JSONL run-journal events to this file")
-	flag.StringVar(&o.tracePath, "trace", "", "write sampled per-request trace records (JSONL) to this file")
-	flag.IntVar(&o.traceSample, "trace-sample", 1000, "trace 1 in N requests when -trace is set")
-	flag.DurationVar(&o.slippageAlert, "slippage-alert", telemetry.DefaultSlippageThreshold, "send-slippage alert threshold for the self-audit")
-	flag.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve live /metrics, /debug/vars, and /debug/pprof on this address")
+	o.obs.Register(flag.CommandLine)
 	flag.Parse()
 
 	if o.target == "" {
@@ -111,40 +109,28 @@ func run(ctx context.Context, o options) (err error) {
 		}
 	}
 
-	// Telemetry plumbing: one shared registry for every layer, an optional
-	// journal and tracer, and an optional live exposition endpoint.
+	// Telemetry plumbing: one shared registry for every layer, with the
+	// journal, tracer, and exposition endpoint the shared observability
+	// flag set requested.
 	reg := telemetry.New()
-	var journal *telemetry.Journal
-	if o.journalPath != "" {
-		journal, err = telemetry.OpenJournal(o.journalPath)
-		if err != nil {
-			return err
-		}
-		defer func() {
-			if cerr := journal.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}()
+	obs, err := o.obs.Open(reg)
+	if err != nil {
+		return err
 	}
-	var tracer *telemetry.Tracer
-	if o.tracePath != "" {
-		tracer, err = telemetry.NewTracer(o.traceSample, telemetry.DefaultTraceBuffer)
-		if err != nil {
-			return err
+	defer func() {
+		if cerr := obs.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
+	}()
+	if obs.Tracer != nil {
 		defer func() {
-			if werr := writeTraces(tracer, o.tracePath); werr != nil && err == nil {
+			if werr := writeTraces(obs.Tracer, o.obs.Trace); werr != nil && err == nil {
 				err = werr
 			}
 		}()
 	}
-	if o.telemetryAddr != "" {
-		srv, serr := reg.Serve(o.telemetryAddr)
-		if serr != nil {
-			return serr
-		}
-		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
-		defer srv.Close()
+	if line := obs.ServingLine(); line != "" {
+		fmt.Println(line)
 	}
 
 	if o.preload {
@@ -171,7 +157,7 @@ func run(ctx context.Context, o options) (err error) {
 	case o.closedLoop:
 		err = runClosedLoop(ctx, o, wl, reg)
 	default:
-		err = runTreadmill(ctx, o, wl, reg, journal, tracer)
+		err = runTreadmill(ctx, o, wl, reg, obs.Journal, obs.Tracer)
 	}
 
 	if prober != nil {
@@ -229,7 +215,9 @@ func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telem
 		Duration:      o.duration,
 		Telemetry:     reg,
 		Tracer:        tracer,
-		SlippageAlert: o.slippageAlert,
+		SlippageAlert: o.obs.SlippageAlert,
+		Anatomy:       o.obs.AnatomyEnabled(),
+		Journal:       journal,
 	}
 	fmt.Printf("measuring %s: %d instances x %.0f rps, %v per run, %d-%d runs\n",
 		o.target, o.instances, o.rate/float64(o.instances), o.duration, o.minRuns, o.maxRuns)
@@ -257,7 +245,16 @@ func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telem
 	}
 	fmt.Println(tab)
 	fmt.Printf("hysteresis spread (p99): %s\n", report.Percent(m.RelativeSpread()))
-	printSlippage(reg, o.slippageAlert)
+	printSlippage(reg, o.obs.SlippageAlert)
+	if o.obs.AnatomyEnabled() {
+		if b := tcpRunner.AnatomyBreakdown(); b != nil {
+			fmt.Println(anatomy.Table("Tail anatomy (client-observable phases, all runs)", b))
+			if err := anatomy.ExportFile(o.obs.Anatomy, []*telemetry.AnatomyRecord{b.Record("final")}); err != nil {
+				return err
+			}
+			fmt.Printf("anatomy: wrote breakdown of %d requests to %s\n", b.Requests, o.obs.Anatomy)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,279 @@
+package anatomy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// vecFor builds a plausible phase vector summing exactly to total.
+func vecFor(total float64) Vec {
+	var v Vec
+	v[ClientSend] = 0.1 * total
+	v[Wire] = 0.2 * total
+	v[ServerQueue] = 0.3 * total
+	v[Service] = 0.4 * total
+	return v
+}
+
+func mustAggregator(t *testing.T) *Aggregator {
+	t.Helper()
+	a, err := NewAggregator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                                          // zero config
+		{Lo: -1, Hi: 1, Bins: 10, BodyQ: 0.5, TailQ: 0.99},  // negative Lo
+		{Lo: 1, Hi: 0.5, Bins: 10, BodyQ: 0.5, TailQ: 0.99}, // Hi <= Lo
+		{Lo: 1e-7, Hi: 100, Bins: 1, BodyQ: 0.5, TailQ: 0.99},   // too few bins
+		{Lo: 1e-7, Hi: 100, Bins: 10, BodyQ: 0.99, TailQ: 0.5},  // BodyQ >= TailQ
+		{Lo: 1e-7, Hi: 100, Bins: 10, BodyQ: 0.5, TailQ: 1},     // TailQ >= 1
+	}
+	for i, cfg := range bad {
+		if _, err := NewAggregator(cfg); err == nil {
+			t.Errorf("config %d (%+v) should be rejected", i, cfg)
+		}
+	}
+}
+
+// Fewer than MinRequests valid observations: the P99 threshold is
+// statistically undefined, so the breakdown must be low-confidence — but
+// never panic and still report exact overall means.
+func TestFewRequestsLowConfidence(t *testing.T) {
+	a := mustAggregator(t)
+	for i := 0; i < 50; i++ {
+		total := 100e-6 + float64(i)*1e-6
+		a.Record(total, vecFor(total))
+	}
+	b := a.Finalize()
+	if !b.LowConfidence {
+		t.Fatal("50 requests should be low-confidence")
+	}
+	if !strings.Contains(b.Reason, "undefined") {
+		t.Errorf("reason %q should explain the undefined threshold", b.Reason)
+	}
+	if b.Requests != 50 {
+		t.Errorf("requests = %d, want 50", b.Requests)
+	}
+	if b.Overall.Count != 50 || b.Overall.MeanTotal <= 0 {
+		t.Errorf("overall cut should still be populated: %+v", b.Overall)
+	}
+}
+
+// All-equal latencies: body and tail thresholds land in the same bin, so the
+// cuts overlap and the breakdown cannot separate tail from body.
+func TestAllEqualLatenciesLowConfidence(t *testing.T) {
+	a := mustAggregator(t)
+	for i := 0; i < 500; i++ {
+		a.Record(250e-6, vecFor(250e-6))
+	}
+	b := a.Finalize()
+	if !b.LowConfidence {
+		t.Fatal("all-equal latencies should be low-confidence")
+	}
+	if !strings.Contains(b.Reason, "same latency bin") {
+		t.Errorf("reason %q should name the bin overlap", b.Reason)
+	}
+	// The cuts still decompose correctly even though they overlap.
+	if math.Abs(b.Overall.MeanTotal-250e-6) > 1e-12 {
+		t.Errorf("overall mean %g, want 250us", b.Overall.MeanTotal)
+	}
+}
+
+func TestSingleRequest(t *testing.T) {
+	a := mustAggregator(t)
+	a.Record(1e-3, vecFor(1e-3))
+	b := a.Finalize()
+	if !b.LowConfidence {
+		t.Fatal("single request should be low-confidence")
+	}
+	if b.Requests != 1 {
+		t.Errorf("requests = %d, want 1", b.Requests)
+	}
+}
+
+func TestEmptyAggregator(t *testing.T) {
+	b := mustAggregator(t).Finalize()
+	if !b.LowConfidence || !strings.Contains(b.Reason, "no requests") {
+		t.Errorf("empty aggregator: LowConfidence=%v Reason=%q", b.LowConfidence, b.Reason)
+	}
+}
+
+// Nil aggregators are safe no-ops everywhere (runs without -anatomy pass
+// nil through the whole pipeline).
+func TestNilAggregatorSafe(t *testing.T) {
+	var a *Aggregator
+	a.Record(1e-3, Vec{})
+	a.AttachLive(nil)
+	if a.Count() != 0 || a.Invalid() != 0 {
+		t.Error("nil aggregator should count nothing")
+	}
+	if b := a.Finalize(); b == nil || !b.LowConfidence {
+		t.Error("nil aggregator should finalize to a low-confidence breakdown")
+	}
+}
+
+// Non-positive, NaN, and infinite totals are instrumentation bugs upstream:
+// counted as invalid, never binned.
+func TestInvalidObservationsRejected(t *testing.T) {
+	a := mustAggregator(t)
+	for _, bad := range []float64{0, -1e-6, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		a.Record(bad, Vec{})
+	}
+	a.Record(1e-3, vecFor(1e-3))
+	if got := a.Invalid(); got != 5 {
+		t.Errorf("invalid = %d, want 5", got)
+	}
+	if got := a.Count(); got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+}
+
+// Under- and overflow observations still land in the body and tail cuts.
+func TestUnderOverflowRouting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinRequests = 10
+	a, err := NewAggregator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		a.Record(1e-8, vecFor(1e-8)) // below Lo
+	}
+	for i := 0; i < 4; i++ {
+		a.Record(200, vecFor(200)) // above Hi
+	}
+	b := a.Finalize()
+	if b.Requests != 204 {
+		t.Fatalf("requests = %d, want 204", b.Requests)
+	}
+	if b.Tail.Count == 0 {
+		t.Error("overflow observations should populate the tail cut")
+	}
+	if b.Body.Count == 0 {
+		t.Error("underflow observations should populate the body cut")
+	}
+}
+
+// A bimodal population: ~98% fast requests dominated by service, ~2% slow
+// requests dominated by queueing (comfortably past P99, so the tail cut
+// isolates the slow mode). The tail excess must point at the queueing phase.
+func TestBimodalTailAttribution(t *testing.T) {
+	a := mustAggregator(t)
+	for i := 0; i < 5000; i++ {
+		var v Vec
+		v[Service] = 90e-6
+		v[Wire] = 10e-6
+		a.Record(100e-6, v)
+	}
+	for i := 0; i < 110; i++ {
+		var v Vec
+		v[Service] = 90e-6
+		v[Wire] = 10e-6
+		v[ServerQueue] = 900e-6
+		a.Record(1e-3, v)
+	}
+	b := a.Finalize()
+	if b.LowConfidence {
+		t.Fatalf("unexpected low confidence: %s", b.Reason)
+	}
+	if math.Abs(b.Body.MeanTotal-100e-6)/100e-6 > 0.05 {
+		t.Errorf("body mean %g, want ~100us", b.Body.MeanTotal)
+	}
+	if math.Abs(b.Tail.MeanTotal-1e-3)/1e-3 > 0.05 {
+		t.Errorf("tail mean %g, want ~1ms", b.Tail.MeanTotal)
+	}
+	ex := b.TailExcess()
+	if got := ex.ArgMax(); got != ServerQueue {
+		t.Errorf("tail excess argmax = %v, want srv_queue (%+v)", got, ex)
+	}
+	if math.Abs(ex[ServerQueue]-900e-6)/900e-6 > 0.05 {
+		t.Errorf("queue excess %g, want ~900us", ex[ServerQueue])
+	}
+	// Phase means must reconstruct the cut totals (ledger consistency).
+	for _, c := range []Cut{b.Overall, b.Body, b.Tail} {
+		if d := math.Abs(c.Mean.Sum() - c.MeanTotal); d > 0.05*c.MeanTotal {
+			t.Errorf("%s: phase means sum %g vs mean total %g", c.Name, c.Mean.Sum(), c.MeanTotal)
+		}
+	}
+}
+
+func TestMergeGeometryMismatch(t *testing.T) {
+	a := mustAggregator(t)
+	cfg := DefaultConfig()
+	cfg.Bins = 64
+	other, err := NewAggregator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(other); err == nil {
+		t.Error("mismatched bin geometry should refuse to merge")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge should be a no-op, got %v", err)
+	}
+}
+
+func TestMergeAccumulates(t *testing.T) {
+	a, b := mustAggregator(t), mustAggregator(t)
+	for i := 0; i < 100; i++ {
+		a.Record(100e-6, vecFor(100e-6))
+		b.Record(300e-6, vecFor(300e-6))
+	}
+	b.Record(-1, Vec{}) // invalid
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Count(); got != 200 {
+		t.Errorf("merged count = %d, want 200", got)
+	}
+	if got := a.Invalid(); got != 1 {
+		t.Errorf("merged invalid = %d, want 1", got)
+	}
+	fin := a.Finalize()
+	if math.Abs(fin.Overall.MeanTotal-200e-6) > 1e-9 {
+		t.Errorf("merged overall mean %g, want 200us", fin.Overall.MeanTotal)
+	}
+}
+
+func TestPhaseNamesStable(t *testing.T) {
+	names := PhaseNames()
+	if len(names) != NumPhases {
+		t.Fatalf("%d names for %d phases", len(names), NumPhases)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("phase %d name %q empty or duplicated", i, n)
+		}
+		seen[n] = true
+		if Phase(i).String() != n {
+			t.Errorf("Phase(%d).String() = %q, want %q", i, Phase(i).String(), n)
+		}
+	}
+	if got := Phase(-1).String(); !strings.Contains(got, "Phase(") {
+		t.Errorf("out-of-range phase string = %q", got)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	var v Vec
+	v.Add(Service, 2)
+	v.Add(Wire, 1)
+	v.Add(Service, 1)
+	if v.Sum() != 4 {
+		t.Errorf("sum = %g, want 4", v.Sum())
+	}
+	if v.ArgMax() != Service {
+		t.Errorf("argmax = %v, want service", v.ArgMax())
+	}
+	d := v.Minus(Vec{})
+	if d != v {
+		t.Error("minus zero should be identity")
+	}
+}

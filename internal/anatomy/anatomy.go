@@ -1,0 +1,140 @@
+// Package anatomy decomposes each request's measured latency into
+// mechanistic phase spans and aggregates them into tail-vs-body breakdowns.
+//
+// The paper attributes tail latency statistically: a factorial experiment
+// plus quantile regression says WHICH factor moves the tail. The simulator,
+// though, knows mechanistically WHERE every nanosecond went — C-state exit
+// latency, P-state ramp deficit, RSS interrupt-queue wait, NUMA
+// remote-access penalties, server queueing. This package keeps that
+// information: the simulator stamps a phase vector onto every request
+// (spans sum exactly to the measured latency, enforced by an invariant
+// test), and a streaming Aggregator folds the vectors into conditional
+// per-phase breakdowns for body requests (≤ P50) versus tail requests
+// (≥ P99) in O(bins) memory — the mechanistic ground truth the regression's
+// attributions can be validated against. The real TCP path mirrors a
+// coarser three-phase version (client send / wire+server / client receive)
+// from the tracer's timestamps.
+package anatomy
+
+import "fmt"
+
+// Phase identifies one mechanistic span of a request's lifecycle. The
+// simulator fills the fine-grained phases; the real TCP path, which cannot
+// see inside the server, fills the coarse triple {ClientSend, WireServer,
+// ClientRecv}.
+type Phase int
+
+const (
+	// ClientSend is client-side time before the request reaches the NIC:
+	// CPU-pool queue wait plus send-path work — the send slippage the
+	// paper's pitfall 3 warns about, per request.
+	ClientSend Phase = iota
+	// NetQueue is serialization-queue wait at the transmitting NIC, both
+	// directions summed (the paper's Fig. 3 load-dependent network term).
+	NetQueue
+	// Wire is serialization (tx) time plus propagation delay, both
+	// directions summed.
+	Wire
+	// RSSQueue is wait in the RSS-mapped interrupt core's run queue before
+	// kernel interrupt handling begins.
+	RSSQueue
+	// CStateWake is deep-idle (C-state) exit latency absorbed by this
+	// request's work, on the interrupt and worker cores.
+	CStateWake
+	// PStateRamp is the P-state/turbo ramp deficit: extra execution time
+	// from running below the hardware's maximum frequency, plus any
+	// frequency-transition stalls charged to this request's work.
+	PStateRamp
+	// NUMAPenalty is the remote-memory access penalty, valued at the
+	// reference (maximum) frequency.
+	NUMAPenalty
+	// ServerQueue is wait in the worker core's run queue (classic server
+	// queueing delay).
+	ServerQueue
+	// Service is pure service time: interrupt-handling plus user-space
+	// cycles at the reference (maximum) frequency — what the request would
+	// cost on an unloaded, fully ramped machine.
+	Service
+	// Backend is the proxied backend round trip (mcrouter-style servers).
+	Backend
+	// ClientRecv is client-side time after the response reaches the NIC:
+	// kernel interrupt delay, receive-path work, and callback batching.
+	ClientRecv
+	// WireServer is the coarse wire+server span the real TCP path records
+	// (send syscall return to first response byte) — indivisible from the
+	// client's vantage point without server cooperation.
+	WireServer
+
+	// NumPhases is the phase count; Vec is indexed by Phase.
+	NumPhases int = iota
+)
+
+var phaseNames = [NumPhases]string{
+	"client_send", "net_queue", "wire", "rss_queue", "cstate_wake",
+	"pstate_ramp", "numa", "srv_queue", "service", "backend",
+	"client_recv", "wire_server",
+}
+
+// String returns the phase's stable snake_case name (used in metrics,
+// journals, and exports).
+func (p Phase) String() string {
+	if p < 0 || int(p) >= NumPhases {
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// PhaseNames returns the stable names of all phases, indexed by Phase.
+func PhaseNames() []string {
+	out := make([]string, NumPhases)
+	for i := range out {
+		out[i] = phaseNames[i]
+	}
+	return out
+}
+
+// Vec is a per-request phase-span vector in seconds, indexed by Phase. The
+// simulator guarantees (and tests enforce) that a completed request's Vec
+// sums to its measured latency.
+type Vec [NumPhases]float64
+
+// Add accumulates d seconds into phase p.
+func (v *Vec) Add(p Phase, d float64) { v[p] += d }
+
+// Sum returns the total of all spans.
+func (v Vec) Sum() float64 {
+	s := 0.0
+	for _, d := range v {
+		s += d
+	}
+	return s
+}
+
+// Minus returns the element-wise difference v − o.
+func (v Vec) Minus(o Vec) Vec {
+	var out Vec
+	for i := range v {
+		out[i] = v[i] - o[i]
+	}
+	return out
+}
+
+// scale returns v with every span multiplied by f.
+func (v Vec) scale(f float64) Vec {
+	var out Vec
+	for i := range v {
+		out[i] = v[i] * f
+	}
+	return out
+}
+
+// ArgMax returns the phase with the largest span.
+func (v Vec) ArgMax() Phase {
+	best := Phase(0)
+	for i := 1; i < NumPhases; i++ {
+		if v[i] > v[best] {
+			best = Phase(i)
+		}
+	}
+	return best
+}

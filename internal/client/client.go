@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"treadmill/internal/anatomy"
 	"treadmill/internal/protocol"
 	"treadmill/internal/telemetry"
 )
@@ -43,6 +44,9 @@ type pending struct {
 	op    protocol.Op
 	cb    Callback
 	start time.Time
+	// arrivalNs is the intended (open-loop scheduled) issue instant, the
+	// origin of the coarse phase decomposition.
+	arrivalNs int64
 	// trace is non-nil when this request was sampled for tracing. The
 	// send stamp goes through sendNs: the writer stores it after the
 	// flush, concurrently with the reader goroutine that publishes the
@@ -68,6 +72,7 @@ type Conn struct {
 	// Telemetry handles; all nil-safe, so a connection without a registry
 	// pays only inlined nil checks on the hot path.
 	tracer    *telemetry.Tracer
+	anatomy   *anatomy.Aggregator
 	reqs      *telemetry.Counter
 	resps     *telemetry.Counter
 	fails     *telemetry.Counter
@@ -89,6 +94,10 @@ type ConnConfig struct {
 	Telemetry *telemetry.Registry
 	// Tracer, when non-nil, samples per-request lifecycle traces.
 	Tracer *telemetry.Tracer
+	// Anatomy, when non-nil, receives the coarse three-phase decomposition
+	// of every successful request (client send / wire+server / client
+	// receive) — every request, independent of trace sampling.
+	Anatomy *anatomy.Aggregator
 }
 
 // DefaultConnConfig returns sensible load-test defaults.
@@ -120,6 +129,7 @@ func Dial(addr string, cfg ConnConfig) (*Conn, error) {
 		inflight: make(chan *pending, cfg.MaxInflight),
 		done:     make(chan struct{}),
 		tracer:   cfg.Tracer,
+		anatomy:  cfg.Anatomy,
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		reg.Counter("client.conns_opened").Inc()
@@ -154,10 +164,22 @@ func (c *Conn) readLoop(r *bufio.Reader) {
 		p.cb(&Result{Resp: resp, Start: p.start, Done: now})
 		c.resps.Inc()
 		c.inflightG.Add(-1)
-		if p.trace != nil {
-			p.trace.SendNs = p.sendNs.Load()
-			p.trace.CompleteNs = time.Now().UnixNano()
-			c.tracer.Emit(*p.trace)
+		if p.trace != nil || c.anatomy != nil {
+			completeNs := time.Now().UnixNano()
+			sendNs := p.sendNs.Load()
+			if p.trace != nil {
+				p.trace.SendNs = sendNs
+				p.trace.CompleteNs = completeNs
+				c.tracer.Emit(*p.trace)
+			}
+			// The anatomy mirror sees every request, not just sampled
+			// traces, so the breakdown is not subject to trace-buffer
+			// limits or sampling noise.
+			if c.anatomy != nil {
+				if v, total, ok := anatomy.FromTrace(p.arrivalNs, sendNs, now.UnixNano(), completeNs); ok {
+					c.anatomy.Record(total, v)
+				}
+			}
 		}
 	}
 }
@@ -207,15 +229,15 @@ func (c *Conn) DoAt(req *protocol.Request, arrival time.Time, cb Callback) error
 		return errors.New("client: nil callback")
 	}
 	start := time.Now()
-	p := &pending{op: req.Op, cb: cb, start: start}
+	if arrival.IsZero() {
+		arrival = start
+	}
+	p := &pending{op: req.Op, cb: cb, start: start, arrivalNs: arrival.UnixNano()}
 	if c.tracer.Sample() {
-		if arrival.IsZero() {
-			arrival = start
-		}
 		p.trace = &telemetry.Trace{
 			ID:        c.tracer.NextID(),
 			Op:        req.Op.String(),
-			ArrivalNs: arrival.UnixNano(),
+			ArrivalNs: p.arrivalNs,
 			EnqueueNs: start.UnixNano(),
 		}
 	}
@@ -240,7 +262,7 @@ func (c *Conn) DoAt(req *protocol.Request, arrival time.Time, cb Callback) error
 	if err == nil {
 		err = c.w.Flush()
 	}
-	if err == nil && p.trace != nil {
+	if err == nil && (p.trace != nil || c.anatomy != nil) {
 		p.sendNs.Store(time.Now().UnixNano())
 	}
 	c.mu.Unlock()

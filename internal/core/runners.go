@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"treadmill/internal/anatomy"
 	"treadmill/internal/client"
 	"treadmill/internal/loadgen"
 	"treadmill/internal/sim"
@@ -32,6 +33,78 @@ type SimRunner struct {
 	// (sim.send_slippage: client NIC departure minus intended open-loop
 	// issue instant — the in-sim client-side bias).
 	Telemetry *telemetry.Registry
+	// Anatomy, when true, aggregates every completed request's phase
+	// decomposition into a tail-vs-body breakdown (merged across runs,
+	// retrievable via AnatomyBreakdown) and, with Telemetry set, publishes
+	// live per-phase recorders.
+	Anatomy bool
+	// Journal, when non-nil (and Anatomy set), receives one "anatomy"
+	// event per run with that run's breakdown.
+	Journal *telemetry.Journal
+
+	anatomyState
+}
+
+// anatomyState is the shared cross-run anatomy accumulation embedded in
+// both runners.
+type anatomyState struct {
+	mu   sync.Mutex
+	agg  *anatomy.Aggregator
+	live *anatomy.Live
+}
+
+// newRunAggregator returns a fresh per-run aggregator (with live telemetry
+// recorders attached), creating the merged cross-run aggregator and the
+// recorders on first use.
+func (s *anatomyState) newRunAggregator(reg *telemetry.Registry) (*anatomy.Aggregator, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.agg == nil {
+		var err error
+		if s.agg, err = anatomy.NewAggregator(anatomy.DefaultConfig()); err != nil {
+			return nil, err
+		}
+		s.live = anatomy.RegisterRecorders(reg)
+	}
+	run, err := anatomy.NewAggregator(anatomy.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	run.AttachLive(s.live)
+	return run, nil
+}
+
+// finishRun merges a completed run's aggregator into the cross-run total
+// and journals the run's breakdown.
+func (s *anatomyState) finishRun(j *telemetry.Journal, run int, seed uint64, agg *anatomy.Aggregator) error {
+	s.mu.Lock()
+	err := s.agg.Merge(agg)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if j != nil {
+		b := agg.Finalize()
+		rec := b.Record(fmt.Sprintf("run %d", run))
+		return j.Emit(telemetry.Event{
+			Kind:    telemetry.EventAnatomy,
+			Anatomy: rec,
+			Fields:  map[string]any{"run": run, "seed": seed},
+		})
+	}
+	return nil
+}
+
+// AnatomyBreakdown returns the tail-vs-body phase breakdown merged across
+// every run executed so far, or nil when anatomy collection is off or no
+// run has completed.
+func (s *anatomyState) AnatomyBreakdown() *anatomy.Breakdown {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.agg == nil {
+		return nil
+	}
+	return s.agg.Finalize()
 }
 
 // simRunSlices is how many chunks a simulated run is split into so the
@@ -39,7 +112,7 @@ type SimRunner struct {
 const simRunSlices = 64
 
 // RunOnce implements Runner.
-func (r *SimRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float64, error) {
+func (r *SimRunner) RunOnce(ctx context.Context, run int, seed uint64) ([][]float64, error) {
 	if r.RatePerClient <= 0 || r.ConnsPerClient < 1 || r.Duration <= 0 {
 		return nil, fmt.Errorf("core: sim runner needs positive rate/conns/duration")
 	}
@@ -53,8 +126,14 @@ func (r *SimRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float6
 	var slip *telemetry.Slippage
 	if r.Telemetry != nil {
 		slip = telemetry.NewSlippage(r.Telemetry, "sim.send_slippage", 0)
-		// Sample queue depths ~1000 times per run.
-		cluster.Register(r.Telemetry, horizon/1000)
+		// Sample queue depths ~1000 times per run, stopping at the horizon.
+		cluster.Register(r.Telemetry, horizon/1000, horizon)
+	}
+	var runAgg *anatomy.Aggregator
+	if r.Anatomy {
+		if runAgg, err = r.newRunAggregator(r.Telemetry); err != nil {
+			return nil, err
+		}
 	}
 	streams := make([][]float64, len(cluster.Clients))
 	for i, c := range cluster.Clients {
@@ -62,6 +141,9 @@ func (r *SimRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float6
 		c.OnComplete = func(req *sim.Request) {
 			if req.Created >= r.Warmup {
 				streams[i] = append(streams[i], req.MeasuredLatency())
+				if runAgg != nil {
+					runAgg.Record(req.MeasuredLatency(), req.Phases)
+				}
 			}
 			slip.Observe(req.ReqAtClientNIC - req.Created)
 		}
@@ -76,6 +158,11 @@ func (r *SimRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float6
 			return nil, err
 		}
 		cluster.Run(horizon * float64(s) / simRunSlices)
+	}
+	if runAgg != nil {
+		if err := r.finishRun(r.Journal, run, seed, runAgg); err != nil {
+			return nil, err
+		}
 	}
 	return streams, nil
 }
@@ -107,15 +194,31 @@ type TCPRunner struct {
 	// SlippageAlert is the send-slippage alert threshold (<= 0 selects
 	// telemetry.DefaultSlippageThreshold).
 	SlippageAlert time.Duration
+	// Anatomy, when true, collects the coarse client-observable phase
+	// decomposition (client send / wire+server / client receive) into a
+	// tail-vs-body breakdown, merged across runs (AnatomyBreakdown).
+	Anatomy bool
+	// Journal, when non-nil (and Anatomy set), receives one "anatomy"
+	// event per run.
+	Journal *telemetry.Journal
+
+	anatomyState
 }
 
 // RunOnce implements Runner.
-func (r *TCPRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float64, error) {
+func (r *TCPRunner) RunOnce(ctx context.Context, run int, seed uint64) ([][]float64, error) {
 	if r.Instances < 1 {
 		return nil, fmt.Errorf("core: tcp runner needs >= 1 instance")
 	}
 	if r.Duration <= 0 {
 		return nil, fmt.Errorf("core: tcp runner needs positive duration")
+	}
+	var runAgg *anatomy.Aggregator
+	if r.Anatomy {
+		var err error
+		if runAgg, err = r.newRunAggregator(r.Telemetry); err != nil {
+			return nil, err
+		}
 	}
 	addr := r.Addr
 	if r.Restart != nil {
@@ -135,6 +238,7 @@ func (r *TCPRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float6
 		opts.Telemetry = r.Telemetry
 		opts.Tracer = r.Tracer
 		opts.SlippageAlert = r.SlippageAlert
+		opts.Anatomy = runAgg
 		opts.OnResult = func(res *client.Result) {
 			if res.Err != nil {
 				return
@@ -171,6 +275,11 @@ func (r *TCPRunner) RunOnce(ctx context.Context, _ int, seed uint64) ([][]float6
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: instance %d: %w", i, err)
+		}
+	}
+	if runAgg != nil {
+		if err := r.finishRun(r.Journal, run, seed, runAgg); err != nil {
+			return nil, err
 		}
 	}
 	return streams, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"treadmill/internal/anatomy"
 	"treadmill/internal/dist"
 	"treadmill/internal/quantreg"
 	"treadmill/internal/report"
@@ -54,6 +55,8 @@ func newStudy(s Scale, workloadName string, rate float64) (*runner.Study, error)
 		Quantiles:      attributionQuantiles,
 		Seed:           s.Seed,
 		Telemetry:      s.Telemetry,
+		CollectAnatomy: true,
+		Journal:        s.Journal,
 	}, nil
 }
 
@@ -216,6 +219,63 @@ func Fig11(attrs ...*Attribution) *report.Table {
 		}
 	}
 	return tab
+}
+
+// AnatomyTable renders the mechanistic cross-check of the statistical
+// attribution: for every factorial cell of the high-load campaign, where
+// tail requests (≥P99) spend their extra time relative to body requests
+// (≤P50), and which mechanism dominates that excess. If the regression says
+// a factor moves the tail, the cells that flip it should show the matching
+// phase (e.g. turbo off ⇒ the P-state/turbo ramp deficit dominates).
+func AnatomyTable(a *Attribution) (*report.Table, error) {
+	if a.High == nil || a.High.Anatomy == nil {
+		return nil, fmt.Errorf("attribution campaign collected no anatomy")
+	}
+	tab := &report.Table{
+		Title: fmt.Sprintf("Tail anatomy per configuration (%s, high load): body ≤P50 vs tail ≥P99", a.Workload),
+		Headers: []string{"config (numa,turbo,dvfs,nic)", "requests", "p50", "p99",
+			"total excess", "top excess phase", "phase excess", "share"},
+	}
+	for _, levels := range runner.Permutations(len(a.Factors)) {
+		key := runner.LevelsKey(levels)
+		b, ok := a.High.Anatomy[key]
+		if !ok {
+			continue
+		}
+		excess := b.TailExcess()
+		top := excess.ArgMax()
+		totalExcess := b.Tail.MeanTotal - b.Body.MeanTotal
+		share := "n/a"
+		if totalExcess > 0 {
+			share = report.Percent(excess[top] / totalExcess)
+		}
+		note := ""
+		if b.LowConfidence {
+			note = " (low confidence)"
+		}
+		tab.AddRow(key, fmt.Sprintf("%d", b.Requests),
+			report.Micros(b.P50), report.Micros(b.P99),
+			report.Micros(totalExcess), top.String()+note,
+			report.Micros(excess[top]), share)
+	}
+	return tab, nil
+}
+
+// AnatomyCellTables renders the full per-phase breakdown for selected cells
+// (by LevelsKey); unknown keys are skipped. tailbench uses it to show the
+// turbo-off vs turbo-on contrast in detail.
+func AnatomyCellTables(a *Attribution, keys ...string) []*report.Table {
+	var out []*report.Table
+	if a.High == nil {
+		return out
+	}
+	for _, key := range keys {
+		if b, ok := a.High.Anatomy[key]; ok {
+			out = append(out, anatomy.Table(
+				fmt.Sprintf("Tail anatomy, %s cell %s (high load)", a.Workload, key), b))
+		}
+	}
+	return out
 }
 
 // TuningOutcome summarizes Fig. 12's before/after comparison.

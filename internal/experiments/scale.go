@@ -28,6 +28,9 @@ type Scale struct {
 	// Telemetry, when non-nil, receives live campaign-progress gauges
 	// from the studies this scale drives (see runner.Study.Telemetry).
 	Telemetry *telemetry.Registry
+	// Journal, when non-nil, receives per-factorial-cell anatomy events
+	// from attribution campaigns (see runner.Study.Journal).
+	Journal *telemetry.Journal
 }
 
 // Quick returns a scale that exercises every code path in seconds.

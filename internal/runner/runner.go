@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"treadmill/internal/agg"
+	"treadmill/internal/anatomy"
 	"treadmill/internal/dist"
 	"treadmill/internal/quantreg"
 	"treadmill/internal/sim"
@@ -118,6 +119,14 @@ type Study struct {
 	// (runner.experiments_done, runner.experiments_total) so a long
 	// full-scale campaign can be watched over the exposition endpoint.
 	Telemetry *telemetry.Registry
+	// CollectAnatomy accumulates every request's phase decomposition into
+	// one tail-vs-body breakdown per factorial cell (Result.Anatomy) —
+	// the mechanistic complement to the regression's statistical
+	// attribution.
+	CollectAnatomy bool
+	// Journal, when non-nil (and CollectAnatomy set), receives one
+	// "anatomy" event per factorial cell after the campaign.
+	Journal *telemetry.Journal
 }
 
 func (s *Study) validate() error {
@@ -144,6 +153,10 @@ type Result struct {
 	Factors   []string
 	Quantiles []float64
 	Samples   []Sample
+	// Anatomy maps each factorial cell (LevelsKey) to its tail-vs-body
+	// phase breakdown, merged over the cell's replicates. Nil unless the
+	// study set CollectAnatomy.
+	Anatomy map[string]*anatomy.Breakdown
 }
 
 // Run executes the campaign: Replicates × 2^k experiments in randomized
@@ -169,11 +182,28 @@ func (s *Study) Run(ctx context.Context) (*Result, error) {
 	doneG := s.Telemetry.Gauge("runner.experiments_done")
 	totalG := s.Telemetry.Gauge("runner.experiments_total")
 	totalG.Set(int64(len(schedule)))
+	// One anatomy aggregator per factorial cell, merged over replicates.
+	var cellAggs map[string]*anatomy.Aggregator
+	if s.CollectAnatomy {
+		cellAggs = make(map[string]*anatomy.Aggregator)
+	}
 	for i, levels := range schedule {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sample, err := s.RunConfig(levels, s.Seed+uint64(i)*7919+1)
+		var cellAgg *anatomy.Aggregator
+		if cellAggs != nil {
+			key := LevelsKey(levels)
+			cellAgg = cellAggs[key]
+			if cellAgg == nil {
+				var err error
+				if cellAgg, err = anatomy.NewAggregator(anatomy.DefaultConfig()); err != nil {
+					return nil, err
+				}
+				cellAggs[key] = cellAgg
+			}
+		}
+		sample, err := s.runConfig(levels, s.Seed+uint64(i)*7919+1, cellAgg)
 		if err != nil {
 			return nil, fmt.Errorf("runner: experiment %d (levels %v): %w", i, levels, err)
 		}
@@ -183,14 +213,36 @@ func (s *Study) Run(ctx context.Context) (*Result, error) {
 			s.Progress(i+1, len(schedule))
 		}
 	}
+	if cellAggs != nil {
+		res.Anatomy = make(map[string]*anatomy.Breakdown, len(cellAggs))
+		for key, agg := range cellAggs {
+			b := agg.Finalize()
+			res.Anatomy[key] = b
+			if s.Journal != nil {
+				if err := s.Journal.Emit(telemetry.Event{
+					Kind:    telemetry.EventAnatomy,
+					Anatomy: b.Record("cell " + key),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	return res, nil
 }
 
 // RunConfig performs one experiment: fresh cluster, configured levels,
 // open-loop load, per-instance quantile extraction, mean combination. It
 // is exported so the tuning evaluation (Fig. 12) can replay individual
-// configurations outside a full campaign.
+// configurations outside a full campaign — such replays deliberately do
+// not feed the per-cell anatomy aggregation.
 func (s *Study) RunConfig(levels []int, seed uint64) (Sample, error) {
+	return s.runConfig(levels, seed, nil)
+}
+
+// runConfig is RunConfig with an optional anatomy aggregator that receives
+// every post-warmup request's phase vector.
+func (s *Study) runConfig(levels []int, seed uint64, anat *anatomy.Aggregator) (Sample, error) {
 	cfg := s.Base
 	// Deep-enough copy of the mutable parts factor Apply functions touch.
 	cfg.Clients = append([]sim.ClientSpec(nil), s.Base.Clients...)
@@ -208,6 +260,9 @@ func (s *Study) RunConfig(levels []int, seed uint64) (Sample, error) {
 		c.OnComplete = func(req *sim.Request) {
 			if req.Created >= s.Warmup {
 				perClient[i] = append(perClient[i], req.MeasuredLatency())
+				if anat != nil {
+					anat.Record(req.MeasuredLatency(), req.Phases)
+				}
 			}
 		}
 		if err := c.StartOpenLoop(s.TotalRate/float64(len(cluster.Clients)), s.ConnsPerClient); err != nil {

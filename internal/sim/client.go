@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"treadmill/internal/anatomy"
 	"treadmill/internal/dist"
 )
 
@@ -191,6 +192,10 @@ func (c *Client) Utilization() float64 { return c.cpu.utilization() }
 // Stop halts load generation after in-flight work drains.
 func (c *Client) Stop() { c.stopped = true }
 
+// Stopped reports whether Stop has been called (telemetry probes use it to
+// decide when to stop self-rescheduling).
+func (c *Client) Stopped() bool { return c.stopped }
+
 // StartOpenLoop generates requests with exponential inter-arrival times at
 // the given rate across conns connections, the paper's required open-loop
 // design (§II-A). Generation continues until Stop or the engine horizon.
@@ -268,12 +273,20 @@ func (c *Client) issue(connID int, after func(*Request)) {
 	c.nextID++
 	c.sent++
 	c.outstanding++
-	// Send path: client CPU work, then the wire.
+	// Send path: client CPU work, then the wire. Each hop charges its span
+	// to the request's phase vector (client pool queue+work, NIC
+	// serialization queues, wire transit) so the spans tile
+	// [Created, ClientDone] exactly.
 	c.cpu.submit(c.cfg.SendCycles, func() {
 		req.ReqAtClientNIC = c.eng.Now()
-		c.toSrv.Send(req.SizeReq, func() {
+		req.Phases.Add(anatomy.ClientSend, req.ReqAtClientNIC-req.Created)
+		c.toSrv.SendTimed(req.SizeReq, func(queueWait, transit float64) {
+			req.Phases.Add(anatomy.NetQueue, queueWait)
+			req.Phases.Add(anatomy.Wire, transit)
 			c.server.Arrive(req, func() {
-				c.fromSr.Send(req.SizeResp, func() {
+				c.fromSr.SendTimed(req.SizeResp, func(queueWait, transit float64) {
+					req.Phases.Add(anatomy.NetQueue, queueWait)
+					req.Phases.Add(anatomy.Wire, transit)
 					c.receive(req, after)
 				})
 			})
@@ -290,6 +303,7 @@ func (c *Client) receive(req *Request, after func(*Request)) {
 		c.cpu.submit(c.cfg.RecvCycles, func() {
 			complete := func() {
 				req.ClientDone = c.eng.Now()
+				req.Phases.Add(anatomy.ClientRecv, req.ClientDone-req.RespAtClientNIC)
 				c.outstanding--
 				c.done++
 				if c.OnComplete != nil {

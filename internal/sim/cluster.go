@@ -116,14 +116,12 @@ func (c *Cluster) TotalOutstanding() int {
 }
 
 // SampleOutstanding installs a periodic probe that appends
-// TotalOutstanding to out every period seconds until the engine horizon.
+// TotalOutstanding to out every period seconds until the cluster drains
+// (all clients stopped, nothing in flight).
 func (c *Cluster) SampleOutstanding(period float64, out *[]int) {
-	var probe func()
-	probe = func() {
+	c.probeEvery(period, 0, func() {
 		*out = append(*out, c.TotalOutstanding())
-		c.Eng.Schedule(period, probe)
-	}
-	c.Eng.Schedule(period, probe)
+	})
 }
 
 // StopAll halts generation on every client.

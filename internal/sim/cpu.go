@@ -116,9 +116,28 @@ func (c CPUConfig) validate() error {
 
 // task is one unit of queued core work.
 type task struct {
-	cycles float64
-	start  func()
-	done   func()
+	cycles   float64
+	start    func()
+	done     func()
+	submitAt float64
+	profiled func(ExecProfile)
+}
+
+// ExecProfile decomposes one task's time on a core, from submission to
+// completion: QueueWait + WakeStall + TransStall + ExecTime spans the whole
+// interval exactly. It is the raw material for per-request phase
+// attribution (internal/anatomy).
+type ExecProfile struct {
+	// QueueWait is time spent in the core's run queue before execution.
+	QueueWait float64
+	// WakeStall is deep-idle (C-state) exit latency charged to this task.
+	WakeStall float64
+	// TransStall is frequency-transition stall charged to this task.
+	TransStall float64
+	// ExecTime is Cycles / Freq — execution at the core's current speed.
+	ExecTime float64
+	// Freq is the frequency the task ran at; Cycles its submitted work.
+	Freq, Cycles float64
 }
 
 // Core is a single CPU core: a FIFO work queue executed at the core's
@@ -131,8 +150,11 @@ type Core struct {
 	eng  *Engine
 	cpu  *CPU
 	freq float64
-	// stall is pending frequency-transition cost charged to the next task.
-	stall float64
+	// stallWake / stallTrans are pending idle-exit and frequency-transition
+	// costs charged to the next task, kept separate so profiled executions
+	// can attribute them to distinct mechanisms.
+	stallWake  float64
+	stallTrans float64
 
 	queue   []task
 	busy    bool
@@ -152,18 +174,30 @@ func (c *Core) Submit(cycles float64, done func()) {
 // SubmitTimed enqueues work with an additional hook that fires when
 // execution begins (used to timestamp service start).
 func (c *Core) SubmitTimed(cycles float64, start, done func()) {
-	if cycles < 0 || math.IsNaN(cycles) {
-		panic(fmt.Sprintf("sim: negative work %g", cycles))
+	c.enqueue(task{cycles: cycles, start: start, done: done})
+}
+
+// SubmitProfiled enqueues work whose completion callback receives the exact
+// decomposition of its time on the core (queue wait, idle-exit and
+// transition stalls, execution time).
+func (c *Core) SubmitProfiled(cycles float64, start func(), done func(ExecProfile)) {
+	c.enqueue(task{cycles: cycles, start: start, profiled: done})
+}
+
+func (c *Core) enqueue(t task) {
+	if t.cycles < 0 || math.IsNaN(t.cycles) {
+		panic(fmt.Sprintf("sim: negative work %g", t.cycles))
 	}
-	c.queue = append(c.queue, task{cycles: cycles, start: start, done: done})
-	c.queuedCycles += cycles
+	t.submitAt = c.eng.Now()
+	c.queue = append(c.queue, t)
+	c.queuedCycles += t.cycles
 	if !c.busy {
 		// Waking from a deep idle state costs exit latency under the
 		// power-saving policy.
 		cfg := c.cpu.Config
 		if cfg.Governor == Ondemand && cfg.IdleWakeLatency > 0 &&
 			c.eng.Now()-c.idleSince > cfg.IdleSleepThreshold {
-			c.stall += cfg.IdleWakeLatency
+			c.stallWake += cfg.IdleWakeLatency
 			c.cpu.wakeEvents++
 		}
 		c.runNext()
@@ -182,14 +216,25 @@ func (c *Core) runNext() {
 	if t.start != nil {
 		t.start()
 	}
-	dur := t.cycles/c.freq + c.stall
-	c.stall = 0
+	prof := ExecProfile{
+		QueueWait:  c.eng.Now() - t.submitAt,
+		WakeStall:  c.stallWake,
+		TransStall: c.stallTrans,
+		ExecTime:   t.cycles / c.freq,
+		Freq:       c.freq,
+		Cycles:     t.cycles,
+	}
+	dur := prof.ExecTime + prof.WakeStall + prof.TransStall
+	c.stallWake, c.stallTrans = 0, 0
 	c.busySum += dur
 	c.winBusy += dur
 	c.eng.Schedule(dur, func() {
 		c.queuedCycles -= t.cycles
 		if t.done != nil {
 			t.done()
+		}
+		if t.profiled != nil {
+			t.profiled(prof)
 		}
 		c.runNext()
 	})
@@ -207,7 +252,7 @@ func (c *Core) setFreq(hz float64, transitionCost float64) {
 		return
 	}
 	c.freq = hz
-	c.stall += transitionCost
+	c.stallTrans += transitionCost
 }
 
 // CPU is the full processor complex: cores, the governor, and the
@@ -260,6 +305,13 @@ func NewCPU(eng *Engine, cfg CPUConfig) (*CPU, error) {
 	eng.Schedule(cfg.GovernorTick, cpu.tick)
 	return cpu, nil
 }
+
+// RefHz is the attribution reference frequency: the hardware's maximum
+// (single-core turbo). Execution time beyond cycles/RefHz is P-state/turbo
+// ramp deficit — time the request would not have spent on a fully ramped
+// core — which makes turbo-off configurations show the deficit even under
+// the performance governor.
+func (c *CPU) RefHz() float64 { return c.Config.TurboHz }
 
 // Transitions returns the cumulative number of core frequency changes.
 func (c *CPU) Transitions() uint64 { return c.transitions }

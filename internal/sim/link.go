@@ -39,19 +39,34 @@ func NewLink(eng *Engine, bandwidthBps, propDelay float64) (*Link, error) {
 // fire-and-forget traffic) runs when it arrives at the far end. Queueing
 // behind earlier packets is modeled by the transmitter's freeAt horizon.
 func (l *Link) Send(sizeBytes int, deliver func()) {
+	l.SendTimed(sizeBytes, func(_, _ float64) {
+		if deliver != nil {
+			deliver()
+		}
+	})
+}
+
+// SendTimed transmits like Send but reports the packet's decomposed network
+// time to deliver: queueWait is time spent behind earlier packets in the
+// transmitter's serialization queue, transit is serialization plus
+// propagation. queueWait + transit spans send-call to delivery exactly.
+func (l *Link) SendTimed(sizeBytes int, deliver func(queueWait, transit float64)) {
 	if sizeBytes <= 0 {
 		panic(fmt.Sprintf("sim: packet size %d must be positive", sizeBytes))
 	}
 	now := l.eng.Now()
 	start := math.Max(now, l.freeAt)
+	queueWait := start - now
 	txTime := float64(sizeBytes*8) / l.BandwidthBps
 	l.freeAt = start + txTime
 	l.busySum += txTime
 	l.sent++
+	transit := txTime + l.PropDelay
 	if deliver == nil {
-		deliver = func() {}
+		l.eng.At(l.freeAt+l.PropDelay, func() {})
+		return
 	}
-	l.eng.At(l.freeAt+l.PropDelay, deliver)
+	l.eng.At(l.freeAt+l.PropDelay, func() { deliver(queueWait, transit) })
 }
 
 // Utilization returns the fraction of time the transmitter was busy.

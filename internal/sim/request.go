@@ -1,5 +1,7 @@
 package sim
 
+import "treadmill/internal/anatomy"
+
 // Request is one simulated RPC with the full set of measurement-point
 // timestamps. The different "tools" in the paper disagree exactly because
 // they read different pairs of these timestamps:
@@ -36,6 +38,13 @@ type Request struct {
 	// the response (after kernel interrupt handling and any client-side
 	// queueing/batching).
 	ClientDone float64
+
+	// Phases is the mechanistic decomposition of the measured latency:
+	// every span of [Created, ClientDone] is attributed to exactly one
+	// phase as the request moves through the simulated stack, so
+	// Phases.Sum() == MeasuredLatency() for completed requests (enforced by
+	// TestPhaseSumInvariant).
+	Phases anatomy.Vec
 }
 
 // MeasuredLatency is what the load tester reports: user-space round trip

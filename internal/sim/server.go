@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"treadmill/internal/anatomy"
 	"treadmill/internal/dist"
 )
 
@@ -245,15 +246,22 @@ func (s *Server) Arrive(req *Request, respond func()) {
 	}
 	worker := s.cpu.Cores[workerCore]
 	// Kernel interrupt handling on the RSS-mapped core, then user-space
-	// service on the connection's worker core.
-	irqCore.Submit(s.cfg.IRQCycles, func() {
-		cycles := s.cfg.UserCycles.Sample(s.rng) + s.numaPenalty(workerCore)
-		worker.SubmitTimed(cycles,
+	// service on the connection's worker core. Both executions are
+	// profiled so every span lands in the request's phase vector: queue
+	// wait, C-state exit, ramp deficit, NUMA penalty, pure service.
+	irqCore.SubmitProfiled(s.cfg.IRQCycles, nil, func(irqProf ExecProfile) {
+		s.account(req, irqProf, s.cfg.IRQCycles, 0, anatomy.RSSQueue)
+		userCycles := s.cfg.UserCycles.Sample(s.rng)
+		numaCycles := s.numaPenalty(workerCore)
+		worker.SubmitProfiled(userCycles+numaCycles,
 			func() { req.ServiceStart = s.eng.Now() },
-			func() {
+			func(p ExecProfile) {
+				s.account(req, p, userCycles, numaCycles, anatomy.ServerQueue)
 				if s.cfg.Forward != nil {
 					// mcrouter: wait for the backend round trip.
-					s.eng.Schedule(s.cfg.Forward.Sample(s.rng), func() {
+					backend := s.cfg.Forward.Sample(s.rng)
+					req.Phases.Add(anatomy.Backend, backend)
+					s.eng.Schedule(backend, func() {
 						s.finish(req, respond)
 					})
 					return
@@ -261,6 +269,22 @@ func (s *Server) Arrive(req *Request, respond func()) {
 				s.finish(req, respond)
 			})
 	})
+}
+
+// account attributes one profiled core execution to req's phases. The
+// service and NUMA cycles are valued at the reference (maximum turbo)
+// frequency; everything the execution cost beyond that — running below max
+// frequency plus any transition stalls — is P-state/turbo ramp deficit.
+// The four spans sum exactly to the profile's submit→complete interval.
+func (s *Server) account(req *Request, p ExecProfile, serviceCycles, numaCycles float64, queuePhase anatomy.Phase) {
+	ref := s.cpu.RefHz()
+	req.Phases.Add(queuePhase, p.QueueWait)
+	req.Phases.Add(anatomy.CStateWake, p.WakeStall)
+	req.Phases.Add(anatomy.Service, serviceCycles/ref)
+	if numaCycles > 0 {
+		req.Phases.Add(anatomy.NUMAPenalty, numaCycles/ref)
+	}
+	req.Phases.Add(anatomy.PStateRamp, p.TransStall+p.ExecTime-(serviceCycles+numaCycles)/ref)
 }
 
 func (s *Server) finish(req *Request, respond func()) {

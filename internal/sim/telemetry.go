@@ -4,10 +4,47 @@ import (
 	"treadmill/internal/telemetry"
 )
 
+// drained reports whether the cluster can generate no further load: every
+// client has been stopped and no request is in flight. Periodic probes use
+// this (plus an explicit horizon) to stop self-rescheduling — the governor
+// tick also self-reschedules, so "engine queue empty" never happens and an
+// unconditional probe would spin the event queue forever on a drain run.
+func (c *Cluster) drained() bool {
+	for _, cl := range c.Clients {
+		if !cl.Stopped() {
+			return false
+		}
+	}
+	return c.TotalOutstanding() == 0
+}
+
+// probeEvery schedules sample every period seconds until the cluster is
+// drained or the next firing would pass horizon (horizon <= 0 means no
+// horizon — drain is then the only stop condition).
+func (c *Cluster) probeEvery(period, horizon float64, sample func()) {
+	var probe func()
+	probe = func() {
+		sample()
+		if c.drained() {
+			return
+		}
+		if horizon > 0 && c.Eng.Now()+period > horizon {
+			return
+		}
+		c.Eng.Schedule(period, probe)
+	}
+	if horizon > 0 && c.Eng.Now()+period > horizon {
+		return
+	}
+	c.Eng.Schedule(period, probe)
+}
+
 // Register wires the cluster into a telemetry registry: engine event
 // counts and a periodically sampled total-outstanding gauge — the in-sim
 // equivalent of the queue-depth and event-loop metrics a real deployment
-// exports. period is in simulated seconds.
+// exports. period and horizon are in simulated seconds; probing stops at
+// the horizon (or, with horizon <= 0, once the cluster drains) so the
+// probe cannot keep an idle simulation's event queue spinning.
 //
 // Metrics:
 //
@@ -19,7 +56,7 @@ import (
 //	sim.outstanding_samples  for the time-averaged queue depth)
 //
 // A nil registry or non-positive period is a no-op.
-func (c *Cluster) Register(reg *telemetry.Registry, period float64) {
+func (c *Cluster) Register(reg *telemetry.Registry, period, horizon float64) {
 	if reg == nil || period <= 0 {
 		return
 	}
@@ -29,8 +66,7 @@ func (c *Cluster) Register(reg *telemetry.Registry, period float64) {
 	outstMax := reg.Gauge("sim.outstanding_max")
 	outstSum := reg.Counter("sim.outstanding_sum")
 	samples := reg.Counter("sim.outstanding_samples")
-	var probe func()
-	probe = func() {
+	c.probeEvery(period, horizon, func() {
 		n := c.TotalOutstanding()
 		outst.Set(int64(n))
 		outstMax.SetMax(int64(n))
@@ -38,7 +74,5 @@ func (c *Cluster) Register(reg *telemetry.Registry, period float64) {
 		samples.Inc()
 		events.Set(int64(c.Eng.Processed()))
 		pending.Set(int64(c.Eng.Pending()))
-		c.Eng.Schedule(period, probe)
-	}
-	c.Eng.Schedule(period, probe)
+	})
 }

@@ -27,20 +27,22 @@ type Journal struct {
 // Event is one journal line. Exactly one payload pointer is set, selected
 // by Kind; Fields carries free-form metadata for "note" events.
 type Event struct {
-	Kind   string         `json:"event"`
-	Config *ConfigRecord  `json:"config,omitempty"`
-	Run    *RunRecord     `json:"run,omitempty"`
-	Final  *FinalRecord   `json:"final,omitempty"`
-	Note   string         `json:"note,omitempty"`
-	Fields map[string]any `json:"fields,omitempty"`
+	Kind    string         `json:"event"`
+	Config  *ConfigRecord  `json:"config,omitempty"`
+	Run     *RunRecord     `json:"run,omitempty"`
+	Final   *FinalRecord   `json:"final,omitempty"`
+	Anatomy *AnatomyRecord `json:"anatomy,omitempty"`
+	Note    string         `json:"note,omitempty"`
+	Fields  map[string]any `json:"fields,omitempty"`
 }
 
 // Event kinds emitted by the core engine.
 const (
-	EventConfig = "config"
-	EventRun    = "run"
-	EventFinal  = "final"
-	EventNote   = "note"
+	EventConfig  = "config"
+	EventRun     = "run"
+	EventFinal   = "final"
+	EventAnatomy = "anatomy"
+	EventNote    = "note"
 )
 
 // ConfigRecord journals the measurement procedure's configuration.
@@ -85,6 +87,37 @@ type FinalRecord struct {
 	// SlippageP99 is the load generator's own send-slippage self-audit
 	// (seconds), when a registry was attached.
 	SlippageP99 float64 `json:"slippage_p99,omitempty"`
+}
+
+// AnatomyRecord journals a tail-vs-body phase breakdown (produced by
+// internal/anatomy, which owns the conversion — the journal deliberately
+// stores plain slices so telemetry does not depend on the anatomy package).
+type AnatomyRecord struct {
+	// Label identifies the scope of the breakdown (a run index, a
+	// factorial-cell key, or "final" for the whole experiment).
+	Label    string `json:"label,omitempty"`
+	Requests uint64 `json:"requests"`
+	Invalid  uint64 `json:"invalid,omitempty"`
+	// BodyQ/TailQ are the conditioning quantiles; P50/P99 their estimated
+	// latency thresholds in seconds.
+	BodyQ float64 `json:"body_q"`
+	TailQ float64 `json:"tail_q"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	// Phases names the per-phase columns of every cut's PhaseMeans.
+	Phases        []string     `json:"phases"`
+	Cuts          []AnatomyCut `json:"cuts"`
+	LowConfidence bool         `json:"low_confidence,omitempty"`
+	Reason        string       `json:"reason,omitempty"`
+}
+
+// AnatomyCut is one conditional slice ("overall", "body", "tail") of an
+// AnatomyRecord; PhaseMeans is parallel to the record's Phases.
+type AnatomyCut struct {
+	Name       string    `json:"name"`
+	Count      uint64    `json:"count"`
+	MeanTotal  float64   `json:"mean_total"`
+	PhaseMeans []float64 `json:"phase_means"`
 }
 
 // NewJournal writes events to w. The caller retains responsibility for

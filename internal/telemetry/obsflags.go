@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// ObsFlags groups the observability command-line flags shared by the CLIs
+// so cmd/treadmill and cmd/tailbench register identical names, defaults,
+// and help text instead of drifting apart.
+type ObsFlags struct {
+	// Journal is the -journal path (structured JSONL run journal).
+	Journal string
+	// Trace / TraceSample are -trace and -trace-sample (per-request
+	// lifecycle sampling; TCP path only).
+	Trace       string
+	TraceSample int
+	// SlippageAlert is -slippage-alert (send-slippage self-audit
+	// threshold; TCP path only).
+	SlippageAlert time.Duration
+	// Addr is -telemetry-addr (live exposition endpoint).
+	Addr string
+	// Anatomy is the -anatomy export path: tail-vs-body phase breakdowns
+	// as JSONL (.jsonl/.json) or long-form CSV (anything else).
+	Anatomy string
+}
+
+// RegisterSim installs the flags meaningful for simulated experiments
+// (-journal, -telemetry-addr, -anatomy) on fs.
+func (o *ObsFlags) RegisterSim(fs *flag.FlagSet) {
+	fs.StringVar(&o.Journal, "journal", "", "append structured JSONL run-journal events to this file")
+	fs.StringVar(&o.Addr, "telemetry-addr", "", "serve live /metrics, /debug/vars, and /debug/pprof on this address")
+	fs.StringVar(&o.Anatomy, "anatomy", "", "collect tail-vs-body phase anatomy and export breakdowns to this file (JSONL or CSV by extension)")
+}
+
+// Register installs the full observability flag set on fs: everything
+// RegisterSim covers plus the TCP-path tracing and slippage flags.
+func (o *ObsFlags) Register(fs *flag.FlagSet) {
+	o.RegisterSim(fs)
+	fs.StringVar(&o.Trace, "trace", "", "write sampled per-request trace records (JSONL) to this file")
+	fs.IntVar(&o.TraceSample, "trace-sample", 1000, "trace 1 in N requests when -trace is set")
+	fs.DurationVar(&o.SlippageAlert, "slippage-alert", DefaultSlippageThreshold, "send-slippage alert threshold for the self-audit")
+}
+
+// AnatomyEnabled reports whether -anatomy was set.
+func (o *ObsFlags) AnatomyEnabled() bool { return o.Anatomy != "" }
+
+// Observability holds the live handles Open built from the flags. Fields
+// for features that were not requested stay nil (all consumers are
+// nil-safe).
+type Observability struct {
+	Registry *Registry
+	Journal  *Journal
+	Tracer   *Tracer
+	Server   *HTTPServer
+}
+
+// Open builds the journal, tracer, and exposition server the flags
+// request, sharing reg (which must be non-nil when Addr is set). On error
+// everything already opened is closed.
+func (o *ObsFlags) Open(reg *Registry) (*Observability, error) {
+	obs := &Observability{Registry: reg}
+	if o.Journal != "" {
+		j, err := OpenJournal(o.Journal)
+		if err != nil {
+			return nil, err
+		}
+		obs.Journal = j
+	}
+	if o.Trace != "" {
+		t, err := NewTracer(o.TraceSample, DefaultTraceBuffer)
+		if err != nil {
+			obs.Close()
+			return nil, err
+		}
+		obs.Tracer = t
+	}
+	if o.Addr != "" {
+		srv, err := reg.Serve(o.Addr)
+		if err != nil {
+			obs.Close()
+			return nil, err
+		}
+		obs.Server = srv
+	}
+	return obs, nil
+}
+
+// Close shuts the exposition server down and closes the journal (syncing
+// it). Trace records are left in the tracer for the caller to write out.
+func (obs *Observability) Close() error {
+	if obs == nil {
+		return nil
+	}
+	var first error
+	if obs.Server != nil {
+		if err := obs.Server.Close(); err != nil {
+			first = err
+		}
+		obs.Server = nil
+	}
+	if obs.Journal != nil {
+		if err := obs.Journal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ServingLine returns the human-readable exposition banner, or "" when no
+// endpoint was requested.
+func (obs *Observability) ServingLine() string {
+	if obs == nil || obs.Server == nil {
+		return ""
+	}
+	return fmt.Sprintf("telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s", obs.Server.Addr())
+}
