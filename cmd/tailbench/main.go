@@ -3,17 +3,23 @@
 //
 // Usage:
 //
-//	tailbench [-scale quick|full] [-csv] [-journal run.jsonl]
+//	tailbench [-scale quick|full] [-workers n] [-csv] [-journal run.jsonl]
 //	          [-anatomy anatomy.csv] <experiment>...
 //
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
 //
-//	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution all
+//	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution bench all
 //
 // "attribution" runs table4 + fig7/8/11/12 + anatomy (memcached) and
 // fig9/10 (mcrouter) off shared campaigns; "all" runs everything. At
 // -scale full the attribution campaigns match the paper's 480-experiment
 // design and take several minutes each.
+//
+// -workers bounds campaign-level parallelism (concurrent factorial
+// experiments, regression fits, and tuning runs); every reported number is
+// bit-identical for any worker count, so the flag only changes wall-clock.
+// "bench" runs the perf baseline suite and writes BENCH_treadmill.json
+// (see -bench-out).
 //
 // Observability (shared flag set with treadmill, telemetry.ObsFlags):
 // -journal records one anatomy event per factorial cell; -anatomy exports
@@ -62,6 +68,8 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	seed := flag.Uint64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrent experiments per campaign (0 = GOMAXPROCS); results are identical for any value")
+	benchOut := flag.String("bench-out", "BENCH_treadmill.json", "output path for the bench target's JSON report")
 	var obsFlags telemetry.ObsFlags
 	obsFlags.RegisterSim(flag.CommandLine)
 	flag.Parse()
@@ -77,6 +85,7 @@ func main() {
 		os.Exit(2)
 	}
 	scale.Seed = *seed
+	scale.Workers = *workers
 
 	targets := flag.Args()
 	if len(targets) == 0 {
@@ -237,6 +246,20 @@ func main() {
 				fatal(err)
 			}
 			p.table(tab)
+		case "bench":
+			fmt.Fprintln(os.Stderr, "running perf baseline (campaign 1 vs max workers, engine, bootstrap)...")
+			rep, err := experiments.RunBench(ctx, scale)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteBenchJSON(*benchOut, rep); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "bench: campaign %d runs %.2fs → %.2fs (%.2fx, identical=%v), engine %.1f ns/event %.3f allocs/event, bootstrap %.2fs → %.2fs; wrote %s\n",
+				rep.Campaign.Runs, rep.Campaign.SecondsWorkers1, rep.Campaign.SecondsWorkersMax,
+				rep.Campaign.Speedup, rep.Campaign.OutputIdentical,
+				rep.Engine.NsPerEvent, rep.Engine.AllocsPerEvent,
+				rep.Bootstrap.SecondsWorkers1, rep.Bootstrap.SecondsWorkersMax, *benchOut)
 		case "anatomy":
 			tab, err := experiments.AnatomyTable(needMemcached())
 			if err != nil {

@@ -8,7 +8,7 @@
 //
 //	treadmill -target 127.0.0.1:11211 -rate 50000 [-instances 4]
 //	          [-conns 8] [-duration 5s] [-runs 5] [-workload w.json]
-//	          [-ground-truth] [-closed-loop]
+//	          [-ground-truth] [-closed-loop] [-workers n]
 //	          [-journal run.jsonl] [-trace traces.jsonl] [-trace-sample 1000]
 //	          [-slippage-alert 1ms] [-telemetry-addr 127.0.0.1:9150]
 //	          [-anatomy anatomy.csv]
@@ -31,6 +31,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -65,6 +66,7 @@ type options struct {
 	findCapacity bool
 	sloQuantile  float64
 	sloTarget    time.Duration
+	workers      int
 	obs          telemetry.ObsFlags
 }
 
@@ -85,8 +87,13 @@ func main() {
 	flag.BoolVar(&o.findCapacity, "find-capacity", false, "binary-search the max rate meeting the SLO instead of measuring one rate")
 	flag.Float64Var(&o.sloQuantile, "slo-quantile", 0.99, "SLO quantile for -find-capacity")
 	flag.DurationVar(&o.sloTarget, "slo-target", 2*time.Millisecond, "SLO latency bound for -find-capacity")
+	flag.IntVar(&o.workers, "workers", 0, "cap on process parallelism (GOMAXPROCS) for load generation and statistics (0 = all cores)")
 	o.obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	if o.workers > 0 {
+		runtime.GOMAXPROCS(o.workers)
+	}
 
 	if o.target == "" {
 		fmt.Fprintln(os.Stderr, "treadmill: -target is required")

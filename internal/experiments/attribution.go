@@ -3,6 +3,9 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"treadmill/internal/anatomy"
 	"treadmill/internal/dist"
@@ -54,6 +57,7 @@ func newStudy(s Scale, workloadName string, rate float64) (*runner.Study, error)
 		Replicates:     s.Replicates,
 		Quantiles:      attributionQuantiles,
 		Seed:           s.Seed,
+		Workers:        s.Workers,
 		Telemetry:      s.Telemetry,
 		CollectAnatomy: true,
 		Journal:        s.Journal,
@@ -94,12 +98,25 @@ func RunAttribution(ctx context.Context, s Scale, workloadName string) (*Attribu
 		if load.rate == high {
 			a.highStudy = study
 		}
-		for _, tau := range attributionQuantiles {
-			fit, err := res.Fit(tau, s.Bootstrap, s.Seed+uint64(tau*1000))
-			if err != nil {
-				return nil, fmt.Errorf("fit %s tau=%g: %w", workloadName, tau, err)
+		// The per-percentile fits are independent (each derives its own RNG
+		// from the seed and tau), so run them concurrently; the bootstrap
+		// inside each fit parallelizes further on its own pool.
+		fits := make([]*quantreg.Result, len(attributionQuantiles))
+		errs := make([]error, len(attributionQuantiles))
+		var wg sync.WaitGroup
+		for ti, tau := range attributionQuantiles {
+			wg.Add(1)
+			go func(ti int, tau float64) {
+				defer wg.Done()
+				fits[ti], errs[ti] = res.Fit(tau, s.Bootstrap, s.Seed+uint64(tau*1000))
+			}(ti, tau)
+		}
+		wg.Wait()
+		for ti, tau := range attributionQuantiles {
+			if errs[ti] != nil {
+				return nil, fmt.Errorf("fit %s tau=%g: %w", workloadName, tau, errs[ti])
 			}
-			load.fits[tau] = fit
+			load.fits[tau] = fits[ti]
 		}
 	}
 	return a, nil
@@ -298,23 +315,57 @@ func Fig12(a *Attribution) (*report.Table, *TuningOutcome, error) {
 		return nil, nil, err
 	}
 	out := &TuningOutcome{BestConfig: best}
+	// Draw every arm's random configuration up front from the sequential
+	// RNG, then fan the (independent, seed-deterministic) before/after runs
+	// across a bounded pool; results land in per-run slots, so the outcome
+	// is identical to the sequential evaluation for any worker count.
 	rng := dist.NewRNG(a.scale.Seed + 99)
 	perms := runner.Permutations(len(a.Factors))
-	for run := 0; run < a.scale.TuningRuns; run++ {
-		seed := a.scale.Seed + 7700000 + uint64(run)*131
-		randomCfg := perms[rng.Intn(len(perms))]
-		before, err := a.highStudy.RunConfig(randomCfg, seed)
-		if err != nil {
-			return nil, nil, err
+	runs := a.scale.TuningRuns
+	randomCfgs := make([][]int, runs)
+	for run := 0; run < runs; run++ {
+		randomCfgs[run] = perms[rng.Intn(len(perms))]
+	}
+	before := make([]runner.Sample, runs)
+	after := make([]runner.Sample, runs)
+	errs := make([]error, runs)
+	workers := a.scale.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	var nextRun int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				run := int(atomic.AddInt64(&nextRun, 1))
+				if run >= runs {
+					return
+				}
+				seed := a.scale.Seed + 7700000 + uint64(run)*131
+				var err error
+				if before[run], err = a.highStudy.RunConfig(randomCfgs[run], seed); err != nil {
+					errs[run] = err
+					continue
+				}
+				after[run], errs[run] = a.highStudy.RunConfig(best, seed+1)
+			}
+		}()
+	}
+	wg.Wait()
+	for run := 0; run < runs; run++ {
+		if errs[run] != nil {
+			return nil, nil, errs[run]
 		}
-		after, err := a.highStudy.RunConfig(best, seed+1)
-		if err != nil {
-			return nil, nil, err
-		}
-		out.BeforeP50 = append(out.BeforeP50, before.Quantiles[0.5])
-		out.BeforeP99 = append(out.BeforeP99, before.Quantiles[0.99])
-		out.AfterP50 = append(out.AfterP50, after.Quantiles[0.5])
-		out.AfterP99 = append(out.AfterP99, after.Quantiles[0.99])
+		out.BeforeP50 = append(out.BeforeP50, before[run].Quantiles[0.5])
+		out.BeforeP99 = append(out.BeforeP99, before[run].Quantiles[0.99])
+		out.AfterP50 = append(out.AfterP50, after[run].Quantiles[0.5])
+		out.AfterP99 = append(out.AfterP99, after[run].Quantiles[0.99])
 	}
 	tab := &report.Table{
 		Title: fmt.Sprintf("Fig 12: tail latency before/after tuning (%s, best config %s)",

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/quantreg"
+	"treadmill/internal/runner"
+	"treadmill/internal/sim"
+)
+
+// BenchReport is the machine-readable perf baseline the `tailbench bench`
+// target emits as BENCH_treadmill.json: campaign wall-clock at 1 vs
+// GOMAXPROCS workers, per-event engine cost, and bootstrap throughput.
+// Future PRs diff against the committed file to catch regressions.
+type BenchReport struct {
+	// Host context the numbers were taken on.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Scale      string `json:"scale"`
+
+	Campaign  CampaignBench  `json:"campaign"`
+	Engine    EngineBench    `json:"engine"`
+	Bootstrap BootstrapBench `json:"bootstrap"`
+}
+
+// CampaignBench times the attribution smoke campaign (Replicates × 2⁴
+// factorial runs) sequentially and on the full worker pool, and records
+// that both produced identical samples.
+type CampaignBench struct {
+	Runs              int     `json:"runs"`
+	SecondsWorkers1   float64 `json:"seconds_workers_1"`
+	SecondsWorkersMax float64 `json:"seconds_workers_max"`
+	Speedup           float64 `json:"speedup"`
+	OutputIdentical   bool    `json:"output_identical"`
+}
+
+// EngineBench measures the simulator's schedule/dispatch hot path.
+type EngineBench struct {
+	Events         uint64  `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// BootstrapBench times quantile-regression bootstrap inference at 1 worker
+// and at GOMAXPROCS.
+type BootstrapBench struct {
+	Resamples         int     `json:"resamples"`
+	SecondsWorkers1   float64 `json:"seconds_workers_1"`
+	SecondsWorkersMax float64 `json:"seconds_workers_max"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// benchStudy builds the pitfalls/attribution smoke campaign: the full
+// 4-factor design with enough replicates for ≥ 32 runs.
+func benchStudy(s Scale, workers int) *runner.Study {
+	replicates := s.Replicates
+	if replicates < 2 {
+		replicates = 2 // 2 × 2⁴ = 32 runs, the smoke-campaign floor
+	}
+	return &runner.Study{
+		Base:           factorialCluster(s.Seed),
+		Factors:        runner.PaperFactors(),
+		TotalRate:      highRate,
+		ConnsPerClient: 8,
+		Duration:       s.Duration,
+		Warmup:         s.Warmup,
+		Replicates:     replicates,
+		Quantiles:      attributionQuantiles,
+		Seed:           s.Seed,
+		Workers:        workers,
+	}
+}
+
+// RunBench executes the benchmark suite and returns the report.
+func RunBench(ctx context.Context, s Scale) (*BenchReport, error) {
+	rep := &BenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Scale:      s.Name,
+	}
+
+	// Campaign: sequential vs full pool, with a parity cross-check.
+	seqStudy := benchStudy(s, 1)
+	start := time.Now()
+	seqRes, err := seqStudy.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench campaign (workers=1): %w", err)
+	}
+	rep.Campaign.SecondsWorkers1 = time.Since(start).Seconds()
+	rep.Campaign.Runs = len(seqRes.Samples)
+
+	parStudy := benchStudy(s, rep.GOMAXPROCS)
+	start = time.Now()
+	parRes, err := parStudy.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench campaign (workers=%d): %w", rep.GOMAXPROCS, err)
+	}
+	rep.Campaign.SecondsWorkersMax = time.Since(start).Seconds()
+	rep.Campaign.Speedup = rep.Campaign.SecondsWorkers1 / rep.Campaign.SecondsWorkersMax
+	rep.Campaign.OutputIdentical = reflect.DeepEqual(seqRes.Samples, parRes.Samples)
+
+	// Engine: steady-state event cost with a 64-deep pending set.
+	rep.Engine = benchEngine(2_000_000)
+
+	// Bootstrap: refit the campaign's p99 samples with a real inference
+	// load at both pool sizes (per-replicate RNG streams make the outputs
+	// identical, so only the wall clock differs).
+	resamples := 4 * s.Bootstrap
+	if resamples < 200 {
+		resamples = 200
+	}
+	rep.Bootstrap.Resamples = resamples
+	for _, w := range []int{1, rep.GOMAXPROCS} {
+		start = time.Now()
+		if _, err := fitBench(seqRes, resamples, w); err != nil {
+			return nil, fmt.Errorf("bench bootstrap (workers=%d): %w", w, err)
+		}
+		secs := time.Since(start).Seconds()
+		if w == 1 {
+			rep.Bootstrap.SecondsWorkers1 = secs
+		}
+		// On a single-core host both measurements are the same pool size;
+		// the second run still lands here so Speedup stays finite (~1).
+		if w == rep.GOMAXPROCS {
+			rep.Bootstrap.SecondsWorkersMax = secs
+		}
+	}
+	rep.Bootstrap.Speedup = rep.Bootstrap.SecondsWorkers1 / rep.Bootstrap.SecondsWorkersMax
+	return rep, nil
+}
+
+// benchEngine measures ns/event and allocs/event on the schedule/dispatch
+// path after arena warm-up.
+func benchEngine(events uint64) EngineBench {
+	eng := &sim.Engine{}
+	var tick func()
+	tick = func() { eng.Schedule(1e-6, tick) }
+	for i := 0; i < 64; i++ {
+		eng.Schedule(1e-6, tick)
+	}
+	eng.Run(1e-3) // warm the arena to its high-water size
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	startEvents := eng.Processed()
+	start := time.Now()
+	for eng.Processed()-startEvents < events {
+		eng.Run(eng.Now() + 1e-3)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := eng.Processed() - startEvents
+	return EngineBench{
+		Events:         n,
+		NsPerEvent:     float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerEvent: float64(after.Mallocs-before.Mallocs) / float64(n),
+	}
+}
+
+// fitBench runs one p99 fit with the given bootstrap size and worker count.
+func fitBench(res *runner.Result, resamples, workers int) (*quantreg.Result, error) {
+	model, err := quantreg.FullFactorialModel(res.Factors)
+	if err != nil {
+		return nil, err
+	}
+	x := make([][]float64, len(res.Samples))
+	y := make([]float64, len(res.Samples))
+	for i, smp := range res.Samples {
+		row := make([]float64, len(smp.Levels))
+		for j, l := range smp.Levels {
+			row[j] = float64(l)
+		}
+		x[i] = row
+		y[i] = smp.Quantiles[0.99]
+	}
+	return quantreg.Fit(model, x, y, 0.99, quantreg.Options{
+		Solver:              quantreg.IRLS,
+		BootstrapSamples:    resamples,
+		RNG:                 dist.NewRNG(1),
+		StratifiedBootstrap: true,
+		Workers:             workers,
+	})
+}
+
+// WriteBenchJSON writes the report to path, pretty-printed for diffable
+// commits.
+func WriteBenchJSON(path string, rep *BenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

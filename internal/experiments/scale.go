@@ -25,6 +25,11 @@ type Scale struct {
 	TuningRuns int
 	// Seed makes every experiment deterministic.
 	Seed uint64
+	// Workers bounds campaign-level parallelism: concurrent factorial
+	// experiments inside each study (runner.Study.Workers), concurrent
+	// per-percentile regression fits, and concurrent tuning-evaluation
+	// runs. Results are bit-identical for any value. 0 means GOMAXPROCS.
+	Workers int
 	// Telemetry, when non-nil, receives live campaign-progress gauges
 	// from the studies this scale drives (see runner.Study.Telemetry).
 	Telemetry *telemetry.Registry

@@ -3,6 +3,9 @@ package quantreg
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"treadmill/internal/dist"
 	"treadmill/internal/linalg"
@@ -58,6 +61,12 @@ type Options struct {
 	// KeepBootstrap retains the bootstrap coefficient replicates on the
 	// Result, enabling PredictCI.
 	KeepBootstrap bool
+	// Workers bounds how many bootstrap refits run concurrently. Every
+	// resample draws from its own RNG stream derived from the caller's RNG
+	// (one splitmix-spaced seed per replicate), so StdErr, P, and PredictCI
+	// are bit-identical at any parallelism. 0 means GOMAXPROCS; 1 runs the
+	// refits on the calling goroutine.
+	Workers int
 	// MaxIterations bounds IRLS iterations (default 200).
 	MaxIterations int
 	// Tolerance is the IRLS convergence threshold on the max coefficient
@@ -308,21 +317,43 @@ func pseudoR2(design *linalg.Matrix, y []float64, beta []float64, tau float64) f
 	return r2
 }
 
+// bootstrapWorkers resolves the configured refit parallelism.
+func bootstrapWorkers(opts Options, b int) int {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > b {
+		w = b
+	}
+	return w
+}
+
+// repSeed derives the RNG seed for bootstrap replicate rep from the stream
+// base. Golden-ratio spacing keeps nearby replicate indices on unrelated
+// streams (dist.NewRNG splitmixes the seed again).
+func repSeed(base uint64, rep int) uint64 {
+	return base ^ (uint64(rep)+1)*0x9e3779b97f4a7c15
+}
+
 // bootstrapInference fills in StdErr and P by resampling rows with
 // replacement (the xy-pair bootstrap, standard for quantile regression) and
 // refitting. P-values use the normal approximation z = est/se, the same
 // summary R's quantreg reports with "boot" standard errors.
+//
+// Refits fan out over a bounded worker pool (Options.Workers). Each
+// replicate draws from an independent RNG stream seeded from a single draw
+// of the caller's RNG, so the inference is deterministic for any worker
+// count — the resample a replicate sees depends only on its index, never on
+// scheduling.
 func bootstrapInference(res *Result, m *Model, x [][]float64, y []float64, tau float64, opts Options) error {
 	b := opts.BootstrapSamples
 	if b < 20 {
 		return fmt.Errorf("quantreg: need >= 20 bootstrap samples, got %d", b)
 	}
 	n := len(y)
-	ests := make([][]float64, 0, b)
-	bx := make([][]float64, n)
-	by := make([]float64, n)
 	// For the stratified bootstrap, group row indices by identical
-	// explanatory rows once up front.
+	// explanatory rows once up front (read-only across workers).
 	var groups [][]int
 	if opts.StratifiedBootstrap {
 		byKey := make(map[string][]int)
@@ -338,46 +369,79 @@ func bootstrapInference(res *Result, m *Model, x [][]float64, y []float64, tau f
 			groups = append(groups, byKey[key])
 		}
 	}
-	failures := 0
-	for rep := 0; rep < b; rep++ {
-		if opts.StratifiedBootstrap {
-			pos := 0
-			for _, g := range groups {
-				for range g {
-					j := g[opts.RNG.Intn(len(g))]
-					bx[pos] = x[j]
-					by[pos] = y[j]
-					if opts.PerturbStdDev > 0 {
-						by[pos] += opts.RNG.Normal() * opts.PerturbStdDev
+
+	// One draw from the caller's RNG seeds all replicate streams.
+	streamBase := opts.RNG.Uint64()
+	byRep := make([][]float64, b) // successful refits, indexed by replicate
+	repErrs := make([]error, b)   // first failure per replicate, for reporting
+	var nextRep int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < bootstrapWorkers(opts, b); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bx := make([][]float64, n)
+			by := make([]float64, n)
+			for {
+				rep := int(atomic.AddInt64(&nextRep, 1))
+				if rep >= b {
+					return
+				}
+				rng := dist.NewRNG(repSeed(streamBase, rep))
+				if opts.StratifiedBootstrap {
+					pos := 0
+					for _, g := range groups {
+						for range g {
+							j := g[rng.Intn(len(g))]
+							bx[pos] = x[j]
+							by[pos] = y[j]
+							if opts.PerturbStdDev > 0 {
+								by[pos] += rng.Normal() * opts.PerturbStdDev
+							}
+							pos++
+						}
 					}
-					pos++
+				} else {
+					for i := 0; i < n; i++ {
+						j := rng.Intn(n)
+						bx[i] = x[j]
+						by[i] = y[j]
+						if opts.PerturbStdDev > 0 {
+							by[i] += rng.Normal() * opts.PerturbStdDev
+						}
+					}
 				}
-			}
-		} else {
-			for i := 0; i < n; i++ {
-				j := opts.RNG.Intn(n)
-				bx[i] = x[j]
-				by[i] = y[j]
-				if opts.PerturbStdDev > 0 {
-					by[i] += opts.RNG.Normal() * opts.PerturbStdDev
+				design, err := m.Design(bx)
+				if err != nil {
+					repErrs[rep] = err
+					continue
 				}
+				beta, _, err := solve(design, by, tau, opts)
+				if err != nil {
+					// A resample can be rank-deficient (e.g. a factor level
+					// absent); skip it but fail if that happens too often.
+					repErrs[rep] = err
+					continue
+				}
+				byRep[rep] = beta
 			}
-		}
-		design, err := m.Design(bx)
-		if err != nil {
-			return err
-		}
-		beta, _, err := solve(design, by, tau, opts)
-		if err != nil {
-			// A resample can be rank-deficient (e.g. a factor level absent);
-			// skip it but fail if that happens too often.
-			failures++
-			if failures > b/4 {
-				return fmt.Errorf("quantreg: %d/%d bootstrap refits failed, last: %w", failures, rep+1, err)
-			}
+		}()
+	}
+	wg.Wait()
+
+	ests := make([][]float64, 0, b)
+	failures := 0
+	var lastErr error
+	for rep := 0; rep < b; rep++ {
+		if byRep[rep] != nil {
+			ests = append(ests, byRep[rep])
 			continue
 		}
-		ests = append(ests, beta)
+		failures++
+		lastErr = repErrs[rep]
+	}
+	if failures > b/4 {
+		return fmt.Errorf("quantreg: %d/%d bootstrap refits failed, last: %w", failures, b, lastErr)
 	}
 	if len(ests) < 20 {
 		return fmt.Errorf("quantreg: only %d successful bootstrap refits", len(ests))

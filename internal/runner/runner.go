@@ -8,6 +8,10 @@ package runner
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"treadmill/internal/agg"
 	"treadmill/internal/anatomy"
@@ -119,6 +123,12 @@ type Study struct {
 	// (runner.experiments_done, runner.experiments_total) so a long
 	// full-scale campaign can be watched over the exposition endpoint.
 	Telemetry *telemetry.Registry
+	// Workers bounds how many experiments run concurrently. Each experiment
+	// is an isolated, seed-deterministic simulation, so the campaign is
+	// embarrassingly parallel; results are committed in schedule order, so
+	// Result, anatomy breakdowns, journal events, and Progress callbacks
+	// are bit-identical for every worker count. 0 means GOMAXPROCS.
+	Workers int
 	// CollectAnatomy accumulates every request's phase decomposition into
 	// one tail-vs-body breakdown per factorial cell (Result.Anatomy) —
 	// the mechanistic complement to the regression's statistical
@@ -159,8 +169,46 @@ type Result struct {
 	Anatomy map[string]*anatomy.Breakdown
 }
 
+// anatomyObs is one buffered (total latency, phase vector) observation.
+// Workers record into per-run buffers; the committer replays buffers into
+// the per-cell aggregators in schedule order, so the accumulated floating-
+// point sums are bit-identical to a sequential campaign.
+type anatomyObs struct {
+	total float64
+	v     anatomy.Vec
+}
+
+// runOutcome carries one finished experiment from a worker to the ordered
+// committer.
+type runOutcome struct {
+	idx    int
+	sample Sample
+	obs    []anatomyObs
+	err    error
+}
+
+// workers resolves the configured pool size against the schedule length.
+func (s *Study) workers(n int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // Run executes the campaign: Replicates × 2^k experiments in randomized
 // order (preserving independence between consecutive experiments, §V-A).
+//
+// Experiments run on a bounded worker pool (see Workers); every run is an
+// isolated simulation with a schedule-index-derived seed, and outcomes are
+// committed in schedule order, so the returned Result — samples, per-cell
+// anatomy, journal event sequence, Progress callbacks — is bit-identical
+// for any worker count. The first failing run cancels the pool; remaining
+// workers finish their in-flight experiment and exit, and Run returns only
+// after every worker has stopped (no goroutine leaks).
 func (s *Study) Run(ctx context.Context) (*Result, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -181,42 +229,120 @@ func (s *Study) Run(ctx context.Context) (*Result, error) {
 	}
 	doneG := s.Telemetry.Gauge("runner.experiments_done")
 	totalG := s.Telemetry.Gauge("runner.experiments_total")
+	inflightG := s.Telemetry.Gauge("runner.experiments_inflight")
+	workersG := s.Telemetry.Gauge("runner.workers")
 	totalG.Set(int64(len(schedule)))
-	// One anatomy aggregator per factorial cell, merged over replicates.
+
+	workers := s.workers(len(schedule))
+	workersG.Set(int64(workers))
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered to the schedule length so workers never block on send: the
+	// pool drains cleanly even when the committer stops consuming early.
+	outcomes := make(chan runOutcome, len(schedule))
+	var nextIdx int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&nextIdx, 1))
+				if i >= len(schedule) || cctx.Err() != nil {
+					return
+				}
+				inflightG.Add(1)
+				var buf []anatomyObs
+				record := func(total float64, v anatomy.Vec) {
+					buf = append(buf, anatomyObs{total, v})
+				}
+				if !s.CollectAnatomy {
+					record = nil
+				}
+				sample, err := s.runConfig(schedule[i], s.Seed+uint64(i)*7919+1, record)
+				inflightG.Add(-1)
+				outcomes <- runOutcome{idx: i, sample: sample, obs: buf, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	// Ordered commit: outcomes arrive in completion order but are applied
+	// in schedule order, which keeps samples, anatomy accumulation order,
+	// progress counts, and gauges deterministic (and monotone) under
+	// out-of-order completion.
 	var cellAggs map[string]*anatomy.Aggregator
 	if s.CollectAnatomy {
 		cellAggs = make(map[string]*anatomy.Aggregator)
 	}
-	for i, levels := range schedule {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	reorder := make(map[int]runOutcome)
+	nextCommit := 0
+	errIdx := -1
+	var firstErr error
+	for out := range outcomes {
+		if out.err != nil {
+			// Keep the lowest-index failure (what a sequential campaign
+			// would have hit first among the runs that executed).
+			if errIdx < 0 || out.idx < errIdx {
+				errIdx = out.idx
+				firstErr = out.err
+			}
+			cancel()
+			continue
 		}
-		var cellAgg *anatomy.Aggregator
-		if cellAggs != nil {
-			key := LevelsKey(levels)
-			cellAgg = cellAggs[key]
-			if cellAgg == nil {
-				var err error
-				if cellAgg, err = anatomy.NewAggregator(anatomy.DefaultConfig()); err != nil {
-					return nil, err
+		reorder[out.idx] = out
+		for {
+			o, ok := reorder[nextCommit]
+			if !ok {
+				break
+			}
+			delete(reorder, nextCommit)
+			res.Samples = append(res.Samples, o.sample)
+			if cellAggs != nil {
+				key := LevelsKey(schedule[o.idx])
+				cellAgg := cellAggs[key]
+				if cellAgg == nil {
+					var err error
+					if cellAgg, err = anatomy.NewAggregator(anatomy.DefaultConfig()); err != nil {
+						cancel()
+						wg.Wait()
+						return nil, err
+					}
+					cellAggs[key] = cellAgg
 				}
-				cellAggs[key] = cellAgg
+				for _, ob := range o.obs {
+					cellAgg.Record(ob.total, ob.v)
+				}
+			}
+			nextCommit++
+			doneG.Set(int64(nextCommit))
+			if s.Progress != nil {
+				s.Progress(nextCommit, len(schedule))
 			}
 		}
-		sample, err := s.runConfig(levels, s.Seed+uint64(i)*7919+1, cellAgg)
-		if err != nil {
-			return nil, fmt.Errorf("runner: experiment %d (levels %v): %w", i, levels, err)
-		}
-		res.Samples = append(res.Samples, sample)
-		doneG.Set(int64(i + 1))
-		if s.Progress != nil {
-			s.Progress(i+1, len(schedule))
-		}
 	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("runner: experiment %d (levels %v): %w", errIdx, schedule[errIdx], firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	if cellAggs != nil {
 		res.Anatomy = make(map[string]*anatomy.Breakdown, len(cellAggs))
-		for key, agg := range cellAggs {
-			b := agg.Finalize()
+		keys := make([]string, 0, len(cellAggs))
+		for key := range cellAggs {
+			keys = append(keys, key)
+		}
+		// Sorted cell order keeps the journal's anatomy event sequence
+		// deterministic (map iteration order is not).
+		sort.Strings(keys)
+		for _, key := range keys {
+			b := cellAggs[key].Finalize()
 			res.Anatomy[key] = b
 			if s.Journal != nil {
 				if err := s.Journal.Emit(telemetry.Event{
@@ -240,9 +366,11 @@ func (s *Study) RunConfig(levels []int, seed uint64) (Sample, error) {
 	return s.runConfig(levels, seed, nil)
 }
 
-// runConfig is RunConfig with an optional anatomy aggregator that receives
-// every post-warmup request's phase vector.
-func (s *Study) runConfig(levels []int, seed uint64, anat *anatomy.Aggregator) (Sample, error) {
+// runConfig is RunConfig with an optional record callback that receives
+// every post-warmup request's (total latency, phase vector) pair, in
+// completion order. Run buffers these per run and replays them into the
+// per-cell aggregators in schedule order.
+func (s *Study) runConfig(levels []int, seed uint64, record func(total float64, v anatomy.Vec)) (Sample, error) {
 	cfg := s.Base
 	// Deep-enough copy of the mutable parts factor Apply functions touch.
 	cfg.Clients = append([]sim.ClientSpec(nil), s.Base.Clients...)
@@ -260,8 +388,8 @@ func (s *Study) runConfig(levels []int, seed uint64, anat *anatomy.Aggregator) (
 		c.OnComplete = func(req *sim.Request) {
 			if req.Created >= s.Warmup {
 				perClient[i] = append(perClient[i], req.MeasuredLatency())
-				if anat != nil {
-					anat.Record(req.MeasuredLatency(), req.Phases)
+				if record != nil {
+					record(req.MeasuredLatency(), req.Phases)
 				}
 			}
 		}
