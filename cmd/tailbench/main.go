@@ -8,12 +8,19 @@
 //
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
 //
-//	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution bench all
+//	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution bench
+//	fleetbias all
 //
 // "attribution" runs table4 + fig7/8/11/12 + anatomy (memcached) and
-// fig9/10 (mcrouter) off shared campaigns; "all" runs everything. At
-// -scale full the attribution campaigns match the paper's 480-experiment
-// design and take several minutes each.
+// fig9/10 (mcrouter) off shared campaigns; "all" runs everything
+// deterministic. At -scale full the attribution campaigns match the
+// paper's 480-experiment design and take several minutes each.
+//
+// "fleetbias" is the one live target: it reruns the Fig. 3 client-side
+// queueing-bias contrast over the real fleet subsystem (loopback agents,
+// real sockets, in-process memcached) instead of the simulator. Its
+// numbers are wall-clock measurements, so it is excluded from "all" —
+// unlike everything else it is not bit-identical across machines or runs.
 //
 // -workers bounds campaign-level parallelism (concurrent factorial
 // experiments, regression fits, and tuning runs); every reported number is
@@ -260,6 +267,13 @@ func main() {
 				rep.Campaign.Speedup, rep.Campaign.OutputIdentical,
 				rep.Engine.NsPerEvent, rep.Engine.AllocsPerEvent,
 				rep.Bootstrap.SecondsWorkers1, rep.Bootstrap.SecondsWorkersMax, *benchOut)
+		case "fleetbias":
+			fmt.Fprintln(os.Stderr, "running live fleet bias contrast (real sockets, in-process server)...")
+			bias, err := experiments.RunFleetBias(ctx, scale)
+			if err != nil {
+				fatal(err)
+			}
+			p.table(experiments.FleetBiasTable(bias))
 		case "anatomy":
 			tab, err := experiments.AnatomyTable(needMemcached())
 			if err != nil {

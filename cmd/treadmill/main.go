@@ -9,9 +9,17 @@
 //	treadmill -target 127.0.0.1:11211 -rate 50000 [-instances 4]
 //	          [-conns 8] [-duration 5s] [-runs 5] [-workload w.json]
 //	          [-ground-truth] [-closed-loop] [-workers n]
+//	          [-fleet :9200] [-agents 4] [-loss-policy abort]
 //	          [-journal run.jsonl] [-trace traces.jsonl] [-trace-sample 1000]
 //	          [-slippage-alert 1ms] [-telemetry-addr 127.0.0.1:9150]
 //	          [-anatomy anatomy.csv]
+//
+// With -fleet, treadmill runs as a coordinator instead of generating load
+// itself: it listens for treadmill-agent processes, calibrates each
+// agent's clock at join, waits for -agents of them, and then executes
+// every repeated run as a barrier-synchronized broadcast — each agent
+// drives rate/N against the target and ships a histogram shard back, the
+// paper's many-low-rate-clients configuration.
 //
 // Observability (shared flag set with tailbench, telemetry.ObsFlags):
 // -journal appends structured JSONL events (config, per-run quantile
@@ -29,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -40,6 +49,7 @@ import (
 	"treadmill/internal/capture"
 	"treadmill/internal/client"
 	"treadmill/internal/core"
+	"treadmill/internal/fleet"
 	"treadmill/internal/loadgen"
 	"treadmill/internal/report"
 	"treadmill/internal/stats"
@@ -67,6 +77,9 @@ type options struct {
 	sloQuantile  float64
 	sloTarget    time.Duration
 	workers      int
+	fleetAddr    string
+	fleetAgents  int
+	fleetLoss    string
 	obs          telemetry.ObsFlags
 }
 
@@ -88,6 +101,9 @@ func main() {
 	flag.Float64Var(&o.sloQuantile, "slo-quantile", 0.99, "SLO quantile for -find-capacity")
 	flag.DurationVar(&o.sloTarget, "slo-target", 2*time.Millisecond, "SLO latency bound for -find-capacity")
 	flag.IntVar(&o.workers, "workers", 0, "cap on process parallelism (GOMAXPROCS) for load generation and statistics (0 = all cores)")
+	flag.StringVar(&o.fleetAddr, "fleet", "", "run as a fleet coordinator: listen for treadmill-agent connections on this address and distribute the load")
+	flag.IntVar(&o.fleetAgents, "agents", 2, "with -fleet, number of agents to wait for before measuring")
+	flag.StringVar(&o.fleetLoss, "loss-policy", "abort", "with -fleet, agent-loss policy: abort or degrade")
 	o.obs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -99,6 +115,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treadmill: -target is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if o.fleetAddr != "" {
+		switch {
+		case o.findCapacity || o.closedLoop:
+			fmt.Fprintln(os.Stderr, "treadmill: -fleet is incompatible with -find-capacity and -closed-loop")
+			os.Exit(2)
+		case o.obs.AnatomyEnabled():
+			fmt.Fprintln(os.Stderr, "treadmill: -anatomy is not supported with -fleet (per-request phases stay agent-local)")
+			os.Exit(2)
+		case o.fleetAgents < 1:
+			fmt.Fprintln(os.Stderr, "treadmill: -agents must be >= 1")
+			os.Exit(2)
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -140,6 +169,29 @@ func run(ctx context.Context, o options) (err error) {
 		fmt.Println(line)
 	}
 
+	// Fleet mode: open the coordinator listener before the (potentially
+	// slow) preload, so agents can dial in and calibrate their clocks while
+	// the key space loads instead of bouncing off a closed port.
+	var co *fleet.Coordinator
+	if o.fleetAddr != "" {
+		loss, perr := fleet.ParseLossPolicy(o.fleetLoss)
+		if perr != nil {
+			return perr
+		}
+		ln, lerr := net.Listen("tcp", o.fleetAddr)
+		if lerr != nil {
+			return fmt.Errorf("fleet: listen %s: %w", o.fleetAddr, lerr)
+		}
+		co = fleet.NewCoordinator(fleet.Config{
+			Loss:    loss,
+			Journal: obs.Journal,
+			Metrics: reg,
+		})
+		defer co.Close()
+		co.Serve(ln)
+		fmt.Printf("fleet: accepting agents on %s (loss policy %s)\n", ln.Addr(), loss)
+	}
+
 	if o.preload {
 		fmt.Printf("preloading %d keys...\n", wl.Keys)
 		if err := loadgen.Preload(o.target, wl, o.seed); err != nil {
@@ -164,7 +216,7 @@ func run(ctx context.Context, o options) (err error) {
 	case o.closedLoop:
 		err = runClosedLoop(ctx, o, wl, reg)
 	default:
-		err = runTreadmill(ctx, o, wl, reg, obs.Journal, obs.Tracer)
+		err = runTreadmill(ctx, o, wl, reg, obs.Journal, obs.Tracer, co)
 	}
 
 	if prober != nil {
@@ -201,7 +253,7 @@ func writeTraces(tracer *telemetry.Tracer, path string) error {
 	return nil
 }
 
-func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telemetry.Registry, journal *telemetry.Journal, tracer *telemetry.Tracer) error {
+func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telemetry.Registry, journal *telemetry.Journal, tracer *telemetry.Tracer, co *fleet.Coordinator) error {
 	cfg := core.DefaultConfig()
 	cfg.Seed = o.seed
 	cfg.MinRuns = o.minRuns
@@ -211,24 +263,31 @@ func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telem
 	cfg.Progress = func(u core.ProgressUpdate) {
 		fmt.Println(report.ProgressLine(u.Run, u.Runs, u.Estimate, u.RunningMean, u.Converged))
 	}
-	tcpRunner := &core.TCPRunner{
-		Addr:      o.target,
-		Instances: o.instances,
-		PerInstance: loadgen.Options{
-			Rate:     o.rate / float64(o.instances),
-			Conns:    o.conns,
-			Workload: wl,
-		},
-		Duration:      o.duration,
-		Telemetry:     reg,
-		Tracer:        tracer,
-		SlippageAlert: o.obs.SlippageAlert,
-		Anatomy:       o.obs.AnatomyEnabled(),
-		Journal:       journal,
+	var m *core.Measurement
+	var tcpRunner *core.TCPRunner
+	var err error
+	if co != nil {
+		m, err = measureFleet(ctx, o, wl, cfg, co)
+	} else {
+		tcpRunner = &core.TCPRunner{
+			Addr:      o.target,
+			Instances: o.instances,
+			PerInstance: loadgen.Options{
+				Rate:     o.rate / float64(o.instances),
+				Conns:    o.conns,
+				Workload: wl,
+			},
+			Duration:      o.duration,
+			Telemetry:     reg,
+			Tracer:        tracer,
+			SlippageAlert: o.obs.SlippageAlert,
+			Anatomy:       o.obs.AnatomyEnabled(),
+			Journal:       journal,
+		}
+		fmt.Printf("measuring %s: %d instances x %.0f rps, %v per run, %d-%d runs\n",
+			o.target, o.instances, o.rate/float64(o.instances), o.duration, o.minRuns, o.maxRuns)
+		m, err = core.Measure(ctx, cfg, tcpRunner)
 	}
-	fmt.Printf("measuring %s: %d instances x %.0f rps, %v per run, %d-%d runs\n",
-		o.target, o.instances, o.rate/float64(o.instances), o.duration, o.minRuns, o.maxRuns)
-	m, err := core.Measure(ctx, cfg, tcpRunner)
 	if err != nil {
 		// A Ctrl-C before any run completed still returns an error; the
 		// journal defer in run has already recorded whatever happened.
@@ -253,7 +312,7 @@ func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telem
 	fmt.Println(tab)
 	fmt.Printf("hysteresis spread (p99): %s\n", report.Percent(m.RelativeSpread()))
 	printSlippage(reg, o.obs.SlippageAlert)
-	if o.obs.AnatomyEnabled() {
+	if o.obs.AnatomyEnabled() && tcpRunner != nil {
 		if b := tcpRunner.AnatomyBreakdown(); b != nil {
 			fmt.Println(anatomy.Table("Tail anatomy (client-observable phases, all runs)", b))
 			if err := anatomy.ExportFile(o.obs.Anatomy, []*telemetry.AnatomyRecord{b.Record("final")}); err != nil {
@@ -263,6 +322,45 @@ func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telem
 		}
 	}
 	return nil
+}
+
+// Fleet-wide histogram bounds (seconds): every agent records RTTs into
+// this fixed geometry so the shards' snapshots merge exactly. 1µs-10s
+// covers any latency a memcached-style service can plausibly produce.
+const (
+	fleetHistLo = 1e-6
+	fleetHistHi = 10.0
+)
+
+// measureFleet runs the Treadmill procedure with load generation
+// distributed over a fleet of treadmill-agent processes: the coordinator
+// (already listening since before the preload) waits for the fleet to
+// assemble, calibrates clocks at join, then executes every repeated run
+// as a barrier-synchronized broadcast where each agent drives its 1/N
+// slice of the aggregate rate and ships a histogram shard back.
+func measureFleet(ctx context.Context, o options, wl workload.Config, cfg core.Config, co *fleet.Coordinator) (*core.Measurement, error) {
+	fmt.Printf("fleet: waiting for %d agents...\n", o.fleetAgents)
+	if err := co.WaitAgents(ctx, o.fleetAgents); err != nil {
+		return nil, err
+	}
+	for _, a := range co.Agents() {
+		fmt.Printf("fleet: agent %q joined (clock offset %v, sync rtt %v)\n", a.Name, a.Offset, a.RTT)
+	}
+
+	spec := fleet.TCPLoadSpec{
+		Addr:         o.target,
+		TotalRate:    o.rate,
+		Conns:        o.conns,
+		DurationNs:   o.duration.Nanoseconds(),
+		Workload:     wl,
+		HistLo:       fleetHistLo,
+		HistHi:       fleetHistHi,
+		HistBins:     cfg.Hist.Bins,
+		SnapPeriodNs: int64(time.Second),
+	}
+	fmt.Printf("measuring %s: fleet of %d agents x %.0f rps (aggregate %.0f), %v per run, %d-%d runs\n",
+		o.target, o.fleetAgents, o.rate/float64(o.fleetAgents), o.rate, o.duration, o.minRuns, o.maxRuns)
+	return core.MeasureSnapshots(ctx, cfg, &fleet.BroadcastLoadRunner{Co: co, Spec: spec})
 }
 
 // printSlippage summarizes the send-slippage self-audit: how far actual

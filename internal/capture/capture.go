@@ -17,6 +17,7 @@ package capture
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -24,6 +25,11 @@ import (
 
 	"treadmill/internal/protocol"
 )
+
+// DefaultProbeTimeout bounds each probe's write-plus-response exchange. A
+// hung server must fail the probe, not wedge the prober (and whatever
+// campaign is waiting on it) forever.
+const DefaultProbeTimeout = 5 * time.Second
 
 // Sample is one ground-truth observation.
 type Sample struct {
@@ -64,11 +70,15 @@ func (r *stampReader) last() time.Time {
 // Prober measures ground-truth wire latency against a memcached-protocol
 // server using single-outstanding GET probes of a preloaded key.
 type Prober struct {
-	conn  net.Conn
-	sr    *stampReader
-	br    *bufio.Reader
-	bw    *bufio.Writer
-	key   string
+	conn net.Conn
+	sr   *stampReader
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	key  string
+	// Timeout bounds each probe exchange (0 = DefaultProbeTimeout). Set
+	// before the first probe.
+	Timeout time.Duration
+
 	mu    sync.Mutex
 	samps []Sample
 }
@@ -91,7 +101,8 @@ func NewProber(addr, key string) (*Prober, error) {
 		bw:   bufio.NewWriter(conn),
 		key:  key,
 	}
-	// Seed the probe key.
+	// Seed the probe key, under the same deadline discipline as probes.
+	_ = conn.SetDeadline(time.Now().Add(DefaultProbeTimeout))
 	if err := protocol.WriteRequest(p.bw, &protocol.Request{Op: protocol.OpSet, Key: key, Value: []byte("probe")}); err != nil {
 		conn.Close()
 		return nil, err
@@ -104,13 +115,22 @@ func NewProber(addr, key string) (*Prober, error) {
 		conn.Close()
 		return nil, fmt.Errorf("capture: seeding probe key: %w", err)
 	}
+	_ = conn.SetDeadline(time.Time{})
 	return p, nil
 }
 
-// ProbeOnce issues one GET and records its wire sample.
+// ProbeOnce issues one GET and records its wire sample. The exchange is
+// bounded by Timeout, so a hung server fails the probe instead of
+// blocking it indefinitely.
 func (p *Prober) ProbeOnce() (Sample, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	_ = p.conn.SetDeadline(time.Now().Add(timeout))
+	defer p.conn.SetDeadline(time.Time{})
 	if err := protocol.WriteRequest(p.bw, &protocol.Request{Op: protocol.OpGet, Key: p.key}); err != nil {
 		return Sample{}, err
 	}
@@ -139,6 +159,25 @@ func (p *Prober) ProbeOnce() (Sample, error) {
 // Run probes every interval until stop is closed or count samples are
 // collected (count <= 0 means unbounded).
 func (p *Prober) Run(interval time.Duration, count int, stop <-chan struct{}) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if stop != nil {
+		go func() {
+			select {
+			case <-stop:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+	}
+	return p.RunContext(ctx, interval, count)
+}
+
+// RunContext probes every interval until ctx is cancelled or count samples
+// are collected (count <= 0 means unbounded). Cancellation between probes
+// returns nil; a probe already in flight is still bounded by Timeout, so
+// even a hung server cannot hold the prober past one probe deadline.
+func (p *Prober) RunContext(ctx context.Context, interval time.Duration, count int) error {
 	if interval <= 0 {
 		return fmt.Errorf("capture: interval must be positive")
 	}
@@ -147,10 +186,15 @@ func (p *Prober) Run(interval time.Duration, count int, stop <-chan struct{}) er
 	n := 0
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			return nil
 		case <-ticker.C:
 			if _, err := p.ProbeOnce(); err != nil {
+				if ctx.Err() != nil {
+					// Cancelled mid-probe (e.g. the caller closed the
+					// connection on shutdown): not a measurement failure.
+					return nil
+				}
 				return err
 			}
 			n++

@@ -1,0 +1,94 @@
+package capture
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// seedThenHangServer ACKs the prober's seeding SET with STORED and then
+// goes silent: every GET probe reads its request and never responds.
+func seedThenHangServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if _, err := conn.Write([]byte("STORED\r\n")); err != nil {
+					return
+				}
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestProbeOnceTimeoutOnHungServer: a server that stops responding must
+// fail the probe within Timeout, not wedge the prober forever.
+func TestProbeOnceTimeoutOnHungServer(t *testing.T) {
+	p, err := NewProber(seedThenHangServer(t), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Timeout = 200 * time.Millisecond
+
+	start := time.Now()
+	if _, err := p.ProbeOnce(); err == nil {
+		t.Fatal("ProbeOnce succeeded against a hung server")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("ProbeOnce took %v, want ~Timeout (200ms)", elapsed)
+	}
+}
+
+// TestRunContextCancelReturnsNil: cancellation is a normal shutdown, not a
+// measurement failure — RunContext must return nil, including when the
+// cancel lands mid-probe.
+func TestRunContextCancelReturnsNil(t *testing.T) {
+	p, err := NewProber(seedThenHangServer(t), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Timeout = 2 * time.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.RunContext(ctx, 20*time.Millisecond, 0) }()
+	// Let it get a probe in flight against the silent server, then cancel.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunContext returned %v on cancellation, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not return after cancellation")
+	}
+}
+
+// TestRunContextRejectsBadInterval guards the argument check.
+func TestRunContextRejectsBadInterval(t *testing.T) {
+	p := &Prober{}
+	if err := p.RunContext(context.Background(), 0, 1); err == nil {
+		t.Fatal("RunContext accepted a non-positive interval")
+	}
+}

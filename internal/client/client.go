@@ -53,6 +53,13 @@ type pending struct {
 	// trace, so it must be atomic.
 	trace  *telemetry.Trace
 	sendNs atomic.Int64
+	// claimed arbitrates exactly-once outcome delivery between the reader
+	// (response or connection error -> callback) and the writer (write
+	// error -> error return from DoAt). The reader can pop a pending and
+	// fail it while the writer's flush is still returning its own error;
+	// without the CAS both sides would deliver and a WaitGroup-counting
+	// caller would double-decrement.
+	claimed atomic.Bool
 }
 
 // Conn is one pipelined client connection.
@@ -107,12 +114,6 @@ func DefaultConnConfig() ConnConfig {
 
 // Dial connects to a memcached-protocol server.
 func Dial(addr string, cfg ConnConfig) (*Conn, error) {
-	if cfg.MaxInflight == 0 {
-		cfg.MaxInflight = 4096
-	}
-	if cfg.BufferSize == 0 {
-		cfg.BufferSize = 16 << 10
-	}
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
@@ -122,6 +123,18 @@ func Dial(addr string, cfg ConnConfig) (*Conn, error) {
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
+	}
+	return NewConn(nc, cfg), nil
+}
+
+// NewConn wraps an established connection (a socket, a net.Pipe end in
+// tests, ...) in a pipelined client connection. It takes ownership of nc.
+func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 4096
+	}
+	if cfg.BufferSize == 0 {
+		cfg.BufferSize = 16 << 10
 	}
 	c := &Conn{
 		nc:       nc,
@@ -139,7 +152,7 @@ func Dial(addr string, cfg ConnConfig) (*Conn, error) {
 		c.inflightG = reg.Gauge("client.inflight")
 	}
 	go c.readLoop(bufio.NewReaderSize(nc, cfg.BufferSize))
-	return c, nil
+	return c
 }
 
 // readLoop matches responses to pipelined requests in FIFO order and runs
@@ -150,20 +163,36 @@ func (c *Conn) readLoop(r *bufio.Reader) {
 		select {
 		case p = <-c.inflight:
 		case <-c.done:
+			// Closed while idle — but pendings may have raced in between
+			// the close and this wakeup. Fail them rather than strand
+			// their callbacks (a load generator counts completions with a
+			// WaitGroup; a stranded callback wedges its drain forever).
+			c.failConn(ErrClosed)
 			return
 		}
 		resp, err := protocol.ParseResponse(r, p.op)
 		now := time.Now()
 		if err != nil {
-			c.failFrom(p, err)
+			// The in-hand pending is owned by this goroutine: fail it
+			// directly, then tear down and drain the rest. failConn is
+			// once-guarded, so if the writer's error path got there first
+			// this only delivers p's callback.
+			c.deliverErr(p, err, now)
+			c.failConn(err)
 			return
+		}
+		c.inflightG.Add(-1)
+		if !p.claimed.CompareAndSwap(false, true) {
+			// The writer already reported this request's outcome as a
+			// write error; the response (from a partially successful
+			// flush) is consumed to keep FIFO matching but not delivered.
+			continue
 		}
 		if p.trace != nil {
 			p.trace.FirstByteNs = now.UnixNano()
 		}
 		p.cb(&Result{Resp: resp, Start: p.start, Done: now})
 		c.resps.Inc()
-		c.inflightG.Add(-1)
 		if p.trace != nil || c.anatomy != nil {
 			completeNs := time.Now().UnixNano()
 			sendNs := p.sendNs.Load()
@@ -184,30 +213,47 @@ func (c *Conn) readLoop(r *bufio.Reader) {
 	}
 }
 
-// failFrom delivers err to p and every remaining inflight callback, then
-// tears the connection down.
-func (c *Conn) failFrom(p *pending, err error) {
+// deliverErr fires q's callback with err and updates the failure
+// telemetry. The caller must own q (have popped it from the pipeline);
+// the claim CAS skips pendings whose outcome the writer already reported
+// as a DoAt error return.
+func (c *Conn) deliverErr(q *pending, err error, now time.Time) {
+	c.inflightG.Add(-1)
+	if !q.claimed.CompareAndSwap(false, true) {
+		return
+	}
+	q.cb(&Result{Err: err, Start: q.start, Done: now})
+	c.fails.Inc()
+	if q.trace != nil {
+		q.trace.Err = err.Error()
+		q.trace.SendNs = q.sendNs.Load()
+		q.trace.CompleteNs = now.UnixNano()
+		c.tracer.Emit(*q.trace)
+	}
+}
+
+// failConn tears the connection down exactly once: it records the error,
+// closes the socket and the done channel (marking the connection closed so
+// no new pending can be reserved), and then fails every pending still in
+// the pipeline. Closing BEFORE draining is what makes the drain complete:
+// Do reserves slots under c.mu and checks closed first, and Close takes
+// c.mu, so once Close returns no further pending can enter the channel.
+//
+// Three paths converge here — the reader hitting a parse/socket error, the
+// writer hitting a write error (its failed request already holds a
+// pipeline slot, so FIFO matching is broken and the connection is
+// unusable), and a Close racing queued pendings. The sync.Once arbitrates;
+// a reader holding a popped pending fails it itself via deliverErr.
+func (c *Conn) failConn(err error) {
 	c.readerEnd.Do(func() {
 		c.readerErr = err
+		c.Close()
 		now := time.Now()
-		fail := func(q *pending) {
-			q.cb(&Result{Err: err, Start: q.start, Done: now})
-			c.fails.Inc()
-			c.inflightG.Add(-1)
-			if q.trace != nil {
-				q.trace.Err = err.Error()
-				q.trace.SendNs = q.sendNs.Load()
-				q.trace.CompleteNs = now.UnixNano()
-				c.tracer.Emit(*q.trace)
-			}
-		}
-		fail(p)
 		for {
 			select {
 			case q := <-c.inflight:
-				fail(q)
+				c.deliverErr(q, err, now)
 			default:
-				c.Close()
 				return
 			}
 		}
@@ -267,8 +313,22 @@ func (c *Conn) DoAt(req *protocol.Request, arrival time.Time, cb Callback) error
 	}
 	c.mu.Unlock()
 	if err != nil {
-		c.fails.Inc()
-		return fmt.Errorf("client: write: %w", err)
+		werr := fmt.Errorf("client: write: %w", err)
+		// The reserved pipeline slot holds a request that (at best)
+		// partially went out: response matching is desynchronized and the
+		// connection is unusable. Claim the outcome first — the reader may
+		// concurrently pop p and race to deliver a connection error to its
+		// callback — then tear down; failConn drains the pipeline and
+		// fails every unclaimed pending.
+		claimed := !req.NoReply && p.claimed.CompareAndSwap(false, true)
+		c.failConn(werr)
+		if req.NoReply || claimed {
+			c.fails.Inc()
+			return werr
+		}
+		// The reader delivered p's outcome to the callback before we could
+		// claim it; reporting the write error too would double-count.
+		return nil
 	}
 	c.reqs.Inc()
 	if req.NoReply {

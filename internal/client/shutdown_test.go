@@ -1,0 +1,134 @@
+package client
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"treadmill/internal/protocol"
+)
+
+// hangServer accepts connections and reads forever without ever
+// responding — the pathological peer the shutdown paths must survive.
+func hangServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestCloseFailsOutstandingCallbacks: every pipelined request must get its
+// callback on Close, even when the server never responds. A stranded
+// callback deadlocks any WaitGroup-counting load generator.
+func TestCloseFailsOutstandingCallbacks(t *testing.T) {
+	c, err := Dial(hangServer(t), DefaultConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	var errsSeen atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		err := c.Do(&protocol.Request{Op: protocol.OpGet, Key: "k"}, func(r *Result) {
+			if r.Err != nil {
+				errsSeen.Add(1)
+			}
+			wg.Done()
+		})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("callbacks stranded after Close: %d/%d delivered", errsSeen.Load(), n)
+	}
+	if errsSeen.Load() != n {
+		t.Fatalf("%d error callbacks, want %d", errsSeen.Load(), n)
+	}
+}
+
+// TestWriteErrorExactlyOnceDelivery: when the transport fails, each
+// request's outcome must be delivered exactly once — either as a DoAt
+// error return or as an error callback, never both and never neither.
+func TestWriteErrorExactlyOnceDelivery(t *testing.T) {
+	c1, c2 := net.Pipe()
+	c := NewConn(c1, DefaultConnConfig())
+	defer c.Close()
+	// Kill the transport: every write from now on errors.
+	c2.Close()
+
+	time.Sleep(10 * time.Millisecond) // let the reader observe the closed pipe
+	var outcomes atomic.Int64
+	var wg sync.WaitGroup
+	const n = 16
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		err := c.Do(&protocol.Request{Op: protocol.OpGet, Key: "k"}, func(r *Result) {
+			outcomes.Add(1)
+			wg.Done()
+		})
+		if err != nil {
+			// Error return: the callback must never fire for this request.
+			outcomes.Add(1)
+			wg.Done()
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("outcome never delivered for some request")
+	}
+	// Give any erroneous double delivery a moment to land, then check the
+	// count is exactly one outcome per request.
+	time.Sleep(50 * time.Millisecond)
+	if got := outcomes.Load(); got != n {
+		t.Fatalf("%d outcomes for %d requests (double or missing delivery)", got, n)
+	}
+}
+
+// TestDoAfterFailureReturnsClosed: once the connection tore itself down,
+// subsequent requests fail fast with ErrClosed instead of queueing.
+func TestDoAfterFailureReturnsClosed(t *testing.T) {
+	c1, c2 := net.Pipe()
+	c := NewConn(c1, DefaultConnConfig())
+	c2.Close()
+	c.Close()
+	err := c.Do(&protocol.Request{Op: protocol.OpGet, Key: "k"}, func(r *Result) {
+		t.Error("callback fired on closed connection")
+	})
+	if err == nil {
+		t.Fatal("Do succeeded on closed connection")
+	}
+}

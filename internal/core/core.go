@@ -178,6 +178,31 @@ func (m *Measurement) PerRun(q float64) []float64 {
 // flushes its journal instead of dying mid-write. Cancellation before any
 // run completes returns ctx's error.
 func Measure(ctx context.Context, cfg Config, runner Runner) (*Measurement, error) {
+	return measure(ctx, cfg, func(ctx context.Context, run int, seed uint64) (RunEstimate, error) {
+		streams, err := runner.RunOnce(ctx, run, seed)
+		if err != nil {
+			return RunEstimate{}, err
+		}
+		if err := ctx.Err(); err != nil {
+			// The run was cut short; its streams are truncated and would
+			// bias the estimate. The loop discards it.
+			return RunEstimate{}, err
+		}
+		return estimateRun(cfg, run, streams)
+	})
+}
+
+// runEstimator executes one run end to end — load generation plus the
+// per-instance extraction and combination — and returns the combined
+// estimates. It is the seam between the repeated-run procedure (which is
+// identical for every backend) and how a backend materializes per-instance
+// distributions (raw sample streams locally, histogram snapshots over a
+// fleet).
+type runEstimator func(ctx context.Context, run int, seed uint64) (RunEstimate, error)
+
+// measure is the repeated-run procedure shared by Measure and
+// MeasureSnapshots.
+func measure(ctx context.Context, cfg Config, estimator runEstimator) (*Measurement, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -199,7 +224,7 @@ func Measure(ctx context.Context, cfg Config, runner Runner) (*Measurement, erro
 			break
 		}
 		seed := cfg.Seed + uint64(run)
-		streams, err := runner.RunOnce(ctx, run, seed)
+		est, err := estimator(ctx, run, seed)
 		if err != nil {
 			if ctx.Err() != nil {
 				m.Interrupted = true
@@ -208,14 +233,10 @@ func Measure(ctx context.Context, cfg Config, runner Runner) (*Measurement, erro
 			return nil, fmt.Errorf("core: run %d: %w", run, err)
 		}
 		if ctx.Err() != nil {
-			// The run was cut short; its streams are truncated. Discard it
-			// rather than let a partial run contaminate the estimate.
+			// The run was cut short. Discard it rather than let a partial
+			// run contaminate the estimate.
 			m.Interrupted = true
 			break
-		}
-		est, err := estimateRun(cfg, run, streams)
-		if err != nil {
-			return nil, fmt.Errorf("core: run %d: %w", run, err)
 		}
 		m.Runs = append(m.Runs, est)
 		for _, n := range est.InstanceSamples {

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"treadmill/internal/agg"
+	"treadmill/internal/hist"
+)
+
+// SnapshotRunner executes one full experiment run and returns each
+// instance's latency distribution as a histogram snapshot instead of a raw
+// sample stream. This is the fleet-shaped Runner: distributed agents never
+// ship per-request samples to the coordinator — each builds a local
+// histogram over agreed bin bounds and sends the snapshot, which is both
+// cheap on the wire and exactly what the paper's per-instance extraction
+// needs (§III-B: extract each instance's quantiles individually, then
+// combine — never pool raw samples or average client quantiles).
+type SnapshotRunner interface {
+	RunOnceSnapshots(ctx context.Context, run int, seed uint64) ([]*hist.Snapshot, error)
+}
+
+// SnapshotRunnerFunc adapts a function to SnapshotRunner.
+type SnapshotRunnerFunc func(ctx context.Context, run int, seed uint64) ([]*hist.Snapshot, error)
+
+// RunOnceSnapshots implements SnapshotRunner.
+func (f SnapshotRunnerFunc) RunOnceSnapshots(ctx context.Context, run int, seed uint64) ([]*hist.Snapshot, error) {
+	return f(ctx, run, seed)
+}
+
+// MeasureSnapshots executes the full Treadmill procedure over a
+// SnapshotRunner: the identical repeated-run loop as Measure (same
+// convergence rule, journaling, interruption semantics), with per-run
+// estimates computed from per-instance histogram snapshots. Each snapshot
+// is one load-tester instance; its quantiles are read directly from the
+// snapshot and combined across instances with cfg.Combine.
+//
+// Note cfg.Hist is not consulted here — snapshot geometry is fixed by
+// whoever built the histograms (for a fleet, the coordinator fans the
+// bounds out so all agents agree).
+func MeasureSnapshots(ctx context.Context, cfg Config, runner SnapshotRunner) (*Measurement, error) {
+	return measure(ctx, cfg, func(ctx context.Context, run int, seed uint64) (RunEstimate, error) {
+		snaps, err := runner.RunOnceSnapshots(ctx, run, seed)
+		if err != nil {
+			return RunEstimate{}, err
+		}
+		if err := ctx.Err(); err != nil {
+			// Truncated run; the loop discards it.
+			return RunEstimate{}, err
+		}
+		return estimateSnapshots(cfg, run, snaps)
+	})
+}
+
+// estimateSnapshots combines per-instance snapshot quantiles — the
+// snapshot analogue of estimateRun.
+func estimateSnapshots(cfg Config, run int, snaps []*hist.Snapshot) (RunEstimate, error) {
+	if len(snaps) == 0 {
+		return RunEstimate{}, fmt.Errorf("no instance snapshots")
+	}
+	est := RunEstimate{Run: run, ByQuantile: make(map[float64]float64, len(cfg.Quantiles))}
+	sources := make([]agg.QuantileSource, len(snaps))
+	for i, s := range snaps {
+		if s == nil || s.Count() == 0 {
+			return RunEstimate{}, fmt.Errorf("instance %d produced no measured samples", i)
+		}
+		sources[i] = s
+		est.InstanceSamples = append(est.InstanceSamples, s.Count())
+	}
+	for _, q := range cfg.Quantiles {
+		v, err := agg.PerInstance(sources, q, cfg.Combine)
+		if err != nil {
+			return RunEstimate{}, err
+		}
+		est.ByQuantile[q] = v
+	}
+	return est, nil
+}

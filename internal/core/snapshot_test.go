@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"treadmill/internal/agg"
+	"treadmill/internal/hist"
+)
+
+// snapFrom builds a fixed-bounds histogram snapshot over the given values.
+func snapFrom(t *testing.T, values []float64) *hist.Snapshot {
+	t.Helper()
+	cfg := hist.DefaultConfig()
+	cfg.Bins = 256
+	h, err := hist.NewWithBounds(cfg, 1e-5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if err := h.Record(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func snapshotCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Quantiles = []float64{0.5, 0.99}
+	cfg.PrimaryQuantile = 0.99
+	cfg.MinRuns, cfg.MaxRuns = 2, 4
+	cfg.ConvergenceWindow = 2
+	cfg.ConvergenceTolerance = 10 // converge immediately after MinRuns
+	return cfg
+}
+
+// instanceValues fabricates deterministic per-instance latency samples
+// that vary by run (via seed) and instance.
+func instanceValues(seed uint64, instance, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		// Spread in (1e-4, ~1e-2), deterministic and instance-skewed.
+		out[i] = 1e-4 + float64((int(seed)*31+instance*7+i*13)%997)*1e-5
+	}
+	return out
+}
+
+func TestMeasureSnapshotsCombinesPerInstance(t *testing.T) {
+	cfg := snapshotCfg()
+	const instances = 3
+	runner := SnapshotRunnerFunc(func(ctx context.Context, run int, seed uint64) ([]*hist.Snapshot, error) {
+		snaps := make([]*hist.Snapshot, instances)
+		for i := range snaps {
+			snaps[i] = snapFrom(t, instanceValues(seed, i, 400))
+		}
+		return snaps, nil
+	})
+	m, err := MeasureSnapshots(context.Background(), cfg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Runs) < cfg.MinRuns || !m.Converged {
+		t.Fatalf("runs=%d converged=%v, want >=%d/true", len(m.Runs), m.Converged, cfg.MinRuns)
+	}
+
+	// Recompute run 0's combined quantiles by hand: the per-instance
+	// extraction then combination must match agg.PerInstance exactly.
+	seed := cfg.Seed + 0
+	sources := make([]agg.QuantileSource, instances)
+	var wantSamples uint64
+	for i := range sources {
+		s := snapFrom(t, instanceValues(seed, i, 400))
+		sources[i] = s
+		wantSamples += s.Count()
+	}
+	for _, q := range cfg.Quantiles {
+		want, err := agg.PerInstance(sources, q, cfg.Combine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Runs[0].ByQuantile[q]; got != want {
+			t.Errorf("run 0 q%g: got %g, want %g", q, got, want)
+		}
+	}
+	var gotSamples uint64
+	for _, n := range m.Runs[0].InstanceSamples {
+		gotSamples += n
+	}
+	if gotSamples != wantSamples {
+		t.Errorf("run 0 samples: got %d, want %d", gotSamples, wantSamples)
+	}
+	if math.IsNaN(m.StdDev[0.99]) {
+		t.Error("NaN stddev")
+	}
+}
+
+func TestMeasureSnapshotsRejectsEmptyRuns(t *testing.T) {
+	cfg := snapshotCfg()
+	empty := SnapshotRunnerFunc(func(ctx context.Context, run int, seed uint64) ([]*hist.Snapshot, error) {
+		return nil, nil
+	})
+	if _, err := MeasureSnapshots(context.Background(), cfg, empty); err == nil || !strings.Contains(err.Error(), "no instance snapshots") {
+		t.Fatalf("want no-snapshots error, got %v", err)
+	}
+
+	hollow := SnapshotRunnerFunc(func(ctx context.Context, run int, seed uint64) ([]*hist.Snapshot, error) {
+		return []*hist.Snapshot{snapFrom(t, nil)}, nil
+	})
+	if _, err := MeasureSnapshots(context.Background(), cfg, hollow); err == nil || !strings.Contains(err.Error(), "no measured samples") {
+		t.Fatalf("want empty-instance error, got %v", err)
+	}
+}
+
+func TestMeasureSnapshotsPropagatesRunError(t *testing.T) {
+	cfg := snapshotCfg()
+	boom := SnapshotRunnerFunc(func(ctx context.Context, run int, seed uint64) ([]*hist.Snapshot, error) {
+		return nil, fmt.Errorf("agent exploded")
+	})
+	if _, err := MeasureSnapshots(context.Background(), cfg, boom); err == nil || !strings.Contains(err.Error(), "agent exploded") {
+		t.Fatalf("want runner error, got %v", err)
+	}
+}
+
+func TestMeasureSnapshotsInterrupted(t *testing.T) {
+	cfg := snapshotCfg()
+	cfg.MinRuns, cfg.MaxRuns = 3, 5
+	ctx, cancel := context.WithCancel(context.Background())
+	runs := 0
+	runner := SnapshotRunnerFunc(func(ctx context.Context, run int, seed uint64) ([]*hist.Snapshot, error) {
+		runs++
+		if runs == 2 {
+			cancel() // cancel mid-run: this run must be discarded
+		}
+		return []*hist.Snapshot{snapFrom(t, instanceValues(seed, 0, 200))}, nil
+	})
+	m, err := MeasureSnapshots(ctx, cfg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Interrupted || len(m.Runs) != 1 {
+		t.Fatalf("interrupted=%v runs=%d, want true/1 (in-flight run discarded)", m.Interrupted, len(m.Runs))
+	}
+}

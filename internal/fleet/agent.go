@@ -1,0 +1,363 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"treadmill/internal/fleet/wire"
+	"treadmill/internal/hist"
+	"treadmill/internal/telemetry"
+)
+
+// ProgressFunc streams a mid-cell histogram snapshot back to the
+// coordinator. Runners may call it as often as they like; delivery is
+// best-effort telemetry, never required for correctness.
+type ProgressFunc func(snap *hist.Snapshot, requests uint64)
+
+// CellRunner executes cells on an agent. Implementations interpret
+// cell.Kind/cell.Payload (the fleet layer treats both as opaque) and
+// return the result frame to ship back; StartNs/EndNs/CellID are stamped
+// by the agent if left zero. A returned error fails the cell — it is
+// reported to the coordinator verbatim, so make it self-describing.
+type CellRunner interface {
+	RunCell(ctx context.Context, cell wire.Cell, progress ProgressFunc) (wire.CellDone, error)
+}
+
+// CellRunnerFunc adapts a function to CellRunner.
+type CellRunnerFunc func(ctx context.Context, cell wire.Cell, progress ProgressFunc) (wire.CellDone, error)
+
+// RunCell implements CellRunner.
+func (f CellRunnerFunc) RunCell(ctx context.Context, cell wire.Cell, progress ProgressFunc) (wire.CellDone, error) {
+	return f(ctx, cell, progress)
+}
+
+// AgentConfig configures an Agent.
+type AgentConfig struct {
+	// Name identifies the agent to the coordinator (must be unique among
+	// live agents).
+	Name string
+	// Runner executes the cells this agent is assigned.
+	Runner CellRunner
+	// IOTimeout bounds every frame read/write (0 = DefaultIOTimeout).
+	IOTimeout time.Duration
+	// HeartbeatInterval is the liveness-beacon cadence
+	// (0 = DefaultHeartbeatInterval).
+	HeartbeatInterval time.Duration
+	// LossTimeout is how long the coordinator may stay silent before the
+	// agent gives up (0 = four heartbeat intervals).
+	LossTimeout time.Duration
+	// Journal, when non-nil, receives agent lifecycle events.
+	Journal *telemetry.Journal
+	// Metrics, when non-nil, receives agent counters.
+	Metrics *telemetry.Registry
+}
+
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = DefaultIOTimeout
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if c.LossTimeout <= 0 {
+		c.LossTimeout = defaultLossTimeout(c.HeartbeatInterval)
+	}
+	return c
+}
+
+// Agent is the worker side of the fleet: it dials (or is handed) a
+// connection to the coordinator, answers the clock-probe burst, then
+// executes assigned cells one at a time — streaming snapshots, honoring
+// barriers, and shutting down cleanly on Stop, Drain, context cancel, or
+// coordinator silence.
+type Agent struct {
+	cfg AgentConfig
+}
+
+// NewAgent returns an Agent with defaults filled in.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("fleet: agent needs a name")
+	}
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("fleet: agent needs a CellRunner")
+	}
+	return &Agent{cfg: cfg.withDefaults()}, nil
+}
+
+// Dial connects to a coordinator at addr and runs until stopped.
+func (ag *Agent) Dial(ctx context.Context, addr string) error {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fleet: dial coordinator: %w", err)
+	}
+	return ag.Run(ctx, nc)
+}
+
+// runningCell tracks the agent's single in-flight cell.
+type runningCell struct {
+	id      string
+	cancel  context.CancelFunc
+	startCh chan int64
+	done    chan struct{}
+}
+
+// Run serves one coordinator connection until Stop, Drain completion,
+// context cancellation, or a connection/silence error. It owns nc and
+// closes it on return; on return no goroutine started by Run survives.
+func (ag *Agent) Run(ctx context.Context, nc net.Conn) error {
+	wc := wire.NewConn(nc, ag.cfg.IOTimeout)
+	defer wc.Close()
+
+	// The main loop blocks in Read; cancelling the context closes the
+	// connection to unblock it.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			wc.Close()
+		case <-watchDone:
+		}
+	}()
+
+	welcome, err := ag.handshake(ctx, wc)
+	if err != nil {
+		return err
+	}
+	_ = ag.cfg.Journal.Emit(telemetry.Event{Kind: telemetry.EventFleet, Fleet: &telemetry.FleetRecord{
+		Action: "join", Agent: ag.cfg.Name, Detail: fmt.Sprintf("index %d", welcome.Index),
+	}})
+
+	// Heartbeats keep the coordinator's read deadline fed during long
+	// cells and idle stretches.
+	hbDone := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(ag.cfg.HeartbeatInterval)
+		defer t.Stop()
+		var seq uint64
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-t.C:
+				seq++
+				if err := wc.Write(wire.THeartbeat, wire.Heartbeat{Seq: seq, Now: time.Now().UnixNano()}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	defer hbWG.Wait()
+	defer close(hbDone)
+
+	var cur *runningCell
+	cellRunning := func() bool {
+		if cur == nil {
+			return false
+		}
+		select {
+		case <-cur.done:
+			cur = nil
+			return false
+		default:
+			return true
+		}
+	}
+	// Every exit path cancels and awaits the in-flight cell so no runner
+	// goroutine outlives Run.
+	defer func() {
+		if cur != nil {
+			cur.cancel()
+			<-cur.done
+		}
+	}()
+
+	draining := false
+	for {
+		if draining && !cellRunning() {
+			return nil
+		}
+		f, err := wc.ReadTimeout(ag.cfg.LossTimeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if draining && !cellRunning() {
+				return nil
+			}
+			return fmt.Errorf("fleet: agent %q lost coordinator: %w", ag.cfg.Name, err)
+		}
+		switch f.Type {
+		case wire.THeartbeat:
+			// Reading it is the liveness proof.
+		case wire.TCell:
+			var cell wire.Cell
+			if err := f.Decode(&cell); err != nil {
+				return err
+			}
+			if cellRunning() {
+				_ = wc.Write(wire.TCellDone, wire.CellDone{CellID: cell.ID, Error: "agent busy"})
+				continue
+			}
+			cellCtx, cancel := context.WithCancel(ctx)
+			cur = &runningCell{
+				id:      cell.ID,
+				cancel:  cancel,
+				startCh: make(chan int64, 1),
+				done:    make(chan struct{}),
+			}
+			ag.cfg.Metrics.Counter("agent.cells_started").Inc()
+			go ag.runCell(cellCtx, wc, cell, cur)
+		case wire.TStart:
+			var s wire.Start
+			if err := f.Decode(&s); err != nil {
+				return err
+			}
+			if cur != nil && cur.id == s.CellID {
+				select {
+				case cur.startCh <- s.StartAt:
+				default:
+				}
+			}
+		case wire.TDrain:
+			draining = true
+		case wire.TStop, wire.TReject:
+			return nil
+		}
+	}
+}
+
+// handshake performs Hello/Welcome and the clock-probe burst.
+func (ag *Agent) handshake(ctx context.Context, wc *wire.Conn) (wire.Welcome, error) {
+	if err := wc.Write(wire.THello, wire.Hello{Version: wire.Version, Name: ag.cfg.Name}); err != nil {
+		return wire.Welcome{}, err
+	}
+	f, err := wc.Read()
+	if err != nil {
+		if ctx.Err() != nil {
+			return wire.Welcome{}, ctx.Err()
+		}
+		return wire.Welcome{}, err
+	}
+	if f.Type == wire.TReject {
+		var rej wire.Reject
+		_ = f.Decode(&rej)
+		return wire.Welcome{}, fmt.Errorf("fleet: coordinator rejected agent %q: %s", ag.cfg.Name, rej.Reason)
+	}
+	if f.Type != wire.TWelcome {
+		return wire.Welcome{}, fmt.Errorf("fleet: handshake: got %s, want welcome", f.Type)
+	}
+	var welcome wire.Welcome
+	if err := f.Decode(&welcome); err != nil {
+		return wire.Welcome{}, err
+	}
+	if welcome.Version != wire.Version {
+		return wire.Welcome{}, fmt.Errorf("fleet: coordinator speaks protocol %d, agent speaks %d", welcome.Version, wire.Version)
+	}
+	for i := 0; i < welcome.ClockProbes; i++ {
+		pf, err := wc.Read()
+		if err != nil {
+			return wire.Welcome{}, fmt.Errorf("fleet: clock probe %d: %w", i, err)
+		}
+		t2 := time.Now().UnixNano()
+		if pf.Type != wire.TClockPing {
+			return wire.Welcome{}, fmt.Errorf("fleet: clock probe %d: got %s, want clock-ping", i, pf.Type)
+		}
+		var ping wire.ClockPing
+		if err := pf.Decode(&ping); err != nil {
+			return wire.Welcome{}, err
+		}
+		if err := wc.Write(wire.TClockPong, wire.ClockPong{Seq: ping.Seq, T1: ping.T1, T2: t2, T3: time.Now().UnixNano()}); err != nil {
+			return wire.Welcome{}, err
+		}
+	}
+	return welcome, nil
+}
+
+// runCell executes one cell: barrier wait if requested, runner execution
+// with snapshot streaming, and the final CellDone frame. It runs on its
+// own goroutine; cur.done signals completion to the main loop. The done
+// channel closes strictly BEFORE the final frame is written: the
+// coordinator dispatches the next cell the instant it sees CellDone, and
+// the agent must already read as idle when that dispatch arrives.
+func (ag *Agent) runCell(ctx context.Context, wc *wire.Conn, cell wire.Cell, cur *runningCell) {
+	res, send := ag.executeCell(ctx, wc, cell, cur)
+	cur.cancel()
+	close(cur.done)
+	if send {
+		_ = wc.Write(wire.TCellDone, res)
+	}
+}
+
+// executeCell runs the cell body and returns the result frame to send
+// (send=false when the connection already failed and no frame can go
+// out).
+func (ag *Agent) executeCell(ctx context.Context, wc *wire.Conn, cell wire.Cell, cur *runningCell) (wire.CellDone, bool) {
+	if cell.Barrier {
+		if err := wc.Write(wire.TReady, wire.Ready{CellID: cell.ID}); err != nil {
+			return wire.CellDone{}, false
+		}
+		select {
+		case startAt := <-cur.startCh:
+			// The coordinator translated the instant into this agent's clock;
+			// sleep until it so every shard starts together.
+			if d := time.Until(time.Unix(0, startAt)); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return wire.CellDone{}, false
+				}
+			}
+		case <-ctx.Done():
+			return wire.CellDone{}, false
+		}
+	}
+
+	var seq int
+	var progMu sync.Mutex
+	prog := ProgressFunc(func(snap *hist.Snapshot, requests uint64) {
+		progMu.Lock()
+		seq++
+		s := seq
+		progMu.Unlock()
+		_ = wc.Write(wire.TSnap, wire.Snap{CellID: cell.ID, Seq: s, Hist: snap, Requests: requests})
+	})
+
+	startNs := time.Now().UnixNano()
+	res, err := ag.cfg.Runner.RunCell(ctx, cell, prog)
+	endNs := time.Now().UnixNano()
+	res.CellID = cell.ID
+	if res.StartNs == 0 {
+		res.StartNs = startNs
+	}
+	if res.EndNs == 0 {
+		res.EndNs = endNs
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// The agent itself is being torn down (kill, Stop, link loss):
+			// the cell didn't fail, the agent is going away. Reporting a
+			// cell error here races the coordinator's loss detection — the
+			// frame can arrive before the link drops and poison the campaign
+			// as a load failure instead of an agent loss. Stay silent; the
+			// dropped connection is the loss signal, and the cell's
+			// idempotent ID lets a survivor pick it back up.
+			return wire.CellDone{}, false
+		}
+		res = wire.CellDone{CellID: cell.ID, Error: err.Error()}
+		ag.cfg.Metrics.Counter("agent.cells_failed").Inc()
+	} else {
+		ag.cfg.Metrics.Counter("agent.cells_done").Inc()
+	}
+	return res, true
+}

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// ClockSample is one NTP-style four-timestamp exchange: the coordinator
+// sends at T1 (coordinator clock), the agent receives at T2 and replies at
+// T3 (agent clock), and the coordinator receives at T4 (coordinator
+// clock). All values are UnixNano.
+type ClockSample struct {
+	T1, T2, T3, T4 int64
+}
+
+// RTT is the network round-trip portion of the exchange (total elapsed on
+// the coordinator minus the agent's turnaround time).
+func (s ClockSample) RTT() time.Duration {
+	return time.Duration((s.T4 - s.T1) - (s.T3 - s.T2))
+}
+
+// Offset estimates (agent clock − coordinator clock), assuming the
+// forward and return paths are symmetric: the agent's midpoint
+// (T2+T3)/2 corresponds to the coordinator's midpoint (T1+T4)/2, so
+// offset = ((T2−T1)+(T3−T4))/2.
+func (s ClockSample) Offset() time.Duration {
+	return time.Duration(((s.T2 - s.T1) + (s.T3 - s.T4)) / 2)
+}
+
+// ClockEstimate is the coordinator's model of one agent's clock.
+type ClockEstimate struct {
+	// Offset is (agent clock − coordinator clock).
+	Offset time.Duration
+	// RTT is the round-trip time of the sample the estimate came from.
+	RTT time.Duration
+	// Samples is how many exchanges were taken.
+	Samples int
+}
+
+// EstimateClock selects the minimum-RTT sample: queuing delay only ever
+// inflates RTT and skews the symmetric-path assumption, so the fastest
+// exchange carries the least-biased offset (the standard NTP filter).
+func EstimateClock(samples []ClockSample) (ClockEstimate, error) {
+	if len(samples) == 0 {
+		return ClockEstimate{}, fmt.Errorf("fleet: no clock samples")
+	}
+	best := samples[0]
+	for _, s := range samples[1:] {
+		if s.RTT() < best.RTT() {
+			best = s
+		}
+	}
+	if best.RTT() < 0 {
+		return ClockEstimate{}, fmt.Errorf("fleet: negative RTT %v in clock sample (timestamps out of order)", best.RTT())
+	}
+	return ClockEstimate{Offset: best.Offset(), RTT: best.RTT(), Samples: len(samples)}, nil
+}
+
+// ToAgent translates a coordinator-clock instant into the agent's clock
+// (used when fanning out barrier start times).
+func (e ClockEstimate) ToAgent(coordNs int64) int64 {
+	return coordNs + int64(e.Offset)
+}
+
+// ToCoord translates an agent-clock instant into the coordinator's clock
+// (used on agent-reported phase boundaries).
+func (e ClockEstimate) ToCoord(agentNs int64) int64 {
+	return agentNs - int64(e.Offset)
+}

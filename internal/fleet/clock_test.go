@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// sampleWithSkew fabricates a four-timestamp exchange for an agent whose
+// clock leads the coordinator's by skew, with the given one-way delays.
+func sampleWithSkew(t1 int64, skew, fwd, turnaround, ret time.Duration) ClockSample {
+	t2coord := t1 + int64(fwd)
+	t3coord := t2coord + int64(turnaround)
+	return ClockSample{
+		T1: t1,
+		T2: t2coord + int64(skew),
+		T3: t3coord + int64(skew),
+		T4: t3coord + int64(ret),
+	}
+}
+
+func TestClockOffsetRecoversKnownSkew(t *testing.T) {
+	skew := 250 * time.Millisecond
+	s := sampleWithSkew(1_000_000, skew, time.Millisecond, 100*time.Microsecond, time.Millisecond)
+	if got := s.Offset(); got != skew {
+		t.Fatalf("Offset = %v, want %v (symmetric paths recover skew exactly)", got, skew)
+	}
+	if got, want := s.RTT(), 2*time.Millisecond; got != want {
+		t.Fatalf("RTT = %v, want %v", got, want)
+	}
+}
+
+func TestClockOffsetNegativeSkew(t *testing.T) {
+	skew := -3 * time.Second
+	s := sampleWithSkew(5_000_000, skew, 2*time.Millisecond, 0, 2*time.Millisecond)
+	if got := s.Offset(); got != skew {
+		t.Fatalf("Offset = %v, want %v", got, skew)
+	}
+}
+
+func TestClockAsymmetricPathBoundsError(t *testing.T) {
+	// With asymmetric paths the offset error is bounded by half the
+	// asymmetry: fwd 1ms vs ret 3ms → at most 1ms of error.
+	skew := 100 * time.Millisecond
+	s := sampleWithSkew(0, skew, time.Millisecond, 0, 3*time.Millisecond)
+	err := s.Offset() - skew
+	if err < -time.Millisecond || err > time.Millisecond {
+		t.Fatalf("offset error %v exceeds half-asymmetry bound 1ms", err)
+	}
+}
+
+func TestEstimateClockPicksMinRTT(t *testing.T) {
+	skew := 40 * time.Millisecond
+	samples := []ClockSample{
+		// Congested exchange: asymmetric queueing biases the offset.
+		sampleWithSkew(0, skew, 20*time.Millisecond, 0, 2*time.Millisecond),
+		// Clean exchange: symmetric fast paths.
+		sampleWithSkew(1_000_000_000, skew, 500*time.Microsecond, 0, 500*time.Microsecond),
+		// Another congested one.
+		sampleWithSkew(2_000_000_000, skew, time.Millisecond, 0, 15*time.Millisecond),
+	}
+	est, err := EstimateClock(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Offset != skew {
+		t.Fatalf("Offset = %v, want %v (min-RTT sample should be the clean one)", est.Offset, skew)
+	}
+	if est.RTT != time.Millisecond {
+		t.Fatalf("RTT = %v, want 1ms", est.RTT)
+	}
+	if est.Samples != 3 {
+		t.Fatalf("Samples = %d, want 3", est.Samples)
+	}
+}
+
+func TestEstimateClockErrors(t *testing.T) {
+	if _, err := EstimateClock(nil); err == nil {
+		t.Fatal("expected error on empty sample set")
+	}
+	bad := ClockSample{T1: 100, T2: 50, T3: 60, T4: 90} // T4-T1 < T3-T2 → negative RTT
+	if _, err := EstimateClock([]ClockSample{bad}); err == nil {
+		t.Fatal("expected error on negative-RTT sample")
+	}
+}
+
+func TestClockTranslationRoundTrip(t *testing.T) {
+	est := ClockEstimate{Offset: 123 * time.Millisecond}
+	coordNs := int64(9_999_999_999)
+	agentNs := est.ToAgent(coordNs)
+	if agentNs != coordNs+int64(123*time.Millisecond) {
+		t.Fatalf("ToAgent = %d", agentNs)
+	}
+	if back := est.ToCoord(agentNs); back != coordNs {
+		t.Fatalf("ToCoord(ToAgent(x)) = %d, want %d", back, coordNs)
+	}
+}

@@ -1,0 +1,95 @@
+// Package fleet distributes load generation across many agent processes.
+//
+// Treadmill's central methodological claim is that precise open-loop load
+// testing must be distributed: many low-rate clients avoid client-side
+// queueing bias (the paper's pitfall 3), and their measurements must be
+// combined by merging histograms, never by averaging per-client quantiles
+// (pitfall 2). This package supplies the machinery: a coordinator fans
+// cell configurations out to agents over the versioned wire protocol
+// (internal/fleet/wire), estimates each agent's clock offset with an
+// NTP-style four-timestamp exchange, barrier-synchronizes starts, streams
+// histogram snapshots back, and folds them bin-wise into campaign-level
+// distributions.
+//
+// The package is deliberately generic: cells carry opaque JSON payloads
+// interpreted by a caller-supplied CellRunner, so the runner package can
+// shard factorial studies across a fleet without this package importing
+// it. A net.Pipe-backed loopback constructor makes the whole subsystem
+// deterministically testable in-process, with no sockets.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"treadmill/internal/fleet/wire"
+)
+
+// LossPolicy selects what a campaign does when an agent goes silent or
+// its connection breaks mid-cell.
+type LossPolicy int
+
+const (
+	// LossAbort fails the campaign on the first agent loss. Use it when a
+	// study's statistical design assumes the full fleet (e.g. parity
+	// checks, fixed aggregate-rate experiments).
+	LossAbort LossPolicy = iota
+	// LossDegrade journals the loss, reassigns the lost agent's in-flight
+	// cell to a surviving agent (queue mode) or marks the shard missing
+	// (broadcast mode), and continues. Results are flagged so downstream
+	// analysis knows the fleet degraded.
+	LossDegrade
+)
+
+// String names the policy (used in journals and flags).
+func (p LossPolicy) String() string {
+	switch p {
+	case LossAbort:
+		return "abort"
+	case LossDegrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("LossPolicy(%d)", int(p))
+	}
+}
+
+// ParseLossPolicy parses a policy name as accepted on CLI flags.
+func ParseLossPolicy(s string) (LossPolicy, error) {
+	switch s {
+	case "abort":
+		return LossAbort, nil
+	case "degrade":
+		return LossDegrade, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown loss policy %q (want abort or degrade)", s)
+	}
+}
+
+// Defaults shared by coordinator and agent configuration.
+const (
+	DefaultIOTimeout         = 10 * time.Second
+	DefaultHeartbeatInterval = 500 * time.Millisecond
+	DefaultClockProbes       = 5
+	DefaultBarrierDelay      = 100 * time.Millisecond
+)
+
+// defaultLossTimeout derives the silence threshold from the heartbeat
+// cadence: four missed beats means the peer is gone.
+func defaultLossTimeout(heartbeat time.Duration) time.Duration {
+	return 4 * heartbeat
+}
+
+// RunnerMux dispatches cells to runners by cell kind, so one agent
+// process can serve several campaign types (tcp-load shards, study cells,
+// ...) over a single connection.
+type RunnerMux map[string]CellRunner
+
+// RunCell implements CellRunner.
+func (m RunnerMux) RunCell(ctx context.Context, cell wire.Cell, progress ProgressFunc) (wire.CellDone, error) {
+	r, ok := m[cell.Kind]
+	if !ok {
+		return wire.CellDone{}, fmt.Errorf("fleet: agent has no runner for cell kind %q", cell.Kind)
+	}
+	return r.RunCell(ctx, cell, progress)
+}

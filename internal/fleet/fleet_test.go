@@ -1,0 +1,600 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"treadmill/internal/fleet/wire"
+	"treadmill/internal/hist"
+	"treadmill/internal/telemetry"
+)
+
+// fastConfig keeps protocol timers short so lifecycle tests run quickly.
+func fastConfig() Config {
+	return Config{
+		IOTimeout:         2 * time.Second,
+		HeartbeatInterval: 20 * time.Millisecond,
+		LossTimeout:       150 * time.Millisecond,
+		ClockProbes:       3,
+		BarrierDelay:      30 * time.Millisecond,
+		ReconnectWindow:   2 * time.Second,
+	}
+}
+
+// cellPayload is the test cells' schema: values to record, plus a flag
+// that value-runners (but not strict-runners) interpret as "hang until
+// cancelled" — used to park an agent mid-cell so tests can kill it.
+type cellPayload struct {
+	Values []float64 `json:"values"`
+	Block  bool      `json:"block"`
+}
+
+func mkCell(t *testing.T, id string, seq int, p cellPayload) wire.Cell {
+	t.Helper()
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.Cell{ID: id, Seq: seq, Kind: "test", Payload: raw}
+}
+
+// recordValues is the shared happy-path cell body.
+func recordValues(p cellPayload, progress ProgressFunc) (wire.CellDone, error) {
+	h, err := hist.NewWithBounds(hist.DefaultConfig(), 1e-5, 10)
+	if err != nil {
+		return wire.CellDone{}, err
+	}
+	for _, v := range p.Values {
+		if err := h.Record(v); err != nil {
+			return wire.CellDone{}, err
+		}
+	}
+	s, err := h.Snapshot()
+	if err != nil {
+		return wire.CellDone{}, err
+	}
+	if progress != nil {
+		progress(s, uint64(len(p.Values)))
+	}
+	return wire.CellDone{Hists: []*hist.Snapshot{s}, Requests: uint64(len(p.Values))}, nil
+}
+
+// valueRunner honors the Block flag.
+func valueRunner() CellRunner {
+	return CellRunnerFunc(func(ctx context.Context, cell wire.Cell, progress ProgressFunc) (wire.CellDone, error) {
+		var p cellPayload
+		if err := json.Unmarshal(cell.Payload, &p); err != nil {
+			return wire.CellDone{}, err
+		}
+		if p.Block {
+			<-ctx.Done()
+			return wire.CellDone{}, ctx.Err()
+		}
+		return recordValues(p, progress)
+	})
+}
+
+// strictRunner ignores the Block flag, so a blocked cell reassigned to it
+// completes normally.
+func strictRunner() CellRunner {
+	return CellRunnerFunc(func(ctx context.Context, cell wire.Cell, progress ProgressFunc) (wire.CellDone, error) {
+		var p cellPayload
+		if err := json.Unmarshal(cell.Payload, &p); err != nil {
+			return wire.CellDone{}, err
+		}
+		return recordValues(p, progress)
+	})
+}
+
+// testFleet wires a coordinator to agents over net.Pipe with a per-agent
+// cancel so tests can kill individual agents mid-cell.
+type testFleet struct {
+	co      *Coordinator
+	cancels []context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+func startFleet(t *testing.T, cfg Config, runners []CellRunner) *testFleet {
+	t.Helper()
+	tf := &testFleet{co: NewCoordinator(cfg)}
+	for i, r := range runners {
+		tf.addAgent(t, fmt.Sprintf("agent-%d", i), r)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tf.co.WaitAgents(ctx, len(runners)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		tf.co.Close()
+		for _, c := range tf.cancels {
+			c()
+		}
+		tf.wg.Wait()
+	})
+	return tf
+}
+
+func (tf *testFleet) addAgent(t *testing.T, name string, r CellRunner) {
+	t.Helper()
+	ag, err := NewAgent(AgentConfig{
+		Name: name, Runner: r,
+		IOTimeout:         tf.co.cfg.IOTimeout,
+		HeartbeatInterval: tf.co.cfg.HeartbeatInterval,
+		LossTimeout:       tf.co.cfg.LossTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentNC, coordNC := net.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	tf.cancels = append(tf.cancels, cancel)
+	tf.wg.Add(2)
+	go func() {
+		defer tf.wg.Done()
+		_ = tf.co.Attach(coordNC)
+	}()
+	go func() {
+		defer tf.wg.Done()
+		_ = ag.Run(ctx, agentNC)
+	}()
+}
+
+// kill cancels agent i's context, dropping its connection mid-whatever.
+func (tf *testFleet) kill(i int) { tf.cancels[i]() }
+
+func TestRunCellsCommitsInOrder(t *testing.T) {
+	tf := startFleet(t, fastConfig(), []CellRunner{valueRunner(), valueRunner(), valueRunner()})
+	var cells []wire.Cell
+	for i := 0; i < 9; i++ {
+		cells = append(cells, mkCell(t, fmt.Sprintf("cell-%d", i), i, cellPayload{
+			Values: []float64{0.001 * float64(i+1), 0.002 * float64(i+1)},
+		}))
+	}
+	results, err := tf.co.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cells) {
+		t.Fatalf("got %d results, want %d", len(results), len(cells))
+	}
+	for i, r := range results {
+		if r.Done.CellID != cells[i].ID {
+			t.Fatalf("result %d carries cell %q, want %q (ordered commit broken)", i, r.Done.CellID, cells[i].ID)
+		}
+		if r.Done.Requests != 2 || len(r.Done.Hists) != 1 {
+			t.Fatalf("result %d incomplete: %+v", i, r.Done)
+		}
+		if r.Done.StartNs == 0 || r.Done.EndNs < r.Done.StartNs {
+			t.Fatalf("result %d has bad phase boundaries [%d, %d]", i, r.Done.StartNs, r.Done.EndNs)
+		}
+	}
+}
+
+func TestRunCellsRejectsBadIDs(t *testing.T) {
+	tf := startFleet(t, fastConfig(), []CellRunner{valueRunner()})
+	if _, err := tf.co.RunCells(context.Background(), []wire.Cell{{ID: ""}}); err == nil {
+		t.Fatal("expected error on empty cell ID")
+	}
+	cells := []wire.Cell{mkCell(t, "dup", 0, cellPayload{}), mkCell(t, "dup", 1, cellPayload{})}
+	if _, err := tf.co.RunCells(context.Background(), cells); err == nil {
+		t.Fatal("expected error on duplicate cell IDs")
+	}
+}
+
+func TestBroadcastBarrierAndMerge(t *testing.T) {
+	const n = 4
+	runners := make([]CellRunner, n)
+	for i := range runners {
+		runners[i] = CellRunnerFunc(func(ctx context.Context, cell wire.Cell, progress ProgressFunc) (wire.CellDone, error) {
+			// Each shard records values derived from its shard index so the
+			// merged distribution provably contains every shard's mass.
+			h, err := hist.NewWithBounds(hist.DefaultConfig(), 1e-5, 10)
+			if err != nil {
+				return wire.CellDone{}, err
+			}
+			for j := 0; j < 100; j++ {
+				if err := h.Record(0.001 * float64(cell.Shard+1)); err != nil {
+					return wire.CellDone{}, err
+				}
+			}
+			s, err := h.Snapshot()
+			if err != nil {
+				return wire.CellDone{}, err
+			}
+			return wire.CellDone{Hists: []*hist.Snapshot{s}, Requests: 100}, nil
+		})
+	}
+	lb, err := NewLoopback(fastConfig(), runners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	res, err := lb.Coord.RunBroadcast(context.Background(), wire.Cell{ID: "bcast-1", Kind: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) != n || len(res.Lost) != 0 {
+		t.Fatalf("done=%d lost=%d, want %d/0", len(res.Done), len(res.Lost), n)
+	}
+	if res.Requests() != 400 {
+		t.Fatalf("Requests = %d, want 400", res.Requests())
+	}
+	merged, err := res.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count() != 400 {
+		t.Fatalf("merged count = %d, want 400", merged.Count())
+	}
+	// Barrier semantics: no shard may start before the synchronized
+	// instant (allow a little slack for loopback clock-estimate error).
+	slack := int64(2 * time.Millisecond)
+	for i, d := range res.Done {
+		if d.StartNs < res.StartAtNs-slack {
+			t.Fatalf("shard %d started at %d, %.2fms before the barrier %d", i, d.StartNs,
+				float64(res.StartAtNs-d.StartNs)/1e6, res.StartAtNs)
+		}
+	}
+}
+
+func TestAgentLossAbortPolicy(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Loss = LossAbort
+	var buf bytes.Buffer
+	cfg.Journal = telemetry.NewJournal(&buf)
+	tf := startFleet(t, cfg, []CellRunner{valueRunner()})
+
+	cells := []wire.Cell{mkCell(t, "hang", 0, cellPayload{Block: true})}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := tf.co.RunCells(context.Background(), cells)
+		errCh <- err
+	}()
+	time.Sleep(80 * time.Millisecond) // let the cell dispatch and park
+	tf.kill(0)
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "policy abort") {
+			t.Fatalf("expected abort-policy error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("campaign did not abort after agent loss")
+	}
+	tf.co.Close()
+	events, err := telemetry.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLost bool
+	for _, e := range events {
+		if e.Kind == telemetry.EventFleet && e.Fleet != nil && e.Fleet.Action == "lost" {
+			sawLost = true
+			if e.Fleet.Policy != "abort" {
+				t.Fatalf("lost event journaled policy %q, want abort", e.Fleet.Policy)
+			}
+		}
+	}
+	if !sawLost {
+		t.Fatal("agent loss was not journaled")
+	}
+}
+
+func TestAgentLossDegradeReassigns(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Loss = LossDegrade
+	var buf bytes.Buffer
+	cfg.Journal = telemetry.NewJournal(&buf)
+	// agent-0 hangs on Block cells; agent-1 ignores the flag and completes
+	// them, so the reassigned cell can only ever finish on agent-1.
+	tf := startFleet(t, cfg, []CellRunner{valueRunner(), strictRunner()})
+
+	var cells []wire.Cell
+	cells = append(cells, mkCell(t, "maybe-hang", 0, cellPayload{Values: []float64{0.004}, Block: true}))
+	for i := 1; i < 4; i++ {
+		cells = append(cells, mkCell(t, fmt.Sprintf("plain-%d", i), i, cellPayload{Values: []float64{0.001}}))
+	}
+	resCh := make(chan []CellResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := tf.co.RunCells(context.Background(), cells)
+		resCh <- res
+		errCh <- err
+	}()
+
+	// Let the cells dispatch, then kill agent-0. If the hang cell landed
+	// on it, the kill forces a degrade + reassign to agent-1 (which
+	// ignores the flag and completes it); if the hang cell landed on
+	// agent-1 the campaign already completed and the kill is a no-op.
+	time.Sleep(100 * time.Millisecond)
+	tf.kill(0)
+
+	select {
+	case res := <-resCh:
+		if err := <-errCh; err != nil {
+			t.Fatalf("campaign failed after degrade: %v", err)
+		}
+		for i, r := range res {
+			if r.Done.CellID != cells[i].ID || r.Done.Error != "" {
+				t.Fatalf("result %d bad: %+v", i, r)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign did not complete after degrade")
+	}
+	tf.co.Close()
+	events, err := telemetry.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := map[string]int{}
+	for _, e := range events {
+		if e.Kind == telemetry.EventFleet && e.Fleet != nil {
+			actions[e.Fleet.Action]++
+		}
+	}
+	if actions["commit"] != len(cells) {
+		t.Fatalf("journaled %d commits, want %d (actions: %v)", actions["commit"], len(cells), actions)
+	}
+}
+
+func TestReconnectResumesIdempotentCells(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Loss = LossDegrade
+	var buf bytes.Buffer
+	cfg.Journal = telemetry.NewJournal(&buf)
+	// One agent that hangs on the first cell: killing it empties the
+	// fleet; a reconnecting agent must pick the cell back up by its
+	// idempotent ID within the reconnect window.
+	tf := startFleet(t, cfg, []CellRunner{valueRunner()})
+
+	cells := []wire.Cell{mkCell(t, "sticky", 0, cellPayload{Values: []float64{0.003}, Block: true})}
+	resCh := make(chan []CellResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := tf.co.RunCells(context.Background(), cells)
+		resCh <- res
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // cell dispatched and parked
+	tf.kill(0)                         // fleet now empty
+	time.Sleep(100 * time.Millisecond)
+	tf.addAgent(t, "agent-rejoin", strictRunner())
+
+	select {
+	case res := <-resCh:
+		if err := <-errCh; err != nil {
+			t.Fatalf("campaign failed despite reconnect: %v", err)
+		}
+		if res[0].Agent != "agent-rejoin" {
+			t.Fatalf("cell committed by %q, want the reconnected agent", res[0].Agent)
+		}
+		if res[0].Reassigned != 1 {
+			t.Fatalf("Reassigned = %d, want 1", res[0].Reassigned)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign did not recover via reconnect")
+	}
+	tf.co.Close()
+	events, err := telemetry.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawReassign bool
+	for _, e := range events {
+		if e.Kind == telemetry.EventFleet && e.Fleet != nil && e.Fleet.Action == "reassign" {
+			sawReassign = true
+		}
+	}
+	if !sawReassign {
+		t.Fatal("reassignment was not journaled")
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	co := NewCoordinator(fastConfig())
+	defer co.Close()
+	agentNC, coordNC := net.Pipe()
+	defer agentNC.Close()
+	attachErr := make(chan error, 1)
+	go func() { attachErr <- co.Attach(coordNC) }()
+
+	wc := wire.NewConn(agentNC, time.Second)
+	if err := wc.Write(wire.THello, wire.Hello{Version: wire.Version + 7, Name: "future"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.TReject {
+		t.Fatalf("got %v, want reject", f.Type)
+	}
+	if err := <-attachErr; err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("Attach error = %v, want protocol mismatch", err)
+	}
+}
+
+// puppetAgent drives the protocol by hand so tests can misbehave.
+func puppetAgent(t *testing.T, co *Coordinator, name string) *wire.Conn {
+	t.Helper()
+	agentNC, coordNC := net.Pipe()
+	go co.Attach(coordNC)
+	wc := wire.NewConn(agentNC, 2*time.Second)
+	if err := wc.Write(wire.THello, wire.Hello{Version: wire.Version, Name: name}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := wc.Read()
+	if err != nil || f.Type != wire.TWelcome {
+		t.Fatalf("handshake: %v %v", f.Type, err)
+	}
+	var w wire.Welcome
+	if err := f.Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.ClockProbes; i++ {
+		pf, err := wc.Read()
+		if err != nil || pf.Type != wire.TClockPing {
+			t.Fatalf("probe %d: %v %v", i, pf.Type, err)
+		}
+		var ping wire.ClockPing
+		if err := pf.Decode(&ping); err != nil {
+			t.Fatal(err)
+		}
+		now := time.Now().UnixNano()
+		if err := wc.Write(wire.TClockPong, wire.ClockPong{Seq: ping.Seq, T1: ping.T1, T2: now, T3: now}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return wc
+}
+
+func TestDuplicateCellDoneDropped(t *testing.T) {
+	co := NewCoordinator(fastConfig())
+	defer co.Close()
+	wc := puppetAgent(t, co, "puppet")
+	defer wc.Close()
+
+	if err := co.WaitAgents(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The puppet answers its one cell twice (as a recovered agent whose
+	// first result raced its loss might) plus once for a cell that was
+	// never assigned; the idempotent commit must keep exactly the first.
+	go func() {
+		for {
+			f, err := wc.Read()
+			if err != nil {
+				return
+			}
+			if f.Type == wire.THeartbeat {
+				// Echo liveness so the coordinator does not declare the
+				// puppet lost mid-test.
+				wc.Write(wire.THeartbeat, wire.Heartbeat{})
+				continue
+			}
+			if f.Type != wire.TCell {
+				continue
+			}
+			var cell wire.Cell
+			if err := f.Decode(&cell); err != nil {
+				return
+			}
+			done := wire.CellDone{CellID: cell.ID, Requests: 1}
+			wc.Write(wire.TCellDone, done)
+			done.Requests = 99 // the duplicate differs, to prove it is dropped
+			wc.Write(wire.TCellDone, done)
+			wc.Write(wire.TCellDone, wire.CellDone{CellID: "never-assigned", Requests: 7})
+		}
+	}()
+
+	results, err := co.RunCells(context.Background(), []wire.Cell{{ID: "only", Kind: "test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Done.Requests != 1 {
+		t.Fatalf("committed Requests = %d, want 1 (first result wins)", results[0].Done.Requests)
+	}
+}
+
+func TestFleetLifecycleNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 3; cycle++ {
+		lb, err := NewLoopback(fastConfig(), []CellRunner{valueRunner(), valueRunner()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := []wire.Cell{
+			mkCell(t, "a", 0, cellPayload{Values: []float64{0.001}}),
+			mkCell(t, "b", 1, cellPayload{Values: []float64{0.002}}),
+		}
+		if _, err := lb.Coord.RunCells(context.Background(), cells); err != nil {
+			t.Fatal(err)
+		}
+		if err := lb.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d after 3 fleet cycles", before, runtime.NumGoroutine())
+}
+
+func TestAgentKillMidCellNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 3; cycle++ {
+		cfg := fastConfig()
+		cfg.Loss = LossDegrade
+		tf := &testFleet{co: NewCoordinator(cfg)}
+		tf.addAgent(t, "hang-agent", valueRunner())
+		tf.addAgent(t, "good-agent", strictRunner())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := tf.co.WaitAgents(ctx, 2); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+		cells := []wire.Cell{
+			mkCell(t, "h", 0, cellPayload{Values: []float64{0.001}, Block: true}),
+			mkCell(t, "p", 1, cellPayload{Values: []float64{0.001}}),
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tf.co.RunCells(context.Background(), cells)
+		}()
+		time.Sleep(60 * time.Millisecond)
+		tf.kill(0) // mid-cell kill, every cycle
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("campaign wedged after mid-cell agent kill")
+		}
+		tf.co.Close()
+		for _, c := range tf.cancels {
+			c()
+		}
+		tf.wg.Wait()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d after kill cycles", before, runtime.NumGoroutine())
+}
+
+func TestLossPolicyParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want LossPolicy
+	}{{"abort", LossAbort}, {"degrade", LossDegrade}} {
+		got, err := ParseLossPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseLossPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseLossPolicy("explode"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}

@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Loopback is an in-process fleet: a coordinator wired to n agents over
+// net.Pipe. No sockets, no ports, fully deterministic teardown — the
+// testing and demonstration transport for the whole subsystem.
+type Loopback struct {
+	Coord *Coordinator
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	agentErrs []error
+}
+
+// NewLoopback builds a coordinator plus len(runners) agents named
+// loopback-0..n-1, each executing cells with its own runner, and waits
+// until every agent has joined (including its clock-probe burst).
+func NewLoopback(cfg Config, runners []CellRunner) (*Loopback, error) {
+	if len(runners) == 0 {
+		return nil, fmt.Errorf("fleet: loopback needs at least one runner")
+	}
+	lb := &Loopback{Coord: NewCoordinator(cfg)}
+	ctx, cancel := context.WithCancel(context.Background())
+	lb.cancel = cancel
+	for i, r := range runners {
+		agent, err := NewAgent(AgentConfig{
+			Name:              fmt.Sprintf("loopback-%d", i),
+			Runner:            r,
+			IOTimeout:         cfg.IOTimeout,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			LossTimeout:       cfg.LossTimeout,
+		})
+		if err != nil {
+			lb.Close()
+			return nil, err
+		}
+		agentNC, coordNC := net.Pipe()
+		// Handshake is synchronous on both sides, so the attach and the
+		// agent must run concurrently.
+		lb.wg.Add(2)
+		go func() {
+			defer lb.wg.Done()
+			if err := lb.Coord.Attach(coordNC); err != nil {
+				lb.recordErr(err)
+			}
+		}()
+		go func() {
+			defer lb.wg.Done()
+			if err := agent.Run(ctx, agentNC); err != nil && ctx.Err() == nil {
+				lb.recordErr(err)
+			}
+		}()
+	}
+	waitCtx, waitCancel := context.WithTimeout(ctx, 10*time.Second)
+	defer waitCancel()
+	if err := lb.Coord.WaitAgents(waitCtx, len(runners)); err != nil {
+		lb.Close()
+		return nil, fmt.Errorf("fleet: loopback join: %w (agent errors: %v)", err, lb.Errs())
+	}
+	return lb, nil
+}
+
+func (lb *Loopback) recordErr(err error) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.agentErrs = append(lb.agentErrs, err)
+}
+
+// Errs returns agent/attach errors observed so far (expected to be empty
+// in a healthy loopback; agent losses injected by tests land here).
+func (lb *Loopback) Errs() []error {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return append([]error(nil), lb.agentErrs...)
+}
+
+// Close stops the fleet: coordinator teardown (which Stops agents), then
+// context cancellation as a backstop, then a full wait on every
+// goroutine the loopback started.
+func (lb *Loopback) Close() error {
+	err := lb.Coord.Close()
+	lb.cancel()
+	lb.wg.Wait()
+	return err
+}

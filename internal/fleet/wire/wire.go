@@ -1,0 +1,335 @@
+// Package wire is the fleet's versioned, length-prefixed TCP protocol.
+//
+// Every frame is
+//
+//	uint32 big-endian payload length | uint8 message type | JSON payload
+//
+// JSON keeps the payloads debuggable and — because Go marshals float64
+// with the shortest representation that round-trips exactly — lets
+// quantile estimates cross the wire bit-identically, which the fleet's
+// parity guarantees depend on. The length prefix bounds reads (a
+// malformed or malicious peer cannot make the receiver allocate
+// unboundedly), and every read and write carries a deadline so a hung
+// peer fails the frame instead of wedging a campaign.
+//
+// The protocol opens with a version handshake (Hello/Welcome, both
+// carrying Version); mismatched peers reject each other before any
+// campaign state is exchanged.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"treadmill/internal/hist"
+)
+
+// Version is the protocol version; bumped on any incompatible frame or
+// payload change. Hello/Welcome exchange it and peers refuse mismatches.
+const Version = 1
+
+// MaxFrame bounds a frame payload. Histogram snapshots dominate frame
+// size; 4096 bins of uint64 counts are well under 1 MiB of JSON.
+const MaxFrame = 8 << 20
+
+// DefaultIOTimeout is the per-frame read/write deadline when the caller
+// does not choose one.
+const DefaultIOTimeout = 30 * time.Second
+
+// Type identifies a frame's payload.
+type Type uint8
+
+// Protocol message types.
+const (
+	// THello (agent → coordinator) opens the connection.
+	THello Type = iota + 1
+	// TWelcome (coordinator → agent) accepts the agent.
+	TWelcome
+	// TClockPing / TClockPong implement the four-timestamp clock-offset
+	// exchange (coordinator-driven).
+	TClockPing
+	TClockPong
+	// TCell assigns a cell to an agent.
+	TCell
+	// TReady (agent → coordinator) reports a barrier cell is prepared.
+	TReady
+	// TStart (coordinator → agent) releases a barrier, carrying the start
+	// instant already translated into the agent's clock.
+	TStart
+	// TSnap streams a periodic histogram snapshot during a cell.
+	TSnap
+	// TCellDone delivers a cell's final result (or error).
+	TCellDone
+	// THeartbeat is the liveness beacon, sent by both sides.
+	THeartbeat
+	// TDrain asks the agent to finish its current cell and go idle.
+	TDrain
+	// TStop asks the agent to abandon work and disconnect.
+	TStop
+	// TReject tells a peer the handshake failed (version mismatch,
+	// duplicate name) before closing.
+	TReject
+)
+
+// String names the message type.
+func (t Type) String() string {
+	switch t {
+	case THello:
+		return "hello"
+	case TWelcome:
+		return "welcome"
+	case TClockPing:
+		return "clock-ping"
+	case TClockPong:
+		return "clock-pong"
+	case TCell:
+		return "cell"
+	case TReady:
+		return "ready"
+	case TStart:
+		return "start"
+	case TSnap:
+		return "snap"
+	case TCellDone:
+		return "cell-done"
+	case THeartbeat:
+		return "heartbeat"
+	case TDrain:
+		return "drain"
+	case TStop:
+		return "stop"
+	case TReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Hello opens a connection (agent → coordinator).
+type Hello struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+}
+
+// Welcome accepts an agent into the fleet.
+type Welcome struct {
+	Version int `json:"version"`
+	// Index is the agent's stable position in the fleet (used for
+	// deterministic shard ordering).
+	Index int `json:"index"`
+	// ClockProbes is how many ClockPing exchanges follow immediately.
+	ClockProbes int `json:"clock_probes"`
+}
+
+// Reject refuses a connection during handshake.
+type Reject struct {
+	Reason string `json:"reason"`
+}
+
+// ClockPing carries the coordinator's send instant (T1, coordinator
+// clock, UnixNano).
+type ClockPing struct {
+	Seq int   `json:"seq"`
+	T1  int64 `json:"t1"`
+}
+
+// ClockPong echoes T1 with the agent's receive (T2) and send (T3)
+// instants (agent clock). The coordinator stamps T4 on receipt.
+type ClockPong struct {
+	Seq int   `json:"seq"`
+	T1  int64 `json:"t1"`
+	T2  int64 `json:"t2"`
+	T3  int64 `json:"t3"`
+}
+
+// Cell assigns one unit of work. Payload is opaque to the protocol: the
+// coordinator's caller and the agent's CellRunner agree on its schema via
+// Kind.
+type Cell struct {
+	// ID is the idempotency key: re-dispatches of the same cell (after an
+	// agent loss) reuse it, and the coordinator commits the first result
+	// it sees per ID.
+	ID string `json:"id"`
+	// Seq is the cell's position in the campaign schedule.
+	Seq int `json:"seq"`
+	// Kind selects the cell-runner behaviour (e.g. "study", "tcp").
+	Kind string `json:"kind"`
+	// Shard/Shards describe the agent's slice of a broadcast cell.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Barrier requests a Ready/Start synchronized launch.
+	Barrier bool `json:"barrier,omitempty"`
+	// Payload is the kind-specific cell description.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Ready reports a barrier cell is prepared (agent → coordinator).
+type Ready struct {
+	CellID string `json:"cell_id"`
+}
+
+// Start releases a barrier cell. StartAt is in the *agent's* clock
+// (UnixNano): the coordinator owns the clock-offset model and translates
+// before sending.
+type Start struct {
+	CellID  string `json:"cell_id"`
+	StartAt int64  `json:"start_at"`
+}
+
+// Snap is a periodic mid-cell histogram snapshot.
+type Snap struct {
+	CellID string `json:"cell_id"`
+	Seq    int    `json:"seq"`
+	// Hist is the agent's current measurement-phase histogram (nil when
+	// the histogram has not reached measurement yet).
+	Hist *hist.Snapshot `json:"hist,omitempty"`
+	// Requests is the number of completed requests so far.
+	Requests uint64 `json:"requests"`
+}
+
+// CellDone delivers a cell's final outcome.
+type CellDone struct {
+	CellID string `json:"cell_id"`
+	// Error, when non-empty, reports the cell failed; other fields are
+	// then meaningless.
+	Error string `json:"error,omitempty"`
+	// Payload is the kind-specific result.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Hists are the agent's per-instance final histogram snapshots.
+	Hists []*hist.Snapshot `json:"hists,omitempty"`
+	// Requests is the number of completed requests.
+	Requests uint64 `json:"requests"`
+	// StartNs/EndNs are the cell's phase boundaries in the agent's clock;
+	// the coordinator translates them with its offset estimate.
+	StartNs int64 `json:"start_ns,omitempty"`
+	EndNs   int64 `json:"end_ns,omitempty"`
+}
+
+// Heartbeat is the liveness beacon.
+type Heartbeat struct {
+	Seq uint64 `json:"seq"`
+	Now int64  `json:"now"`
+}
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type    Type
+	Payload json.RawMessage
+}
+
+// Decode unmarshals the frame payload into v.
+func (f Frame) Decode(v any) error {
+	if err := json.Unmarshal(f.Payload, v); err != nil {
+		return fmt.Errorf("wire: decode %s payload: %w", f.Type, err)
+	}
+	return nil
+}
+
+// Conn frames messages over a net.Conn with per-frame deadlines. Writes
+// are serialized (safe for concurrent use); Read must be called from a
+// single goroutine.
+type Conn struct {
+	nc      net.Conn
+	timeout time.Duration
+
+	wmu sync.Mutex
+	rbuf [5]byte
+}
+
+// NewConn wraps nc. timeout bounds every single frame read and write;
+// <= 0 selects DefaultIOTimeout.
+func NewConn(nc net.Conn, timeout time.Duration) *Conn {
+	if timeout <= 0 {
+		timeout = DefaultIOTimeout
+	}
+	return &Conn{nc: nc, timeout: timeout}
+}
+
+// Write marshals v and sends it as one frame of the given type.
+func (c *Conn) Write(t Type, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal %s: %w", t, err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: %s frame of %d bytes exceeds limit %d", t, len(payload), MaxFrame)
+	}
+	buf := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	buf[4] = byte(t)
+	copy(buf[5:], payload)
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return fmt.Errorf("wire: set write deadline: %w", err)
+	}
+	if _, err := c.nc.Write(buf); err != nil {
+		return fmt.Errorf("wire: write %s: %w", t, err)
+	}
+	return nil
+}
+
+// Read receives the next frame, waiting at most the configured timeout.
+func (c *Conn) Read() (Frame, error) {
+	return c.ReadTimeout(c.timeout)
+}
+
+// ReadTimeout receives the next frame with an explicit deadline (the
+// coordinator uses the loss timeout here so silence is detected exactly
+// when the policy says an agent is lost).
+func (c *Conn) ReadTimeout(timeout time.Duration) (Frame, error) {
+	if err := c.nc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return Frame{}, fmt.Errorf("wire: set read deadline: %w", err)
+	}
+	if _, err := io.ReadFull(c.nc, c.rbuf[:]); err != nil {
+		return Frame{}, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(c.rbuf[:4])
+	t := Type(c.rbuf[4])
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("wire: %s frame of %d bytes exceeds limit %d", t, n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: read %s payload: %w", t, err)
+	}
+	return Frame{Type: t, Payload: payload}, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// LocalAddr exposes the underlying connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr exposes the underlying connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// IsTimeout reports whether err is a deadline expiry (as opposed to a
+// closed or broken connection).
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errorsAs(err, &ne) && ne.Timeout()
+}
+
+// errorsAs is errors.As without importing errors twice in callers.
+func errorsAs(err error, target *net.Error) bool {
+	for err != nil {
+		if ne, ok := err.(net.Error); ok {
+			*target = ne
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Count returns the total sample mass the snapshot carries, including
+// out-of-range mass.
+func (s *Snapshot) Count() uint64 {
+	n := s.Underflow + s.Overflow
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// sameGeometry reports whether two snapshots share bin bounds and count.
+func (s *Snapshot) sameGeometry(o *Snapshot) bool {
+	return s.Lo == o.Lo && s.Hi == o.Hi && len(s.Counts) == len(o.Counts)
+}
+
+// validate rejects snapshots Merge cannot interpret.
+func (s *Snapshot) validate() error {
+	if s == nil {
+		return fmt.Errorf("hist: nil snapshot")
+	}
+	if len(s.Counts) < 2 || !(s.Lo > 0) || s.Hi <= s.Lo {
+		return fmt.Errorf("hist: invalid snapshot geometry [%g,%g) with %d bins", s.Lo, s.Hi, len(s.Counts))
+	}
+	return nil
+}
+
+// Merge combines two histogram snapshots into a new one, leaving both
+// inputs untouched. This is the distributed-aggregation primitive: each
+// fleet agent ships its own snapshot and the coordinator folds them
+// bin-wise into the campaign-level distribution, from which quantiles are
+// read directly — the paper's pitfall 2 is averaging per-client quantiles
+// instead, which a merged histogram never does.
+//
+// When both snapshots share bin geometry (the common case for agents that
+// share calibration bounds, see NewWithBounds), counts add bin-for-bin and
+// the merge is exact: commutative, associative, and identical to a single
+// histogram that observed every sample. When geometries differ, both are
+// redistributed at log-space bin midpoints into the union geometry
+// (lo = min, hi = max, bins = max) — still exactly commutative, but
+// associative only up to one bin width of redistribution error, the same
+// trade the adaptive histogram's own re-binning makes.
+func (s *Snapshot) Merge(other *Snapshot) (*Snapshot, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if err := other.validate(); err != nil {
+		return nil, err
+	}
+	a, b := s, other
+	out := &Snapshot{}
+	if a.sameGeometry(b) {
+		out.Lo, out.Hi = a.Lo, a.Hi
+		out.Counts = make([]uint64, len(a.Counts))
+		for i := range a.Counts {
+			out.Counts[i] = a.Counts[i] + b.Counts[i]
+		}
+		out.Underflow = a.Underflow + b.Underflow
+		out.Overflow = a.Overflow + b.Overflow
+		out.UnderflowMax = math.Max(a.UnderflowMax, b.UnderflowMax)
+		out.OverflowMax = math.Max(a.OverflowMax, b.OverflowMax)
+	} else {
+		// Union geometry is a symmetric function of the inputs, so the
+		// merge stays commutative even when re-binning is needed.
+		out.Lo = math.Min(a.Lo, b.Lo)
+		out.Hi = math.Max(a.Hi, b.Hi)
+		bins := len(a.Counts)
+		if len(b.Counts) > bins {
+			bins = len(b.Counts)
+		}
+		out.Counts = make([]uint64, bins)
+		for _, in := range []*Snapshot{a, b} {
+			redistribute(out, in)
+		}
+	}
+	// Moment and range statistics combine exactly (float addition is
+	// commutative; min/max are associative).
+	out.Sum = a.Sum + b.Sum
+	switch {
+	case a.Count() == 0:
+		out.Min, out.Max = b.Min, b.Max
+	case b.Count() == 0:
+		out.Min, out.Max = a.Min, a.Max
+	default:
+		out.Min = math.Min(a.Min, b.Min)
+		out.Max = math.Max(a.Max, b.Max)
+	}
+	return out, nil
+}
+
+// redistribute folds in's bucket mass into out at log-space bin midpoints.
+func redistribute(out, in *Snapshot) {
+	logLo := math.Log(in.Lo)
+	logWidth := (math.Log(in.Hi) - logLo) / float64(len(in.Counts))
+	for i, c := range in.Counts {
+		if c == 0 {
+			continue
+		}
+		mid := math.Exp(logLo + (float64(i)+0.5)*logWidth)
+		out.addMass(mid, c)
+	}
+	if in.Underflow > 0 {
+		out.addMass(in.UnderflowMax, in.Underflow)
+	}
+	if in.Overflow > 0 {
+		out.addMass(in.OverflowMax, in.Overflow)
+	}
+}
+
+// addMass adds c samples at value v to the snapshot's bins.
+func (s *Snapshot) addMass(v float64, c uint64) {
+	switch {
+	case v < s.Lo:
+		s.Underflow += c
+		s.UnderflowMax = math.Max(s.UnderflowMax, v)
+	case v >= s.Hi:
+		s.Overflow += c
+		s.OverflowMax = math.Max(s.OverflowMax, v)
+	default:
+		logLo := math.Log(s.Lo)
+		logWidth := (math.Log(s.Hi) - logLo) / float64(len(s.Counts))
+		idx := int((math.Log(v) - logLo) / logWidth)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s.Counts) {
+			idx = len(s.Counts) - 1
+		}
+		s.Counts[idx] += c
+	}
+}
+
+// MergeSnapshots folds a set of snapshots left to right, skipping nils.
+// It returns nil when no snapshot carries data.
+func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
+	var acc *Snapshot
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if acc == nil {
+			cp := *s
+			cp.Counts = append([]uint64(nil), s.Counts...)
+			acc = &cp
+			continue
+		}
+		var err error
+		if acc, err = acc.Merge(s); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Quantile reads the q-th quantile directly from the snapshot, using the
+// same log-space interpolation as Histogram. It lets a coordinator answer
+// quantile queries from merged snapshots without round-tripping through a
+// Histogram (and makes *Snapshot an agg.QuantileSource).
+func (s *Snapshot) Quantile(q float64) (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	h, err := FromSnapshot(s, snapshotConfig(len(s.Counts)))
+	if err != nil {
+		return 0, err
+	}
+	return h.Quantile(q)
+}
+
+// snapshotConfig returns a valid config for reconstructing a snapshot with
+// the given bin count (the re-binning policy is irrelevant for read-only
+// quantile queries).
+func snapshotConfig(bins int) Config {
+	cfg := DefaultConfig()
+	cfg.Bins = bins
+	return cfg
+}
+
+// NewWithBounds returns a histogram that skips warm-up and calibration and
+// starts measuring immediately with the given fixed bin bounds. A fleet
+// coordinator fans identical bounds out to every agent so their snapshots
+// share geometry and merge exactly (commutative, associative, and equal to
+// a single combined histogram). The re-binning policy from cfg still
+// applies if samples overflow the agreed bounds.
+func NewWithBounds(cfg Config, lo, hi float64) (*Histogram, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !(lo > 0) || hi <= lo {
+		return nil, fmt.Errorf("hist: invalid bounds [%g, %g)", lo, hi)
+	}
+	h := &Histogram{cfg: cfg, phase: Measurement, min: math.Inf(1), max: math.Inf(-1)}
+	h.setBounds(lo, hi)
+	return h, nil
+}

@@ -1,0 +1,301 @@
+package hist
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"treadmill/internal/dist"
+)
+
+// fixedHist returns a measurement-phase histogram with fixed bounds so
+// snapshots share geometry across instances.
+func fixedHist(t *testing.T, lo, hi float64, bins int) *Histogram {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Bins = bins
+	h, err := NewWithBounds(cfg, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func record(t *testing.T, h *Histogram, vs []float64) {
+	t.Helper()
+	for _, v := range vs {
+		if err := h.Record(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func snap(t *testing.T, h *Histogram) *Snapshot {
+	t.Helper()
+	s, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// integerSamples draws rng samples restricted to exact integer values so
+// float sums are associative bit-for-bit in the tests below.
+func integerSamples(seed uint64, n int, lo, span int) []float64 {
+	rng := dist.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(lo + rng.Intn(span))
+	}
+	return out
+}
+
+func TestMergeCommutative(t *testing.T) {
+	a := fixedHist(t, 1, 1000, 64)
+	record(t, a, integerSamples(1, 500, 2, 400))
+	// b has different geometry on purpose: commutativity must survive the
+	// union-geometry re-binning path.
+	b := fixedHist(t, 0.5, 4000, 128)
+	record(t, b, integerSamples(2, 700, 1, 3000))
+
+	ab, err := snap(t, a).Merge(snap(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := snap(t, b).Merge(snap(t, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge is not commutative:\nab=%+v\nba=%+v", ab, ba)
+	}
+	if got, want := ab.Count(), uint64(1200); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+}
+
+func TestMergeAssociativeSameGeometry(t *testing.T) {
+	mk := func(seed uint64) *Snapshot {
+		h := fixedHist(t, 1, 1000, 64)
+		record(t, h, integerSamples(seed, 400, 2, 800))
+		return snap(t, h)
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+
+	ab, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := ab.Merge(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := b.Merge(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := a.Merge(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("same-geometry merge is not associative:\n(ab)c=%+v\na(bc)=%+v", left, right)
+	}
+}
+
+func TestMergeAssociativeAcrossGeometriesWithinBin(t *testing.T) {
+	mk := func(seed uint64, lo, hi float64, bins int) *Snapshot {
+		h := fixedHist(t, lo, hi, bins)
+		record(t, h, integerSamples(seed, 400, 2, 500))
+		return snap(t, h)
+	}
+	a := mk(1, 1, 600, 64)
+	b := mk(2, 0.5, 900, 96)
+	c := mk(3, 2, 1200, 128)
+
+	ab, _ := a.Merge(b)
+	left, _ := ab.Merge(c)
+	bc, _ := b.Merge(c)
+	right, _ := a.Merge(bc)
+	if left.Count() != right.Count() {
+		t.Fatalf("counts differ across groupings: %d vs %d", left.Count(), right.Count())
+	}
+	// Redistribution at midpoints means cross-geometry associativity holds
+	// only up to one (coarsest) bin width: verify quantiles agree to that
+	// resolution.
+	binRatio := math.Pow(right.Hi/right.Lo, 1.0/64) // coarsest input resolution
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		lv, err := left.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := right.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := math.Max(lv, rv) / math.Min(lv, rv); ratio > binRatio*binRatio {
+			t.Fatalf("p%g differs across groupings beyond bin resolution: %g vs %g (ratio %g)", q*100, lv, rv, ratio)
+		}
+	}
+}
+
+// TestMergePitfall2SkewedClients is the paper's pitfall-2 demonstration:
+// on skewed per-client distributions, averaging per-client P99s gives a
+// different (wrong) answer than reading P99 from the merged histogram,
+// and the merged histogram matches a single histogram that saw every
+// sample.
+func TestMergePitfall2SkewedClients(t *testing.T) {
+	const clients = 8
+	combined := fixedHist(t, 1e-5, 10, 512)
+	perClient := make([]*Snapshot, clients)
+	perClientP99 := make([]float64, clients)
+	for i := 0; i < clients; i++ {
+		h := fixedHist(t, 1e-5, 10, 512)
+		rng := dist.NewRNG(uint64(100 + i))
+		n := 2000
+		for j := 0; j < n; j++ {
+			v := 0.001 * (1 + rng.Float64()) // ~1-2ms body
+			if i == clients-1 {
+				v = 0.050 * (1 + rng.Float64()) // one slow client: 50-100ms
+			}
+			if err := h.Record(v); err != nil {
+				t.Fatal(err)
+			}
+			if err := combined.Record(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		perClient[i] = snap(t, h)
+		p99, err := h.Quantile(0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perClientP99[i] = p99
+	}
+
+	merged, err := MergeSnapshots(perClient...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedP99, err := merged.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOfP99 := 0.0
+	for _, v := range perClientP99 {
+		meanOfP99 += v
+	}
+	meanOfP99 /= clients
+
+	// The slow client owns the pooled tail: merged P99 sits in its 50ms+
+	// regime while the mean of per-client P99s is dragged toward the 2ms
+	// fast-client ceiling. They must differ grossly.
+	if rel := math.Abs(mergedP99-meanOfP99) / mergedP99; rel < 0.2 {
+		t.Fatalf("expected merged P99 (%g) to differ from mean of per-client P99s (%g) on skewed inputs", mergedP99, meanOfP99)
+	}
+	// And the merged histogram is the pooled distribution: identical
+	// geometry means identical counts, so the quantile matches a single
+	// combined histogram exactly.
+	combinedP99, err := combined.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mergedP99 != combinedP99 {
+		t.Fatalf("merged P99 %g != combined-histogram P99 %g", mergedP99, combinedP99)
+	}
+	cs := snap(t, combined)
+	if !reflect.DeepEqual(merged.Counts, cs.Counts) {
+		t.Fatal("merged bin counts differ from a single combined histogram")
+	}
+}
+
+func TestMergeStatistics(t *testing.T) {
+	a := fixedHist(t, 1, 100, 32)
+	record(t, a, []float64{2, 3, 4})
+	b := fixedHist(t, 1, 100, 32)
+	record(t, b, []float64{50, 60})
+
+	m, err := snap(t, a).Merge(snap(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sum != 119 {
+		t.Fatalf("Sum = %g, want 119", m.Sum)
+	}
+	if m.Min != 2 || m.Max != 60 {
+		t.Fatalf("range = [%g, %g], want [2, 60]", m.Min, m.Max)
+	}
+	if m.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", m.Count())
+	}
+}
+
+func TestMergeEmptyAndInvalid(t *testing.T) {
+	a := fixedHist(t, 1, 100, 32)
+	record(t, a, []float64{2, 3})
+	empty := fixedHist(t, 1, 100, 32)
+
+	m, err := snap(t, a).Merge(snap(t, empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 2 || m.Min != 2 || m.Max != 3 {
+		t.Fatalf("merge with empty lost data: %+v", m)
+	}
+	if _, err := snap(t, a).Merge(&Snapshot{}); err == nil {
+		t.Fatal("expected error merging an invalid snapshot")
+	}
+	var nilSnap *Snapshot
+	if _, err := nilSnap.Merge(snap(t, a)); err == nil {
+		t.Fatal("expected error merging from a nil snapshot")
+	}
+}
+
+func TestMergeOverflowMass(t *testing.T) {
+	a := fixedHist(t, 1, 10, 16)
+	// Overflowing samples: NewWithBounds histograms still re-bin, so feed
+	// few enough to stay below the rebin trigger (16 out-of-range).
+	record(t, a, []float64{2, 3, 20, 30})
+	sa := snap(t, a)
+	if sa.Overflow == 0 {
+		t.Fatal("test setup: expected overflow mass")
+	}
+	b := fixedHist(t, 1, 100, 16)
+	record(t, b, []float64{5, 50})
+	m, err := sa.Merge(snap(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's overflow mass falls inside b's wider range and must be
+	// redistributed into bins, not dropped.
+	if m.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", m.Count())
+	}
+	if m.Max != 50 {
+		t.Fatalf("Max = %g, want 50", m.Max)
+	}
+}
+
+func TestSnapshotQuantileMatchesHistogram(t *testing.T) {
+	h := fixedHist(t, 1e-4, 1, 256)
+	rng := dist.NewRNG(7)
+	for i := 0; i < 5000; i++ {
+		if err := h.Record(0.001 + 0.01*rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := snap(t, h)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		hv, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hv != sv {
+			t.Fatalf("p%g: snapshot %g != histogram %g", q*100, sv, hv)
+		}
+	}
+}

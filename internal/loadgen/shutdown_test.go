@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// hangListener accepts and reads but never responds.
+func hangListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestOpenLoopHungServerHonorsCancel: with a server that never responds,
+// cancelling the context must end the run promptly — the drain abandons
+// the in-flight requests by closing the pool, which fails their callbacks.
+// Before the ctx-aware drain, Run blocked in wg.Wait forever (and a fleet
+// campaign cell with it).
+func TestOpenLoopHungServerHonorsCancel(t *testing.T) {
+	ol, err := NewOpenLoop(hangListener(t), Options{
+		Rate: 500, Conns: 2, Workload: smallWorkload(), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ol.Run(ctx, 30*time.Second)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run ignored cancellation with a hung server")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Run took %v to honor cancellation", elapsed)
+	}
+}
+
+// TestClosedLoopHungServerHonorsCancel: the worker-thread controller
+// blocks on its single outstanding response; cancellation must unwedge it
+// the same way.
+func TestClosedLoopHungServerHonorsCancel(t *testing.T) {
+	cl, err := NewClosedLoop(hangListener(t), Options{
+		Conns: 2, Workload: smallWorkload(), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Run(ctx, 30*time.Second)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run ignored cancellation with a hung server")
+	}
+}

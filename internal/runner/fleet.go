@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/fleet"
+	"treadmill/internal/fleet/wire"
+)
+
+// StudyCellKind tags fleet cells that carry one factorial-study
+// experiment.
+const StudyCellKind = "study"
+
+// studyCellPayload is the wire description of one experiment: the factor
+// levels and the schedule-derived seed. The agent holds the full Study
+// configuration locally, so the cell only needs what varies per run.
+type studyCellPayload struct {
+	Levels []int  `json:"levels"`
+	Seed   uint64 `json:"seed"`
+}
+
+// studyCellResult is the wire form of a Sample. Parallel slices instead
+// of a float-keyed map: JSON objects cannot key on float64, and Go's
+// float64 JSON round-trip is exact, so estimates survive the wire
+// bit-identically (what the fleet/single-process parity guarantee rests
+// on).
+type studyCellResult struct {
+	Levels    []int     `json:"levels"`
+	Quantiles []float64 `json:"quantiles"`
+	Estimates []float64 `json:"estimates"`
+}
+
+// StudyCellRunner executes study cells on a fleet agent. The Study must
+// be configured identically on every agent and on the coordinator (same
+// Base, Factors, rates, durations, Quantiles): the cell payload carries
+// only levels and seed, and each experiment is a deterministic function
+// of (Study config, levels, seed) — which is exactly why a fleet
+// campaign reproduces a single-process campaign bit for bit.
+type StudyCellRunner struct {
+	Study *Study
+}
+
+// RunCell implements fleet.CellRunner.
+func (r *StudyCellRunner) RunCell(ctx context.Context, cell wire.Cell, progress fleet.ProgressFunc) (wire.CellDone, error) {
+	if cell.Kind != StudyCellKind {
+		return wire.CellDone{}, fmt.Errorf("runner: unexpected cell kind %q", cell.Kind)
+	}
+	var p studyCellPayload
+	if err := json.Unmarshal(cell.Payload, &p); err != nil {
+		return wire.CellDone{}, fmt.Errorf("runner: decode study cell: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.CellDone{}, err
+	}
+	sample, err := r.Study.RunConfig(p.Levels, p.Seed)
+	if err != nil {
+		return wire.CellDone{}, err
+	}
+	out := studyCellResult{
+		Levels:    sample.Levels,
+		Quantiles: append([]float64(nil), r.Study.Quantiles...),
+		Estimates: make([]float64, len(r.Study.Quantiles)),
+	}
+	for i, q := range r.Study.Quantiles {
+		out.Estimates[i] = sample.Quantiles[q]
+	}
+	raw, err := json.Marshal(out)
+	if err != nil {
+		return wire.CellDone{}, err
+	}
+	return wire.CellDone{Payload: raw}, nil
+}
+
+// FleetCells expands the study into its randomized schedule of fleet
+// cells — the exact schedule Run would execute locally: the same
+// Permutations × Replicates expansion, the same Seed-driven shuffle, the
+// same per-index seed derivation. Cell IDs encode the schedule index, so
+// they are idempotent across re-dispatch after agent loss.
+func (s *Study) FleetCells() ([]wire.Cell, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	schedule := s.schedule()
+	cells := make([]wire.Cell, len(schedule))
+	for i, levels := range schedule {
+		raw, err := json.Marshal(studyCellPayload{Levels: levels, Seed: s.Seed + uint64(i)*7919 + 1})
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = wire.Cell{
+			ID:      fmt.Sprintf("study-%d-%s", i, LevelsKey(levels)),
+			Seq:     i,
+			Kind:    StudyCellKind,
+			Payload: raw,
+		}
+	}
+	return cells, nil
+}
+
+// RunFleet executes the campaign across a fleet instead of the local
+// worker pool: cells are sharded over the coordinator's live agents
+// (queue mode — agents pull the next cell as they finish) and results
+// commit in schedule order. Because every experiment is a deterministic
+// function of (config, levels, seed) and estimates cross the wire with
+// exact float64 round-tripping, the returned samples are bit-identical
+// to s.Run with the same Seed, for any fleet size and any completion
+// order.
+//
+// CollectAnatomy is not supported over a fleet (per-request phase
+// vectors stay agent-local); configure it off for fleet campaigns.
+func (s *Study) RunFleet(ctx context.Context, co *fleet.Coordinator) (*Result, error) {
+	if s.CollectAnatomy {
+		return nil, fmt.Errorf("runner: CollectAnatomy is not supported over a fleet")
+	}
+	cells, err := s.FleetCells()
+	if err != nil {
+		return nil, err
+	}
+
+	totalG := s.Telemetry.Gauge("runner.experiments_total")
+	doneG := s.Telemetry.Gauge("runner.experiments_done")
+	totalG.Set(int64(len(cells)))
+	doneG.Set(0)
+
+	results, err := co.RunCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Quantiles: append([]float64(nil), s.Quantiles...)}
+	for _, f := range s.Factors {
+		res.Factors = append(res.Factors, f.Name)
+	}
+	for i, r := range results {
+		var cr studyCellResult
+		if err := json.Unmarshal(r.Done.Payload, &cr); err != nil {
+			return nil, fmt.Errorf("runner: decode result for cell %q: %w", cells[i].ID, err)
+		}
+		if len(cr.Estimates) != len(cr.Quantiles) {
+			return nil, fmt.Errorf("runner: cell %q returned %d estimates for %d quantiles", cells[i].ID, len(cr.Estimates), len(cr.Quantiles))
+		}
+		sample := Sample{Levels: cr.Levels, Quantiles: make(map[float64]float64, len(cr.Quantiles))}
+		for j, q := range cr.Quantiles {
+			sample.Quantiles[q] = cr.Estimates[j]
+		}
+		res.Samples = append(res.Samples, sample)
+		doneG.Set(int64(i + 1))
+		if s.Progress != nil {
+			s.Progress(i+1, len(cells))
+		}
+	}
+	return res, nil
+}
+
+// schedule builds the randomized experiment order (shared by Run and
+// FleetCells so both execution paths run the identical campaign).
+func (s *Study) schedule() [][]int {
+	perms := Permutations(len(s.Factors))
+	var schedule [][]int
+	for r := 0; r < s.Replicates; r++ {
+		schedule = append(schedule, perms...)
+	}
+	rng := dist.NewRNG(s.Seed)
+	rng.Shuffle(len(schedule), func(i, j int) { schedule[i], schedule[j] = schedule[j], schedule[i] })
+	return schedule
+}

@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"treadmill/internal/fleet"
+)
+
+func fleetStudy() *Study {
+	s := smallStudy()
+	// Shorter sim per experiment: the parity test runs the campaign twice
+	// (locally and over the fleet).
+	s.Duration = 0.06
+	s.Warmup = 0.02
+	s.Replicates = 2
+	return s
+}
+
+func loopbackFor(t *testing.T, s *Study, n int) *fleet.Loopback {
+	t.Helper()
+	runners := make([]fleet.CellRunner, n)
+	for i := range runners {
+		// Each agent gets its own Study value with the identical
+		// configuration, as separate agent processes would.
+		agentStudy := *s
+		runners[i] = &StudyCellRunner{Study: &agentStudy}
+	}
+	lb, err := fleet.NewLoopback(fleet.Config{
+		HeartbeatInterval: 50 * time.Millisecond,
+		LossTimeout:       5 * time.Second, // experiments run long; agents heartbeat through them
+	}, runners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lb.Close() })
+	return lb
+}
+
+// TestFleetParityWithSingleProcess is the subsystem's acceptance
+// criterion: a factorial campaign sharded over 4 loopback agents must
+// produce bit-identical samples to the same campaign run single-process
+// with the same seed — same schedule, same per-run seeds, exact float64
+// round-trip over the wire, ordered commit at the coordinator.
+func TestFleetParityWithSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	s := fleetStudy()
+	local, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lb := loopbackFor(t, s, 4)
+	dist, err := s.RunFleet(context.Background(), lb.Coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(local.Factors, dist.Factors) {
+		t.Fatalf("factors differ: %v vs %v", local.Factors, dist.Factors)
+	}
+	if !reflect.DeepEqual(local.Quantiles, dist.Quantiles) {
+		t.Fatalf("quantiles differ: %v vs %v", local.Quantiles, dist.Quantiles)
+	}
+	if len(local.Samples) != len(dist.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(local.Samples), len(dist.Samples))
+	}
+	if !reflect.DeepEqual(local.Samples, dist.Samples) {
+		for i := range local.Samples {
+			if !reflect.DeepEqual(local.Samples[i], dist.Samples[i]) {
+				t.Fatalf("sample %d differs:\nlocal: %+v\nfleet: %+v", i, local.Samples[i], dist.Samples[i])
+			}
+		}
+		t.Fatal("samples differ")
+	}
+}
+
+// TestFleetParityAcrossFleetSizes: the merged campaign must not depend on
+// how many agents it was sharded over.
+func TestFleetParityAcrossFleetSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	s := fleetStudy()
+	s.Replicates = 1
+
+	var ref *Result
+	for _, n := range []int{1, 3} {
+		lb := loopbackFor(t, s, n)
+		res, err := s.RunFleet(context.Background(), lb.Coord)
+		if err != nil {
+			t.Fatalf("fleet of %d: %v", n, err)
+		}
+		lb.Close()
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref.Samples, res.Samples) {
+			t.Fatalf("fleet of %d produced different samples than fleet of 1", n)
+		}
+	}
+}
+
+func TestFleetCellsDeterministic(t *testing.T) {
+	s := fleetStudy()
+	a, err := s.FleetCells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.FleetCells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("FleetCells is not deterministic")
+	}
+	if len(a) != 4*s.Replicates {
+		t.Fatalf("%d cells, want %d", len(a), 4*s.Replicates)
+	}
+	seen := map[string]bool{}
+	for _, c := range a {
+		if seen[c.ID] {
+			t.Fatalf("duplicate cell ID %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestRunFleetRejectsAnatomy(t *testing.T) {
+	s := fleetStudy()
+	s.CollectAnatomy = true
+	lb := loopbackFor(t, fleetStudy(), 1)
+	if _, err := s.RunFleet(context.Background(), lb.Coord); err == nil {
+		t.Fatal("expected CollectAnatomy rejection")
+	}
+}

@@ -213,15 +213,10 @@ func (s *Study) Run(ctx context.Context) (*Result, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	perms := Permutations(len(s.Factors))
-	// Build the randomized schedule: each permutation appears Replicates
-	// times, order shuffled.
-	var schedule [][]int
-	for r := 0; r < s.Replicates; r++ {
-		schedule = append(schedule, perms...)
-	}
-	rng := dist.NewRNG(s.Seed)
-	rng.Shuffle(len(schedule), func(i, j int) { schedule[i], schedule[j] = schedule[j], schedule[i] })
+	// The randomized schedule (each permutation Replicates times, order
+	// shuffled) is shared with FleetCells so local and fleet execution
+	// run the identical campaign.
+	schedule := s.schedule()
 
 	res := &Result{Quantiles: append([]float64(nil), s.Quantiles...)}
 	for _, f := range s.Factors {

@@ -32,6 +32,7 @@ type Event struct {
 	Run     *RunRecord     `json:"run,omitempty"`
 	Final   *FinalRecord   `json:"final,omitempty"`
 	Anatomy *AnatomyRecord `json:"anatomy,omitempty"`
+	Fleet   *FleetRecord   `json:"fleet,omitempty"`
 	Note    string         `json:"note,omitempty"`
 	Fields  map[string]any `json:"fields,omitempty"`
 }
@@ -42,6 +43,7 @@ const (
 	EventRun     = "run"
 	EventFinal   = "final"
 	EventAnatomy = "anatomy"
+	EventFleet   = "fleet"
 	EventNote    = "note"
 )
 
@@ -118,6 +120,29 @@ type AnatomyCut struct {
 	Count      uint64    `json:"count"`
 	MeanTotal  float64   `json:"mean_total"`
 	PhaseMeans []float64 `json:"phase_means"`
+}
+
+// FleetRecord journals one distributed-fleet lifecycle event: an agent
+// joining (with its measured clock offset), a cell dispatch or
+// reassignment, an agent loss and the policy applied to it, or a campaign
+// degrade decision. The journal is the audit trail the loss policy
+// promises: every deviation from the planned fleet is recorded.
+type FleetRecord struct {
+	// Action is one of "join", "dispatch", "reassign", "lost", "degrade",
+	// "commit", "drain".
+	Action string `json:"action"`
+	// Agent names the agent involved, when one is.
+	Agent string `json:"agent,omitempty"`
+	// Cell is the idempotent cell ID involved, when one is.
+	Cell string `json:"cell,omitempty"`
+	// OffsetNs / RTTNs record the agent's clock estimate at join time.
+	OffsetNs int64 `json:"offset_ns,omitempty"`
+	RTTNs    int64 `json:"rtt_ns,omitempty"`
+	// Policy is the configured loss policy ("abort" or "degrade") on
+	// "lost" events.
+	Policy string `json:"policy,omitempty"`
+	// Detail carries a human-readable elaboration (e.g. the loss error).
+	Detail string `json:"detail,omitempty"`
 }
 
 // NewJournal writes events to w. The caller retains responsibility for

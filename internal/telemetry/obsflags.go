@@ -26,21 +26,52 @@ type ObsFlags struct {
 	Anatomy string
 }
 
+// registerCommon installs the flags every binary shares: the run journal
+// and the live exposition endpoint. The three public Register variants all
+// build on these private groups so coordinator, agent, and simulator CLIs
+// register identical names, defaults, and help text without drift.
+func (o *ObsFlags) registerCommon(fs *flag.FlagSet) {
+	fs.StringVar(&o.Journal, "journal", "", "append structured JSONL run-journal events to this file")
+	fs.StringVar(&o.Addr, "telemetry-addr", "", "serve live /metrics, /debug/vars, and /debug/pprof on this address")
+}
+
+// registerTCP installs the flags meaningful only on the real-TCP load
+// path: per-request trace sampling and the send-slippage self-audit.
+func (o *ObsFlags) registerTCP(fs *flag.FlagSet) {
+	fs.StringVar(&o.Trace, "trace", "", "write sampled per-request trace records (JSONL) to this file")
+	fs.IntVar(&o.TraceSample, "trace-sample", 1000, "trace 1 in N requests when -trace is set")
+	fs.DurationVar(&o.SlippageAlert, "slippage-alert", DefaultSlippageThreshold, "send-slippage alert threshold for the self-audit")
+}
+
+// registerAnatomy installs the tail-anatomy export flag (meaningful where
+// the measurement loop runs, not on fleet agents — per-request phase
+// vectors stay agent-local in a fleet).
+func (o *ObsFlags) registerAnatomy(fs *flag.FlagSet) {
+	fs.StringVar(&o.Anatomy, "anatomy", "", "collect tail-vs-body phase anatomy and export breakdowns to this file (JSONL or CSV by extension)")
+}
+
 // RegisterSim installs the flags meaningful for simulated experiments
 // (-journal, -telemetry-addr, -anatomy) on fs.
 func (o *ObsFlags) RegisterSim(fs *flag.FlagSet) {
-	fs.StringVar(&o.Journal, "journal", "", "append structured JSONL run-journal events to this file")
-	fs.StringVar(&o.Addr, "telemetry-addr", "", "serve live /metrics, /debug/vars, and /debug/pprof on this address")
-	fs.StringVar(&o.Anatomy, "anatomy", "", "collect tail-vs-body phase anatomy and export breakdowns to this file (JSONL or CSV by extension)")
+	o.registerCommon(fs)
+	o.registerAnatomy(fs)
 }
 
 // Register installs the full observability flag set on fs: everything
 // RegisterSim covers plus the TCP-path tracing and slippage flags.
 func (o *ObsFlags) Register(fs *flag.FlagSet) {
-	o.RegisterSim(fs)
-	fs.StringVar(&o.Trace, "trace", "", "write sampled per-request trace records (JSONL) to this file")
-	fs.IntVar(&o.TraceSample, "trace-sample", 1000, "trace 1 in N requests when -trace is set")
-	fs.DurationVar(&o.SlippageAlert, "slippage-alert", DefaultSlippageThreshold, "send-slippage alert threshold for the self-audit")
+	o.registerCommon(fs)
+	o.registerAnatomy(fs)
+	o.registerTCP(fs)
+}
+
+// RegisterAgent installs the flag set for a fleet agent: the common and
+// TCP-path groups but no -anatomy (anatomy aggregation lives with the
+// coordinator's measurement loop, which a fleet campaign does not run
+// agent-side).
+func (o *ObsFlags) RegisterAgent(fs *flag.FlagSet) {
+	o.registerCommon(fs)
+	o.registerTCP(fs)
 }
 
 // AnatomyEnabled reports whether -anatomy was set.
