@@ -9,7 +9,7 @@
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
 //
 //	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution bench
-//	fleetbias all
+//	fleetbias chaos all
 //
 // "attribution" runs table4 + fig7/8/11/12 + anatomy (memcached) and
 // fig9/10 (mcrouter) off shared campaigns; "all" runs everything
@@ -21,6 +21,14 @@
 // real sockets, in-process memcached) instead of the simulator. Its
 // numbers are wall-clock measurements, so it is excluded from "all" —
 // unlike everything else it is not bit-identical across machines or runs.
+//
+// "chaos" is the other wall-clock target (also excluded from "all"): it
+// runs loopback fleet campaigns over the deterministic fault-injection
+// transport — three degrade-policy fault-schedule seeds plus one abort
+// arm — and fails unless the coordinator's loss-policy invariants hold
+// (exactly-once cell commit, exact histogram accounting, journaled
+// degrade/abort records, no goroutine leaks). The fault schedules are
+// seed-deterministic; only the timing interleavings vary run to run.
 //
 // -workers bounds campaign-level parallelism (concurrent factorial
 // experiments, regression fits, and tuning runs); every reported number is
@@ -44,6 +52,7 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	"treadmill/internal/anatomy"
 	"treadmill/internal/experiments"
@@ -274,6 +283,19 @@ func main() {
 				fatal(err)
 			}
 			p.table(experiments.FleetBiasTable(bias))
+		case "chaos":
+			dur := time.Second
+			if scale.Name == "full" {
+				dur = 3 * time.Second
+			}
+			fmt.Fprintf(os.Stderr, "running chaos campaigns (loopback fleet, fault-injected transport, %v window)...\n", dur)
+			results, err := experiments.RunChaosSuite(ctx, scale.Seed, 3, dur)
+			if len(results) > 0 {
+				p.table(experiments.ChaosTable(results))
+			}
+			if err != nil {
+				fatal(err)
+			}
 		case "anatomy":
 			tab, err := experiments.AnatomyTable(needMemcached())
 			if err != nil {

@@ -9,7 +9,7 @@
 //	treadmill -target 127.0.0.1:11211 -rate 50000 [-instances 4]
 //	          [-conns 8] [-duration 5s] [-runs 5] [-workload w.json]
 //	          [-ground-truth] [-closed-loop] [-workers n]
-//	          [-fleet :9200] [-agents 4] [-loss-policy abort]
+//	          [-fleet :9200] [-agents 4] [-loss-policy abort] [-chaos]
 //	          [-journal run.jsonl] [-trace traces.jsonl] [-trace-sample 1000]
 //	          [-slippage-alert 1ms] [-telemetry-addr 127.0.0.1:9150]
 //	          [-anatomy anatomy.csv]
@@ -20,6 +20,14 @@
 // every repeated run as a barrier-synchronized broadcast — each agent
 // drives rate/N against the target and ships a histogram shard back, the
 // paper's many-low-rate-clients configuration.
+//
+// With -chaos, treadmill skips load generation entirely and runs the
+// chaos smoke: loopback fleet campaigns over the deterministic
+// fault-injection transport (three degrade-policy seeds plus one abort
+// arm, derived from -seed, each under a -duration fault window),
+// verifying the coordinator's loss-policy invariants — exactly-once
+// cell commit, exact histogram accounting, journaled degrade/abort
+// records, and no goroutine leaks. -target is not required.
 //
 // Observability (shared flag set with tailbench, telemetry.ObsFlags):
 // -journal appends structured JSONL events (config, per-run quantile
@@ -49,6 +57,7 @@ import (
 	"treadmill/internal/capture"
 	"treadmill/internal/client"
 	"treadmill/internal/core"
+	"treadmill/internal/experiments"
 	"treadmill/internal/fleet"
 	"treadmill/internal/loadgen"
 	"treadmill/internal/report"
@@ -80,6 +89,7 @@ type options struct {
 	fleetAddr    string
 	fleetAgents  int
 	fleetLoss    string
+	chaos        bool
 	obs          telemetry.ObsFlags
 }
 
@@ -104,6 +114,7 @@ func main() {
 	flag.StringVar(&o.fleetAddr, "fleet", "", "run as a fleet coordinator: listen for treadmill-agent connections on this address and distribute the load")
 	flag.IntVar(&o.fleetAgents, "agents", 2, "with -fleet, number of agents to wait for before measuring")
 	flag.StringVar(&o.fleetLoss, "loss-policy", "abort", "with -fleet, agent-loss policy: abort or degrade")
+	flag.BoolVar(&o.chaos, "chaos", false, "run the loopback chaos-fleet smoke (seeded fault schedules, loss-policy invariants) instead of generating load; -target not required")
 	o.obs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -111,9 +122,13 @@ func main() {
 		runtime.GOMAXPROCS(o.workers)
 	}
 
-	if o.target == "" {
+	if o.target == "" && !o.chaos {
 		fmt.Fprintln(os.Stderr, "treadmill: -target is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if o.chaos && o.fleetAddr != "" {
+		fmt.Fprintln(os.Stderr, "treadmill: -chaos runs its own loopback fleet and is incompatible with -fleet")
 		os.Exit(2)
 	}
 	if o.fleetAddr != "" {
@@ -167,6 +182,17 @@ func run(ctx context.Context, o options) (err error) {
 	}
 	if line := obs.ServingLine(); line != "" {
 		fmt.Println(line)
+	}
+
+	// Chaos smoke: no target, no load — fault-injected loopback fleet
+	// campaigns whose pass/fail is the loss-policy invariants.
+	if o.chaos {
+		fmt.Printf("chaos: loopback fleet campaigns, %v fault window per seed (base seed %d)...\n", o.duration, o.seed)
+		results, cerr := experiments.RunChaosSuite(ctx, o.seed, 3, o.duration)
+		if len(results) > 0 {
+			fmt.Println(experiments.ChaosTable(results))
+		}
+		return cerr
 	}
 
 	// Fleet mode: open the coordinator listener before the (potentially

@@ -1,0 +1,117 @@
+package agg_test
+
+import (
+	"math"
+	"testing"
+
+	"treadmill/internal/agg"
+	"treadmill/internal/dist"
+	"treadmill/internal/hist"
+)
+
+// tauGrid is the quantile ladder the monotonicity properties walk —
+// dense through the body and into the far tail.
+var tauGrid = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.995, 0.999}
+
+// randomInstances builds per-instance sample sets of varying size and
+// scale, as heterogeneous load-tester instances produce.
+func randomInstances(rng *dist.RNG, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		scale := 1 + 3*rng.Float64()
+		ln := dist.Lognormal{Mu: math.Log(1e-4 * scale), Sigma: 0.5 + rng.Float64()}
+		xs := make([]float64, 200+rng.Intn(3000))
+		for j := range xs {
+			xs[j] = ln.Sample(rng)
+		}
+		out[i] = xs
+	}
+	return out
+}
+
+func assertMonotone(t *testing.T, what string, vals []float64) {
+	t.Helper()
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatalf("%s: quantile decreased across tau %g -> %g: %g -> %g",
+				what, tauGrid[i-1], tauGrid[i], vals[i-1], vals[i])
+		}
+	}
+}
+
+// TestPerInstanceQuantileMonotoneAcrossTau checks the defining property
+// of any quantile pipeline: for every combinator, the aggregated
+// quantile is non-decreasing in tau. A violation would mean e.g. a
+// reported P99 below the reported P95 — the kind of inconsistency the
+// paper's statistical machinery must never emit.
+func TestPerInstanceQuantileMonotoneAcrossTau(t *testing.T) {
+	rng := dist.NewRNG(31)
+	for trial := 0; trial < 10; trial++ {
+		raw := randomInstances(rng, 2+rng.Intn(6))
+		srcs := make([]agg.QuantileSource, len(raw))
+		for i, xs := range raw {
+			srcs[i] = agg.Samples(xs)
+		}
+		for _, c := range []agg.Combine{agg.Mean, agg.Median, agg.Max} {
+			vals := make([]float64, len(tauGrid))
+			for i, q := range tauGrid {
+				v, err := agg.PerInstance(srcs, q, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vals[i] = v
+			}
+			assertMonotone(t, "PerInstance/"+c.String(), vals)
+		}
+		vals := make([]float64, len(tauGrid))
+		for i, q := range tauGrid {
+			v, err := agg.Pooled(raw, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[i] = v
+		}
+		assertMonotone(t, "Pooled", vals)
+	}
+}
+
+// TestPerInstanceMonotoneOverMergedSnapshots runs the same property with
+// merged histogram snapshots as the quantile sources — the exact shape
+// of a fleet campaign, where each instance's distribution arrives as a
+// snapshot and the coordinator reads quantiles off the merged result.
+func TestPerInstanceMonotoneOverMergedSnapshots(t *testing.T) {
+	rng := dist.NewRNG(32)
+	cfg := hist.DefaultConfig()
+	cfg.Bins = 512
+	for trial := 0; trial < 5; trial++ {
+		raw := randomInstances(rng, 3)
+		srcs := make([]agg.QuantileSource, len(raw))
+		for i, xs := range raw {
+			h, err := hist.NewWithBounds(cfg, 1e-6, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range xs {
+				if err := h.Record(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s, err := h.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs[i] = s
+		}
+		for _, c := range []agg.Combine{agg.Mean, agg.Median, agg.Max} {
+			vals := make([]float64, len(tauGrid))
+			for i, q := range tauGrid {
+				v, err := agg.PerInstance(srcs, q, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vals[i] = v
+			}
+			assertMonotone(t, "PerInstance(snapshots)/"+c.String(), vals)
+		}
+	}
+}

@@ -27,12 +27,12 @@ func mustAggregator(t *testing.T) *Aggregator {
 
 func TestConfigValidation(t *testing.T) {
 	bad := []Config{
-		{},                                          // zero config
-		{Lo: -1, Hi: 1, Bins: 10, BodyQ: 0.5, TailQ: 0.99},  // negative Lo
-		{Lo: 1, Hi: 0.5, Bins: 10, BodyQ: 0.5, TailQ: 0.99}, // Hi <= Lo
-		{Lo: 1e-7, Hi: 100, Bins: 1, BodyQ: 0.5, TailQ: 0.99},   // too few bins
-		{Lo: 1e-7, Hi: 100, Bins: 10, BodyQ: 0.99, TailQ: 0.5},  // BodyQ >= TailQ
-		{Lo: 1e-7, Hi: 100, Bins: 10, BodyQ: 0.5, TailQ: 1},     // TailQ >= 1
+		{}, // zero config
+		{Lo: -1, Hi: 1, Bins: 10, BodyQ: 0.5, TailQ: 0.99},     // negative Lo
+		{Lo: 1, Hi: 0.5, Bins: 10, BodyQ: 0.5, TailQ: 0.99},    // Hi <= Lo
+		{Lo: 1e-7, Hi: 100, Bins: 1, BodyQ: 0.5, TailQ: 0.99},  // too few bins
+		{Lo: 1e-7, Hi: 100, Bins: 10, BodyQ: 0.99, TailQ: 0.5}, // BodyQ >= TailQ
+		{Lo: 1e-7, Hi: 100, Bins: 10, BodyQ: 0.5, TailQ: 1},    // TailQ >= 1
 	}
 	for i, cfg := range bad {
 		if _, err := NewAggregator(cfg); err == nil {

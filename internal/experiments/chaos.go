@@ -1,0 +1,455 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/faultnet"
+	"treadmill/internal/fleet"
+	"treadmill/internal/fleet/wire"
+	"treadmill/internal/hist"
+	"treadmill/internal/report"
+	"treadmill/internal/telemetry"
+)
+
+// ChaosConfig sizes one chaos campaign: a loopback fleet over the
+// deterministic fault-injection transport, driven through the real
+// coordinator/agent recovery machinery while a seeded fault schedule
+// degrades, partitions, cuts, and crashes the links.
+type ChaosConfig struct {
+	// Seed drives the fault schedule, every stochastic link fault, and
+	// the cell payloads. Same seed, same schedule, bit for bit.
+	Seed uint64
+	// Agents is the fleet size; Cells the queue-mode campaign length.
+	Agents, Cells int
+	// SamplesPerCell is how many latency samples each cell records, so
+	// the exactly-once accounting has a known total.
+	SamplesPerCell int
+	// Duration is the fault-schedule window; cells are sized so the
+	// nominal campaign fills it.
+	Duration time.Duration
+	// Loss is the coordinator's agent-loss policy under fire.
+	Loss fleet.LossPolicy
+	// Journal, when non-nil, additionally receives the fault schedule
+	// and the campaign verdict (the invariant checks always run on an
+	// internal journal regardless).
+	Journal *telemetry.Journal
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Agents <= 0 {
+		c.Agents = 3
+	}
+	if c.Cells <= 0 {
+		c.Cells = 18
+	}
+	if c.SamplesPerCell <= 0 {
+		c.SamplesPerCell = 40
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	return c
+}
+
+// ChaosResult is one campaign's outcome plus the invariant evidence.
+type ChaosResult struct {
+	Seed     uint64
+	Policy   string
+	Schedule string // the exact fault schedule, as replayable JSON
+	// Aborted is true when the abort policy fired (expected under that
+	// arm whenever the schedule severs a link mid-campaign).
+	Aborted bool
+	// Cells/Commits: every cell must commit exactly once on a completed
+	// campaign; Commits counts journaled commit records.
+	Cells, Commits int
+	// Losses / Reassigns / Rejoins are journaled recovery events.
+	Losses, Reassigns, Rejoins int
+	// FaultEvents is how many schedule events fired before the campaign
+	// settled.
+	FaultEvents int
+	// Requests and MergedCount are the exactly-once accounting: both
+	// must equal Cells*SamplesPerCell on a completed campaign.
+	Requests, MergedCount uint64
+	// Goroutines is before -> after, for the leak check.
+	GoroutinesBefore, GoroutinesAfter int
+}
+
+// chaosPayload is the chaos cells' schema: fixed samples to record and
+// a hold time during which the runner streams cumulative snapshots —
+// the window the fault schedule tears into.
+type chaosPayload struct {
+	Values []float64 `json:"values"`
+	HoldNs int64     `json:"hold_ns"`
+}
+
+// chaosRunner records the payload's samples into a fixed-geometry
+// histogram, then streams the cumulative snapshot until the hold
+// elapses. Fixed geometry keeps every merge bin-exact, so the final
+// accounting has no redistribution slack.
+func chaosRunner() fleet.CellRunner {
+	return fleet.CellRunnerFunc(func(ctx context.Context, cell wire.Cell, progress fleet.ProgressFunc) (wire.CellDone, error) {
+		var p chaosPayload
+		if err := json.Unmarshal(cell.Payload, &p); err != nil {
+			return wire.CellDone{}, err
+		}
+		h, err := hist.NewWithBounds(hist.DefaultConfig(), 1e-6, 10)
+		if err != nil {
+			return wire.CellDone{}, err
+		}
+		for _, v := range p.Values {
+			if err := h.Record(v); err != nil {
+				return wire.CellDone{}, err
+			}
+		}
+		s, err := h.Snapshot()
+		if err != nil {
+			return wire.CellDone{}, err
+		}
+		deadline := time.Now().Add(time.Duration(p.HoldNs))
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for time.Now().Before(deadline) {
+			select {
+			case <-ctx.Done():
+				return wire.CellDone{}, ctx.Err()
+			case <-tick.C:
+				if progress != nil {
+					progress(s, uint64(len(p.Values)))
+				}
+			}
+		}
+		return wire.CellDone{Hists: []*hist.Snapshot{s}, Requests: uint64(len(p.Values))}, nil
+	})
+}
+
+// chaosFleetTimers are the short protocol timers chaos campaigns run
+// under, so loss detection and reconnects land well inside the fault
+// window.
+func chaosFleetTimers() (io, hb, lossT, barrier, reconnect time.Duration) {
+	return 2 * time.Second, 20 * time.Millisecond, 150 * time.Millisecond,
+		30 * time.Millisecond, 2 * time.Second
+}
+
+// RunChaos executes one chaos campaign end to end and verifies the
+// coordinator's loss-policy invariants:
+//
+//   - exactly-once commit: every cell has at most one journaled commit,
+//     and exactly one when the campaign completes;
+//   - exact accounting: the snapshot accumulator's merged mass equals
+//     Cells x SamplesPerCell bin-for-bin on completion (no duplicate
+//     bins from dead streams, no lost shards);
+//   - policy arms: LossAbort campaigns either complete cleanly or abort
+//     with a journaled abort-policy loss; LossDegrade campaigns must
+//     complete despite losses, with every loss of a busy agent matched
+//     by journaled degrade/reassign records;
+//   - no goroutine leaks once the fleet and schedule settle.
+//
+// Any violation is returned as an error; the result carries the
+// evidence either way.
+func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	before := runtime.NumGoroutine()
+
+	fnet := faultnet.New(cfg.Seed)
+	ln, err := fnet.Listen("coord")
+	if err != nil {
+		return nil, err
+	}
+
+	var jbuf bytes.Buffer
+	journal := telemetry.NewJournal(&jbuf)
+	acc := fleet.NewSnapAccumulator()
+	ioTO, hb, lossT, barrier, reconnect := chaosFleetTimers()
+	co := fleet.NewCoordinator(fleet.Config{
+		IOTimeout:         ioTO,
+		HeartbeatInterval: hb,
+		LossTimeout:       lossT,
+		BarrierDelay:      barrier,
+		ReconnectWindow:   reconnect,
+		Loss:              cfg.Loss,
+		Journal:           journal,
+		OnSnap:            acc.Observe,
+	})
+	co.Serve(ln)
+
+	// Agents dial through the faultnet and redial forever: a crashed or
+	// cut link sends the agent's Run into an error return, and the redial
+	// (under the same link name, as the schedule expects) exercises the
+	// coordinator's reconnect-resume path. Redials bounce off a
+	// duplicate-name reject until the coordinator's loss detection
+	// retires the dead incarnation, hence the short backoff.
+	agentCtx, stopAgents := context.WithCancel(context.Background())
+	var agentWG sync.WaitGroup
+	links := make([]string, cfg.Agents)
+	for i := 0; i < cfg.Agents; i++ {
+		name := fmt.Sprintf("agent-%d", i)
+		links[i] = name
+		ag, aerr := fleet.NewAgent(fleet.AgentConfig{
+			Name: name, Runner: chaosRunner(),
+			IOTimeout: ioTO, HeartbeatInterval: hb, LossTimeout: lossT,
+		})
+		if aerr != nil {
+			stopAgents()
+			co.Close()
+			return nil, aerr
+		}
+		agentWG.Add(1)
+		go func() {
+			defer agentWG.Done()
+			for agentCtx.Err() == nil {
+				nc, derr := fnet.Dial("coord", name, faultnet.Faults{})
+				if derr != nil {
+					return // listener closed: campaign over
+				}
+				_ = ag.Run(agentCtx, nc)
+				select {
+				case <-agentCtx.Done():
+					return
+				case <-time.After(25 * time.Millisecond):
+				}
+			}
+		}()
+	}
+
+	// Deterministic per-cell payloads; hold times size the nominal
+	// campaign to the fault window.
+	hold := time.Duration(float64(cfg.Duration) * float64(cfg.Agents) / float64(cfg.Cells))
+	rng := dist.NewRNG(cfg.Seed)
+	cells := make([]wire.Cell, cfg.Cells)
+	for i := range cells {
+		vals := make([]float64, cfg.SamplesPerCell)
+		for j := range vals {
+			vals[j] = 1e-4 + 1e-2*rng.Float64() // inside histogram bounds
+		}
+		payload, merr := json.Marshal(chaosPayload{Values: vals, HoldNs: int64(hold)})
+		if merr != nil {
+			stopAgents()
+			co.Close()
+			return nil, merr
+		}
+		cells[i] = wire.Cell{ID: fmt.Sprintf("chaos-%03d", i), Seq: i, Kind: "chaos", Payload: payload}
+	}
+
+	// Generate, journal, and play the fault schedule alongside the
+	// campaign. The journaled JSON replays the exact same campaign.
+	sched := faultnet.Generate(cfg.Seed, faultnet.DefaultGenConfig(links, cfg.Duration))
+	sjson, err := sched.JSON()
+	if err != nil {
+		stopAgents()
+		co.Close()
+		return nil, err
+	}
+	emitSchedule := func(j *telemetry.Journal) {
+		_ = j.Emit(telemetry.Event{Kind: telemetry.EventFleet, Fleet: &telemetry.FleetRecord{
+			Action: "chaos-schedule", Policy: cfg.Loss.String(), Detail: string(sjson),
+		}})
+	}
+	emitSchedule(journal)
+	if cfg.Journal != nil {
+		emitSchedule(cfg.Journal)
+	}
+	playCtx, stopPlay := context.WithCancel(ctx)
+	var playMu sync.Mutex
+	fired := 0
+	playDone := make(chan struct{})
+	go func() {
+		defer close(playDone)
+		_ = sched.Play(playCtx, fnet, func(faultnet.Event, error) {
+			playMu.Lock()
+			fired++
+			playMu.Unlock()
+		})
+	}()
+
+	results, runErr := co.RunCells(ctx, cells)
+	stopPlay()
+	<-playDone
+
+	res := &ChaosResult{
+		Seed: cfg.Seed, Policy: cfg.Loss.String(), Schedule: string(sjson),
+		Cells: cfg.Cells, GoroutinesBefore: before,
+	}
+	playMu.Lock()
+	res.FaultEvents = fired
+	playMu.Unlock()
+
+	aborted := runErr != nil && strings.Contains(runErr.Error(), "policy abort")
+	res.Aborted = aborted
+	if runErr != nil && !aborted {
+		stopAgents()
+		co.Close()
+		agentWG.Wait()
+		return res, fmt.Errorf("chaos: campaign failed outside the loss policy: %w", runErr)
+	}
+
+	// Teardown before the leak check: coordinator first (closing the
+	// listener ends every redial loop), then the agent contexts.
+	co.Close()
+	stopAgents()
+	agentWG.Wait()
+	settle := time.Now().Add(3 * time.Second)
+	for time.Now().Before(settle) && runtime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	res.GoroutinesAfter = runtime.NumGoroutine()
+
+	// Journal invariants.
+	events, jerr := telemetry.ReadJournal(&jbuf)
+	if jerr != nil {
+		return res, jerr
+	}
+	commits := map[string]int{}
+	for _, e := range events {
+		if e.Kind != telemetry.EventFleet || e.Fleet == nil {
+			continue
+		}
+		switch e.Fleet.Action {
+		case "commit":
+			commits[e.Fleet.Cell]++
+			res.Commits++
+		case "lost":
+			res.Losses++
+		case "reassign":
+			res.Reassigns++
+		case "join":
+			res.Rejoins++
+		}
+	}
+	res.Rejoins -= cfg.Agents // initial joins are not rejoins
+	if res.Rejoins < 0 {
+		res.Rejoins = 0
+	}
+	for id, n := range commits {
+		if n > 1 {
+			return res, fmt.Errorf("chaos: cell %q committed %d times (exactly-once broken)", id, n)
+		}
+	}
+
+	if aborted {
+		// The abort arm's contract: the campaign stopped because a loss
+		// was journaled under the abort policy.
+		sawAbortLoss := false
+		for _, e := range events {
+			if e.Kind == telemetry.EventFleet && e.Fleet != nil &&
+				e.Fleet.Action == "lost" && e.Fleet.Policy == "abort" {
+				sawAbortLoss = true
+			}
+		}
+		if !sawAbortLoss {
+			return res, fmt.Errorf("chaos: campaign aborted without a journaled abort-policy loss")
+		}
+	} else {
+		// Completed campaign: every cell exactly once, and the snapshot
+		// accumulator's merged mass must equal the total sample count —
+		// any duplicate-bin double count or lost shard breaks this.
+		if res.Commits != cfg.Cells {
+			return res, fmt.Errorf("chaos: %d commits for %d cells", res.Commits, cfg.Cells)
+		}
+		if err := acc.CommitResults(results); err != nil {
+			return res, err
+		}
+		merged, reqs, merr := acc.Progress()
+		if merr != nil {
+			return res, merr
+		}
+		want := uint64(cfg.Cells * cfg.SamplesPerCell)
+		res.Requests = reqs
+		if merged != nil {
+			res.MergedCount = merged.Count()
+		}
+		if res.MergedCount != want || reqs != want {
+			return res, fmt.Errorf("chaos: accounting broken: merged %d samples / %d requests, want %d",
+				res.MergedCount, reqs, want)
+		}
+		if cfg.Loss == fleet.LossDegrade && res.Losses > 0 && res.Reassigns+countDegrades(events) == 0 {
+			return res, fmt.Errorf("chaos: %d losses under degrade with no degrade/reassign records", res.Losses)
+		}
+	}
+
+	if res.GoroutinesAfter > before {
+		return res, fmt.Errorf("chaos: goroutine leak: %d -> %d after settle", before, res.GoroutinesAfter)
+	}
+	if cfg.Journal != nil {
+		_ = cfg.Journal.Emit(telemetry.Event{Kind: telemetry.EventFleet, Fleet: &telemetry.FleetRecord{
+			Action: "chaos-verdict", Policy: res.Policy,
+			Detail: fmt.Sprintf("seed=%d commits=%d/%d losses=%d reassigns=%d aborted=%v",
+				res.Seed, res.Commits, res.Cells, res.Losses, res.Reassigns, res.Aborted),
+		}})
+	}
+	return res, nil
+}
+
+// countDegrades counts journaled degrade records.
+func countDegrades(events []telemetry.Event) int {
+	n := 0
+	for _, e := range events {
+		if e.Kind == telemetry.EventFleet && e.Fleet != nil && e.Fleet.Action == "degrade" {
+			n++
+		}
+	}
+	return n
+}
+
+// RunChaosSuite runs the standard chaos matrix: the degrade policy
+// under `seeds` distinct fault schedules plus one abort arm, returning
+// every result. Any invariant violation fails the suite.
+func RunChaosSuite(ctx context.Context, baseSeed uint64, seeds int, dur time.Duration) ([]*ChaosResult, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	var out []*ChaosResult
+	for i := 0; i < seeds; i++ {
+		r, err := RunChaos(ctx, ChaosConfig{
+			Seed: baseSeed + uint64(i), Duration: dur, Loss: fleet.LossDegrade,
+		})
+		if r != nil {
+			out = append(out, r)
+		}
+		if err != nil {
+			return out, fmt.Errorf("degrade arm seed %d: %w", baseSeed+uint64(i), err)
+		}
+	}
+	r, err := RunChaos(ctx, ChaosConfig{
+		Seed: baseSeed + uint64(seeds), Duration: dur, Loss: fleet.LossAbort,
+	})
+	if r != nil {
+		out = append(out, r)
+	}
+	if err != nil {
+		return out, fmt.Errorf("abort arm seed %d: %w", baseSeed+uint64(seeds), err)
+	}
+	return out, nil
+}
+
+// ChaosTable renders a chaos suite's outcomes.
+func ChaosTable(results []*ChaosResult) *report.Table {
+	t := &report.Table{
+		Title: "Chaos campaigns: loopback fleet over fault-injected transport (invariants held)",
+		Headers: []string{"seed", "policy", "outcome", "commits", "losses", "reassigns",
+			"rejoins", "fault events", "samples"},
+	}
+	for _, r := range results {
+		outcome := "completed"
+		if r.Aborted {
+			outcome = "aborted (by policy)"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", r.Seed), r.Policy, outcome,
+			fmt.Sprintf("%d/%d", r.Commits, r.Cells),
+			fmt.Sprintf("%d", r.Losses),
+			fmt.Sprintf("%d", r.Reassigns),
+			fmt.Sprintf("%d", r.Rejoins),
+			fmt.Sprintf("%d", r.FaultEvents),
+			fmt.Sprintf("%d", r.MergedCount),
+		)
+	}
+	return t
+}

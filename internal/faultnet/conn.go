@@ -1,0 +1,275 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"treadmill/internal/dist"
+)
+
+// timeoutError is the deadline-expiry error. It implements net.Error
+// with Timeout() == true, which is all wire.IsTimeout (and net/http,
+// and everything else in the ecosystem) looks for.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// segment is one faulted write in flight: its (possibly truncated)
+// bytes and the instant they become readable.
+type segment struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// pipe is one direction of a link: a queue of delayed segments guarded
+// by a mutex, with a broadcast channel to wake blocked readers. The
+// fault stage runs at write time, so by the time bytes sit in the queue
+// their fate (delay, duplication, loss, order) is already decided.
+type pipe struct {
+	mu     sync.Mutex
+	rng    *dist.RNG
+	faults Faults
+
+	segs      []segment // sorted by deliverAt
+	offset    int       // read progress into segs[0].data
+	lastAt    time.Time // FIFO clamp: latest deliverAt assigned
+	closed    bool      // no further writes; reads drain then EOF
+	blackhole bool      // partition: writes silently discarded
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+
+	notify chan struct{} // closed and replaced on every state change
+}
+
+func newPipe(rng *dist.RNG, f Faults) *pipe {
+	return &pipe{rng: rng, faults: f, notify: make(chan struct{})}
+}
+
+// broadcast wakes every waiter. Callers hold p.mu.
+func (p *pipe) broadcast() {
+	close(p.notify)
+	p.notify = make(chan struct{})
+}
+
+func (p *pipe) setFaults(f Faults) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+func (p *pipe) setBlackhole(on bool) {
+	p.mu.Lock()
+	p.blackhole = on
+	p.mu.Unlock()
+}
+
+// close ends the pipe. discard drops undelivered segments (crash);
+// otherwise they drain to the reader first (FIN-like close).
+func (p *pipe) close(discard bool) {
+	p.mu.Lock()
+	p.closed = true
+	if discard {
+		p.segs = nil
+		p.offset = 0
+	}
+	p.broadcast()
+	p.mu.Unlock()
+}
+
+func (p *pipe) closeDiscard() { p.close(true) }
+
+// cutMidSegment truncates the newest undelivered segment to half its
+// bytes and closes the pipe in drain mode: the reader receives a torn
+// tail — typically a partial frame — and then EOF.
+func (p *pipe) cutMidSegment() {
+	p.mu.Lock()
+	if n := len(p.segs); n > 0 {
+		last := &p.segs[n-1]
+		keep := len(last.data) / 2
+		// Never truncate below what the reader already consumed of it.
+		if n == 1 && keep < p.offset {
+			keep = p.offset
+		}
+		last.data = last.data[:keep]
+	}
+	p.closed = true
+	p.broadcast()
+	p.mu.Unlock()
+}
+
+func (p *pipe) setReadDeadline(t time.Time) {
+	p.mu.Lock()
+	p.readDeadline = t
+	p.broadcast() // a shortened deadline must wake blocked readers
+	p.mu.Unlock()
+}
+
+func (p *pipe) setWriteDeadline(t time.Time) {
+	p.mu.Lock()
+	p.writeDeadline = t
+	p.mu.Unlock()
+}
+
+// insert places seg into the queue keeping deliverAt order (stable for
+// ties, so FIFO-clamped segments never swap).
+func (p *pipe) insert(seg segment) {
+	i := len(p.segs)
+	for i > 0 && p.segs[i-1].deliverAt.After(seg.deliverAt) {
+		i--
+	}
+	// Never insert ahead of the segment currently being consumed.
+	if i == 0 && p.offset > 0 {
+		i = 1
+	}
+	p.segs = append(p.segs, segment{})
+	copy(p.segs[i+1:], p.segs[i:])
+	p.segs[i] = seg
+}
+
+// write runs the fault stage and enqueues the bytes. Writes never block
+// (the in-memory queue is unbounded); only deadline expiry or a closed
+// pipe fail them.
+func (p *pipe) write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if !p.writeDeadline.IsZero() && !time.Now().Before(p.writeDeadline) {
+		return 0, timeoutError{}
+	}
+	if p.blackhole {
+		// Half-open partition: the writer believes the bytes left.
+		return len(b), nil
+	}
+	now := time.Now()
+	copies := 1
+	if p.faults.faulty() {
+		if p.faults.DropProb > 0 && p.rng.Float64() < p.faults.DropProb {
+			return len(b), nil // dropped on the floor
+		}
+		if p.faults.DupProb > 0 && p.rng.Float64() < p.faults.DupProb {
+			copies = 2
+		}
+	}
+	for c := 0; c < copies; c++ {
+		at := now
+		if p.faults.Latency > 0 {
+			at = at.Add(p.faults.Latency)
+		}
+		if p.faults.Jitter > 0 {
+			at = at.Add(time.Duration(p.rng.Float64() * float64(p.faults.Jitter)))
+		}
+		reordered := p.faults.ReorderProb > 0 && p.rng.Float64() < p.faults.ReorderProb
+		if !reordered && at.Before(p.lastAt) {
+			at = p.lastAt // FIFO unless a reorder was drawn
+		}
+		if at.After(p.lastAt) {
+			p.lastAt = at
+		}
+		p.insert(segment{data: append([]byte(nil), b...), deliverAt: at})
+	}
+	p.broadcast()
+	return len(b), nil
+}
+
+// read copies delivered bytes into b, blocking until data is available,
+// the pipe closes (EOF after drain), or the read deadline expires.
+func (p *pipe) read(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	for {
+		p.mu.Lock()
+		now := time.Now()
+		if !p.readDeadline.IsZero() && !now.Before(p.readDeadline) {
+			p.mu.Unlock()
+			return 0, timeoutError{}
+		}
+		// Drop segments the cut stage truncated to nothing.
+		for len(p.segs) > 0 && p.offset >= len(p.segs[0].data) {
+			p.segs = p.segs[1:]
+			p.offset = 0
+		}
+		if len(p.segs) > 0 && !p.segs[0].deliverAt.After(now) {
+			n := copy(b, p.segs[0].data[p.offset:])
+			p.offset += n
+			if p.offset >= len(p.segs[0].data) {
+				p.segs = p.segs[1:]
+				p.offset = 0
+			}
+			p.mu.Unlock()
+			return n, nil
+		}
+		if p.closed && len(p.segs) == 0 {
+			p.mu.Unlock()
+			return 0, io.EOF
+		}
+		// Nothing readable yet: sleep until the earliest of next delivery
+		// and deadline, or until a state change broadcasts.
+		var wake time.Time
+		if len(p.segs) > 0 {
+			wake = p.segs[0].deliverAt
+		}
+		if !p.readDeadline.IsZero() && (wake.IsZero() || p.readDeadline.Before(wake)) {
+			wake = p.readDeadline
+		}
+		ch := p.notify
+		p.mu.Unlock()
+
+		if wake.IsZero() {
+			<-ch
+			continue
+		}
+		t := time.NewTimer(time.Until(wake))
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// conn is one endpoint of a link: reads from rd, writes to wr.
+type conn struct {
+	local, remote addr
+	rd, wr        *pipe
+}
+
+var _ net.Conn = (*conn)(nil)
+
+func (c *conn) Read(b []byte) (int, error)  { return c.rd.read(b) }
+func (c *conn) Write(b []byte) (int, error) { return c.wr.write(b) }
+
+// Close shuts the endpoint down: the outbound direction drains to the
+// peer then EOFs (FIN-like), the inbound direction discards immediately
+// so local readers unblock.
+func (c *conn) Close() error {
+	c.wr.close(false)
+	c.rd.close(true)
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.wr.setWriteDeadline(t)
+	return nil
+}

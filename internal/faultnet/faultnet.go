@@ -1,0 +1,297 @@
+// Package faultnet is a seeded, deterministic in-memory transport for
+// chaos-testing the fleet subsystem. It implements the same net.Conn /
+// net.Listener seams the fleet wire protocol runs over, but every link
+// passes through a fault stage that can delay, jitter, drop, duplicate,
+// and reorder writes, black-hole one direction (half-open partition),
+// cut a link mid-frame, or kill it outright — each decision drawn from a
+// per-link RNG derived from the network seed, so a campaign's fault
+// pattern is a pure function of (seed, traffic).
+//
+// Faults act on whole Write calls. The fleet wire protocol writes one
+// frame per call, so a drop is *silent message loss*: the stream stays
+// decodable and neither side's read errors — the hardest fault class,
+// recoverable only by state reconciliation (the coordinator's
+// heartbeat-ledger requeue), not by loss detection. Cuts, crashes, and
+// partitions, by contrast, surface as read errors or starved deadlines
+// and exercise the loss/reassign/reconnect-resume machinery. Together
+// they cover both recovery planes rather than simulating their
+// outcomes.
+//
+// Timed fault campaigns are described by a Schedule (see schedule.go):
+// a JSON-serializable list of events generated from a seed, journaled,
+// and replayable from the journal.
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"treadmill/internal/dist"
+)
+
+// Faults are the per-direction stochastic link impairments. Zero value
+// is a perfect link. Probabilities are per Write call (the wire protocol
+// writes one frame per call, so these are effectively per-frame).
+type Faults struct {
+	// Latency is the fixed one-way delivery delay.
+	Latency time.Duration `json:"latency,omitempty"`
+	// Jitter adds a uniform [0, Jitter) random extra delay per write.
+	Jitter time.Duration `json:"jitter,omitempty"`
+	// DropProb discards the write entirely. The byte stream loses a
+	// frame, so the reader's next decode fails — a hard link fault.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// DupProb delivers the write twice (the duplicate trails by the
+	// latency+jitter draw of a fresh delivery).
+	DupProb float64 `json:"dup_prob,omitempty"`
+	// ReorderProb lets a write overtake its predecessor instead of being
+	// FIFO-clamped behind it.
+	ReorderProb float64 `json:"reorder_prob,omitempty"`
+}
+
+// faulty reports whether any stochastic impairment is configured.
+func (f Faults) faulty() bool {
+	return f.Latency > 0 || f.Jitter > 0 || f.DropProb > 0 || f.DupProb > 0 || f.ReorderProb > 0
+}
+
+// Network is a set of named in-memory links with injectable faults. All
+// methods are safe for concurrent use.
+type Network struct {
+	seed uint64
+
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	links     map[string]*link
+}
+
+// New returns an empty network. seed drives every stochastic fault draw:
+// two networks with the same seed and the same per-link traffic make the
+// same drop/duplicate/reorder decisions.
+func New(seed uint64) *Network {
+	return &Network{
+		seed:      seed,
+		listeners: make(map[string]*Listener),
+		links:     make(map[string]*link),
+	}
+}
+
+// Listener accepts faultnet connections for one address.
+type Listener struct {
+	net   *Network
+	addr  string
+	ch    chan net.Conn
+	done  chan struct{}
+	close sync.Once
+}
+
+// Listen registers addr and returns its listener.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("faultnet: address %q already listening", addr)
+	}
+	l := &Listener{net: n, addr: addr, ch: make(chan net.Conn), done: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("faultnet: listener %q closed", l.addr)
+	}
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.close.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return addr(l.addr) }
+
+// addr is a faultnet address.
+type addr string
+
+func (a addr) Network() string { return "faultnet" }
+func (a addr) String() string  { return string(a) }
+
+// link is one established connection: two directed pipes and the fault
+// state the schedule manipulates. Links are named so schedules can
+// target them; redialing under the same name replaces the registry entry
+// (the old link keeps working until cut — exactly like a crashed process
+// whose socket lingers).
+type link struct {
+	name   string
+	c2s    *pipe // client (dialer) -> server (acceptor)
+	s2c    *pipe // server -> client
+	client *conn
+	server *conn
+}
+
+// Dial connects to a listening address. linkName identifies the link to
+// the fault schedule (and names the RNG streams); faults apply to both
+// directions initially and can be changed per direction later via
+// SetFaults. Dial blocks until the listener accepts.
+func (n *Network) Dial(address, linkName string, faults Faults) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[address]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("faultnet: dial %q: no listener", address)
+	}
+
+	// Per-direction RNG streams are derived from (seed, link name,
+	// direction), independent of dial order, so fault draws for one link
+	// never depend on how many other links exist.
+	lk := &link{
+		name: linkName,
+		c2s:  newPipe(dist.NewRNG(n.seed^hashString(linkName+"/c2s")), faults),
+		s2c:  newPipe(dist.NewRNG(n.seed^hashString(linkName+"/s2c")), faults),
+	}
+	lk.client = &conn{local: addr(linkName + "/client"), remote: addr(address), rd: lk.s2c, wr: lk.c2s}
+	lk.server = &conn{local: addr(address), remote: addr(linkName + "/client"), rd: lk.c2s, wr: lk.s2c}
+
+	n.mu.Lock()
+	n.links[linkName] = lk
+	n.mu.Unlock()
+
+	select {
+	case l.ch <- lk.server:
+		return lk.client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("faultnet: dial %q: listener closed", address)
+	}
+}
+
+// hashString is FNV-1a, inlined to keep faultnet dependency-free.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Dir selects one direction of a link.
+type Dir string
+
+// Link directions: C2S is dialer-to-acceptor (agent-to-coordinator in
+// fleet chaos campaigns), S2C the reverse.
+const (
+	C2S Dir = "c2s"
+	S2C Dir = "s2c"
+)
+
+// pipes returns the directed pipes a Dir selects ("" selects both).
+func (lk *link) pipes(d Dir) []*pipe {
+	switch d {
+	case C2S:
+		return []*pipe{lk.c2s}
+	case S2C:
+		return []*pipe{lk.s2c}
+	default:
+		return []*pipe{lk.c2s, lk.s2c}
+	}
+}
+
+// lookup finds a live link by name.
+func (n *Network) lookup(name string) (*link, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lk, ok := n.links[name]
+	if !ok {
+		return nil, fmt.Errorf("faultnet: unknown link %q", name)
+	}
+	return lk, nil
+}
+
+// SetFaults replaces the stochastic fault parameters on a link direction
+// ("" = both). Applies to subsequent writes only.
+func (n *Network) SetFaults(linkName string, d Dir, f Faults) error {
+	lk, err := n.lookup(linkName)
+	if err != nil {
+		return err
+	}
+	for _, p := range lk.pipes(d) {
+		p.setFaults(f)
+	}
+	return nil
+}
+
+// Partition black-holes a link direction ("" = both): writes are
+// silently discarded, reads starve. Heal with Heal. This is the
+// half-open failure mode — the other direction keeps flowing, so e.g.
+// an agent can keep heartbeating while never hearing the coordinator.
+func (n *Network) Partition(linkName string, d Dir) error {
+	lk, err := n.lookup(linkName)
+	if err != nil {
+		return err
+	}
+	for _, p := range lk.pipes(d) {
+		p.setBlackhole(true)
+	}
+	return nil
+}
+
+// Heal removes a partition from a link direction ("" = both).
+func (n *Network) Heal(linkName string, d Dir) error {
+	lk, err := n.lookup(linkName)
+	if err != nil {
+		return err
+	}
+	for _, p := range lk.pipes(d) {
+		p.setBlackhole(false)
+	}
+	return nil
+}
+
+// CutMidFrame truncates the most recent undelivered write on each
+// direction of the link to half its length and then closes the link, so
+// each reader sees a partial frame followed by EOF — the classic
+// torn-stream failure a crashed peer leaves behind.
+func (n *Network) CutMidFrame(linkName string) error {
+	lk, err := n.lookup(linkName)
+	if err != nil {
+		return err
+	}
+	lk.c2s.cutMidSegment()
+	lk.s2c.cutMidSegment()
+	return nil
+}
+
+// Crash closes both directions of the link abruptly, discarding
+// undelivered data — a process kill. The link stays in the registry so
+// reads drain to EOF; redialing under the same name replaces it.
+func (n *Network) Crash(linkName string) error {
+	lk, err := n.lookup(linkName)
+	if err != nil {
+		return err
+	}
+	lk.c2s.closeDiscard()
+	lk.s2c.closeDiscard()
+	return nil
+}
+
+// Links lists live link names (diagnostics).
+func (n *Network) Links() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.links))
+	for name := range n.links {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,464 @@
+package faultnet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dialPair sets up a listener and one link, returning both conn ends.
+func dialPair(t *testing.T, n *Network, name string, f Faults) (client, server net.Conn) {
+	t.Helper()
+	ln, err := n.Listen("coord")
+	if err != nil {
+		ln = nil // already listening from a prior call in this test
+	}
+	accepted := make(chan net.Conn, 1)
+	if ln != nil {
+		go func() {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}()
+	} else {
+		t.Fatal("dialPair: helper supports one listener per network")
+	}
+	c, err := n.Dial("coord", name, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-accepted:
+		return c, s
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	return nil, nil
+}
+
+func TestPerfectLinkRoundTrip(t *testing.T) {
+	n := New(1)
+	c, s := dialPair(t, n, "a0", Faults{})
+	msg := []byte("hello across the faultnet")
+	go func() { c.Write(msg) }()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+	// Reverse direction.
+	go func() { s.Write([]byte("pong")) }()
+	buf = make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New(1)
+	const lat = 50 * time.Millisecond
+	c, s := dialPair(t, n, "a0", Faults{Latency: lat})
+	start := time.Now()
+	go func() { c.Write([]byte("x")) }()
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < lat {
+		t.Fatalf("delivered after %v, want >= %v", el, lat)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := New(1)
+	_, s := dialPair(t, n, "a0", Faults{})
+	s.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := s.Read(buf)
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want net.Error timeout, got %v", err)
+	}
+	// Clearing the deadline un-wedges future reads.
+	s.SetReadDeadline(time.Time{})
+	done := make(chan struct{})
+	go func() {
+		io.ReadFull(s, buf)
+		close(done)
+	}()
+	c, _ := n.lookup("a0")
+	_ = c
+	select {
+	case <-done:
+		t.Fatal("read returned with no data and no deadline")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestDeadlineWakesBlockedReader(t *testing.T) {
+	n := New(1)
+	_, s := dialPair(t, n, "a0", Faults{})
+	errCh := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := s.Read(buf)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // reader is parked with no deadline
+	s.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+	select {
+	case err := <-errCh:
+		ne, ok := err.(net.Error)
+		if !ok || !ne.Timeout() {
+			t.Fatalf("want timeout, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shortened deadline did not wake the reader")
+	}
+}
+
+func TestFIFOWithoutReorder(t *testing.T) {
+	n := New(7)
+	// Heavy jitter but ReorderProb 0: order must still hold.
+	c, s := dialPair(t, n, "a0", Faults{Jitter: 5 * time.Millisecond})
+	var want bytes.Buffer
+	go func() {
+		for i := 0; i < 50; i++ {
+			c.Write([]byte{byte(i)})
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		want.WriteByte(byte(i))
+	}
+	got := make([]byte, 50)
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("stream reordered without ReorderProb:\n got %v\nwant %v", got, want.Bytes())
+	}
+}
+
+func TestDropLosesBytes(t *testing.T) {
+	n := New(3)
+	c, s := dialPair(t, n, "a0", Faults{DropProb: 0.5})
+	go func() {
+		for i := 0; i < 100; i++ {
+			c.Write([]byte{byte(i)})
+		}
+		c.Close()
+	}()
+	var got []byte
+	buf := make([]byte, 256)
+	for {
+		k, err := s.Read(buf)
+		got = append(got, buf[:k]...)
+		if err != nil {
+			break
+		}
+	}
+	if len(got) == 0 || len(got) >= 100 {
+		t.Fatalf("DropProb 0.5 delivered %d of 100 bytes", len(got))
+	}
+	// What survives must be an ordered subsequence.
+	last := -1
+	for _, b := range got {
+		if int(b) <= last {
+			t.Fatalf("surviving bytes out of order: %v", got)
+		}
+		last = int(b)
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	n := New(5)
+	c, s := dialPair(t, n, "a0", Faults{DupProb: 1.0})
+	go func() {
+		c.Write([]byte("A"))
+		c.Close()
+	}()
+	var got []byte
+	buf := make([]byte, 16)
+	for {
+		k, err := s.Read(buf)
+		got = append(got, buf[:k]...)
+		if err != nil {
+			break
+		}
+	}
+	if string(got) != "AA" {
+		t.Fatalf("DupProb 1.0 delivered %q, want AA", got)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func(seed uint64) []byte {
+		n := New(seed)
+		c, s := dialPair(t, n, "a0", Faults{DropProb: 0.3, DupProb: 0.2})
+		go func() {
+			for i := 0; i < 200; i++ {
+				c.Write([]byte{byte(i)})
+			}
+			c.Close()
+		}()
+		var got []byte
+		buf := make([]byte, 512)
+		for {
+			k, err := s.Read(buf)
+			got = append(got, buf[:k]...)
+			if err != nil {
+				break
+			}
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different fault outcomes")
+	}
+	if c := run(43); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical fault outcomes (suspicious)")
+	}
+}
+
+func TestPartitionHalfOpen(t *testing.T) {
+	n := New(1)
+	c, s := dialPair(t, n, "a0", Faults{})
+	if err := n.Partition("a0", C2S); err != nil {
+		t.Fatal(err)
+	}
+	// Client->server is black-holed...
+	c.Write([]byte("lost"))
+	s.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := s.Read(make([]byte, 8)); err == nil {
+		t.Fatal("partitioned direction delivered data")
+	}
+	// ...while server->client still flows (half-open).
+	go func() { s.Write([]byte("ok")) }()
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("healthy direction failed: %v", err)
+	}
+	// Heal: new writes flow again (the black-holed bytes stay lost).
+	if err := n.Heal("a0", C2S); err != nil {
+		t.Fatal(err)
+	}
+	go func() { c.Write([]byte("back")) }()
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	buf = make([]byte, 4)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "back" {
+		t.Fatalf("got %q after heal (black-holed bytes leaked?)", buf)
+	}
+}
+
+func TestCutMidFrameTearsStream(t *testing.T) {
+	n := New(1)
+	c, s := dialPair(t, n, "a0", Faults{Latency: 20 * time.Millisecond})
+	// The latency keeps the segment undelivered when the cut lands.
+	c.Write([]byte("0123456789"))
+	if err := n.CutMidFrame("a0"); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	buf := make([]byte, 32)
+	for {
+		k, err := s.Read(buf)
+		got = append(got, buf[:k]...)
+		if err != nil {
+			if err != io.EOF {
+				t.Fatalf("want EOF after cut, got %v", err)
+			}
+			break
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("cut delivered %d bytes of 10, want 5 (torn tail)", len(got))
+	}
+}
+
+func TestCrashDiscardsAndEOFs(t *testing.T) {
+	n := New(1)
+	c, s := dialPair(t, n, "a0", Faults{Latency: 50 * time.Millisecond})
+	c.Write([]byte("never arrives"))
+	if err := n.Crash("a0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(make([]byte, 8)); err != io.EOF {
+		t.Fatalf("want EOF after crash, got %v", err)
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write on crashed link succeeded")
+	}
+	// Redial under the same name replaces the link.
+	ln := n.listenerFor(t)
+	go func() { ln.Accept() }()
+	if _, err := n.Dial("coord", "a0", Faults{}); err != nil {
+		t.Fatalf("redial after crash: %v", err)
+	}
+}
+
+// listenerFor digs out the test's single listener.
+func (n *Network) listenerFor(t *testing.T) *Listener {
+	t.Helper()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.listeners {
+		return l
+	}
+	t.Fatal("no listener")
+	return nil
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	links := []string{"a0", "a1", "a2"}
+	s := Generate(99, DefaultGenConfig(links, 2*time.Second))
+	if len(s.Events) == 0 {
+		t.Fatal("empty schedule")
+	}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("schedule did not survive JSON:\n in %+v\nout %+v", s, back)
+	}
+	// Same seed, same schedule; different seed, different schedule.
+	again := Generate(99, DefaultGenConfig(links, 2*time.Second))
+	if !reflect.DeepEqual(s, again) {
+		t.Fatal("Generate is not deterministic under seed")
+	}
+	other := Generate(100, DefaultGenConfig(links, 2*time.Second))
+	if reflect.DeepEqual(s, other) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+}
+
+func TestScheduleEventsOrderedAndBounded(t *testing.T) {
+	s := Generate(7, DefaultGenConfig([]string{"a0", "a1"}, time.Second))
+	var last time.Duration = -1
+	for _, e := range s.Events {
+		if e.At < last {
+			t.Fatalf("events out of order: %v after %v", e.At, last)
+		}
+		last = e.At
+		if e.At > 2*time.Second {
+			t.Fatalf("event at %v outside window", e.At)
+		}
+	}
+}
+
+func TestSchedulePlayAppliesEvents(t *testing.T) {
+	n := New(1)
+	c, s := dialPair(t, n, "a0", Faults{})
+	sched := &Schedule{Events: []Event{
+		{At: 0, Action: ActSetFaults, Link: "a0", Faults: &Faults{}},
+		{At: 10 * time.Millisecond, Action: ActCrash, Link: "a0"},
+		{At: 15 * time.Millisecond, Action: ActCrash, Link: "missing"}, // tolerated
+	}}
+	var mu sync.Mutex
+	applied := map[Action]int{}
+	errs := 0
+	err := sched.Play(context.Background(), n, func(e Event, err error) {
+		mu.Lock()
+		applied[e.Action]++
+		if err != nil {
+			errs++
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied[ActCrash] != 2 || applied[ActSetFaults] != 1 {
+		t.Fatalf("applied = %v", applied)
+	}
+	if errs != 1 {
+		t.Fatalf("errs = %d, want 1 (the missing link)", errs)
+	}
+	if _, err := s.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("crash event did not kill the link: %v", err)
+	}
+	_ = c
+}
+
+func TestSchedulePlayCancel(t *testing.T) {
+	n := New(1)
+	sched := &Schedule{Events: []Event{{At: time.Hour, Action: ActCrash, Link: "a0"}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := sched.Play(ctx, n, nil); err != context.DeadlineExceeded {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+}
+
+func TestConcurrentWritersRace(t *testing.T) {
+	// Exercised mainly under -race: concurrent writers, reader, and
+	// schedule manipulation on one link.
+	n := New(11)
+	c, s := dialPair(t, n, "a0", Faults{Jitter: time.Millisecond, DropProb: 0.1})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Write([]byte("abcdefgh")); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+			s.Read(buf)
+		}
+	}()
+	n.SetFaults("a0", C2S, Faults{DropProb: 0.5})
+	n.Partition("a0", S2C)
+	n.Heal("a0", S2C)
+	time.Sleep(50 * time.Millisecond)
+	n.Crash("a0")
+	close(stop)
+	wg.Wait()
+}
+
+func TestFaultsJSONOmitsZero(t *testing.T) {
+	b, err := json.Marshal(Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "{}" {
+		t.Fatalf("zero Faults marshals to %s", b)
+	}
+}

@@ -1,0 +1,200 @@
+package faultnet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"treadmill/internal/dist"
+)
+
+// Action is one kind of scheduled fault event.
+type Action string
+
+// Schedule actions.
+const (
+	// ActSetFaults replaces a link direction's stochastic faults.
+	ActSetFaults Action = "set-faults"
+	// ActPartition black-holes a link direction (half-open partition).
+	ActPartition Action = "partition"
+	// ActHeal removes a partition.
+	ActHeal Action = "heal"
+	// ActCut tears the link mid-frame (truncate + close).
+	ActCut Action = "cut"
+	// ActCrash kills the link abruptly, discarding in-flight data.
+	ActCrash Action = "crash"
+)
+
+// Event is one timed fault. At is relative to Schedule playback start,
+// so a schedule replays identically no matter when it is played.
+type Event struct {
+	At     time.Duration `json:"at_ns"`
+	Action Action        `json:"action"`
+	Link   string        `json:"link"`
+	Dir    Dir           `json:"dir,omitempty"`
+	Faults *Faults       `json:"faults,omitempty"`
+}
+
+// Schedule is a replayable fault campaign: the seed it was generated
+// from (zero for hand-written schedules) and its time-ordered events.
+// Schedules serialize to JSON so a chaos run can journal the exact fault
+// sequence it executed and any later run can replay it verbatim.
+type Schedule struct {
+	Seed   uint64  `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// JSON renders the schedule for journaling.
+func (s *Schedule) JSON() ([]byte, error) { return json.Marshal(s) }
+
+// ParseSchedule decodes a journaled schedule.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("faultnet: parse schedule: %w", err)
+	}
+	return &s, nil
+}
+
+// apply executes one event against the network. Unknown links are not
+// errors during playback: an event can target a link whose agent has
+// crashed and not yet redialed.
+func (e Event) apply(n *Network) error {
+	switch e.Action {
+	case ActSetFaults:
+		f := Faults{}
+		if e.Faults != nil {
+			f = *e.Faults
+		}
+		return n.SetFaults(e.Link, e.Dir, f)
+	case ActPartition:
+		return n.Partition(e.Link, e.Dir)
+	case ActHeal:
+		return n.Heal(e.Link, e.Dir)
+	case ActCut:
+		return n.CutMidFrame(e.Link)
+	case ActCrash:
+		return n.Crash(e.Link)
+	default:
+		return fmt.Errorf("faultnet: unknown schedule action %q", e.Action)
+	}
+}
+
+// Play executes the schedule against n in real time, sleeping between
+// events. observe, when non-nil, is called after each event with its
+// application error (nil for success; unknown-link errors are expected
+// when a crashed agent has not redialed yet and do not stop playback).
+// Play returns when every event has fired or ctx is cancelled.
+func (s *Schedule) Play(ctx context.Context, n *Network, observe func(Event, error)) error {
+	start := time.Now()
+	for _, e := range s.Events {
+		d := e.At - time.Since(start)
+		if d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		err := e.apply(n)
+		if observe != nil {
+			observe(e, err)
+		}
+	}
+	return nil
+}
+
+// GenConfig parameterizes schedule generation. The zero value is not
+// useful; DefaultGenConfig fills sane chaos-smoke values.
+type GenConfig struct {
+	// Links are the link names the schedule may target.
+	Links []string
+	// Duration is the window events are placed in.
+	Duration time.Duration
+	// Latency/Jitter are the baseline impairments applied to every link
+	// at t=0 (and restored by heal events).
+	Latency, Jitter time.Duration
+	// DegradedDrop/DegradedDup/DegradedReorder are the stochastic fault
+	// levels a degrade event raises a link to.
+	DegradedDrop, DegradedDup, DegradedReorder float64
+	// Degrades / Partitions / Cuts / Crashes are how many of each event
+	// the schedule draws (each targeting a seeded-random link at a
+	// seeded-random time).
+	Degrades, Partitions, Cuts, Crashes int
+	// PartitionLen is how long a partition lasts before its heal event.
+	PartitionLen time.Duration
+}
+
+// DefaultGenConfig returns chaos-smoke generation parameters sized to
+// the given links and window: every link gets baseline latency/jitter,
+// and the window sees two degrades, one half-open partition, one
+// mid-frame cut, and two crashes.
+func DefaultGenConfig(links []string, duration time.Duration) GenConfig {
+	return GenConfig{
+		Links:           links,
+		Duration:        duration,
+		Latency:         200 * time.Microsecond,
+		Jitter:          time.Millisecond,
+		DegradedDrop:    0.05,
+		DegradedDup:     0.05,
+		DegradedReorder: 0.05,
+		Degrades:        2,
+		Partitions:      1,
+		Cuts:            1,
+		Crashes:         2,
+		PartitionLen:    duration / 4,
+	}
+}
+
+// Generate draws a randomized-but-seeded fault schedule: same seed and
+// config, same schedule, bit for bit. Events are returned time-ordered.
+func Generate(seed uint64, cfg GenConfig) *Schedule {
+	rng := dist.NewRNG(seed)
+	s := &Schedule{Seed: seed}
+	if len(cfg.Links) == 0 || cfg.Duration <= 0 {
+		return s
+	}
+	base := &Faults{Latency: cfg.Latency, Jitter: cfg.Jitter}
+	for _, l := range cfg.Links {
+		s.Events = append(s.Events, Event{At: 0, Action: ActSetFaults, Link: l, Faults: base})
+	}
+	// Events land in the middle 80% of the window so the campaign has
+	// fault-free room to form at the start and to converge at the end.
+	at := func() time.Duration {
+		lo := float64(cfg.Duration) * 0.1
+		return time.Duration(lo + rng.Float64()*float64(cfg.Duration)*0.8)
+	}
+	pick := func() string { return cfg.Links[rng.Intn(len(cfg.Links))] }
+	dirs := []Dir{C2S, S2C}
+
+	for i := 0; i < cfg.Degrades; i++ {
+		l, t := pick(), at()
+		degraded := &Faults{
+			Latency: cfg.Latency, Jitter: cfg.Jitter,
+			DropProb: cfg.DegradedDrop, DupProb: cfg.DegradedDup, ReorderProb: cfg.DegradedReorder,
+		}
+		s.Events = append(s.Events,
+			Event{At: t, Action: ActSetFaults, Link: l, Faults: degraded},
+			Event{At: t + cfg.Duration/8, Action: ActSetFaults, Link: l, Faults: base},
+		)
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		l, t, d := pick(), at(), dirs[rng.Intn(2)]
+		s.Events = append(s.Events,
+			Event{At: t, Action: ActPartition, Link: l, Dir: d},
+			Event{At: t + cfg.PartitionLen, Action: ActHeal, Link: l, Dir: d},
+		)
+	}
+	for i := 0; i < cfg.Cuts; i++ {
+		s.Events = append(s.Events, Event{At: at(), Action: ActCut, Link: pick()})
+	}
+	for i := 0; i < cfg.Crashes; i++ {
+		s.Events = append(s.Events, Event{At: at(), Action: ActCrash, Link: pick()})
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s
+}

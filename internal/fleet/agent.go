@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"treadmill/internal/fleet/wire"
@@ -134,7 +135,22 @@ func (ag *Agent) Run(ctx context.Context, nc net.Conn) error {
 	}})
 
 	// Heartbeats keep the coordinator's read deadline fed during long
-	// cells and idle stretches.
+	// cells and idle stretches, and carry the agent's in-flight cell ID
+	// so the coordinator can reconcile its dispatch ledger against the
+	// agent's actual state (a dispatch frame lost in transit otherwise
+	// strands the cell: the agent heartbeats happily while the
+	// coordinator waits forever for a result).
+	var hbCell atomic.Pointer[runningCell]
+	currentCellID := func() string {
+		if rc := hbCell.Load(); rc != nil {
+			select {
+			case <-rc.done:
+			default:
+				return rc.id
+			}
+		}
+		return ""
+	}
 	hbDone := make(chan struct{})
 	var hbWG sync.WaitGroup
 	hbWG.Add(1)
@@ -149,7 +165,7 @@ func (ag *Agent) Run(ctx context.Context, nc net.Conn) error {
 				return
 			case <-t.C:
 				seq++
-				if err := wc.Write(wire.THeartbeat, wire.Heartbeat{Seq: seq, Now: time.Now().UnixNano()}); err != nil {
+				if err := wc.Write(wire.THeartbeat, wire.Heartbeat{Seq: seq, Now: time.Now().UnixNano(), CellID: currentCellID()}); err != nil {
 					return
 				}
 			}
@@ -204,7 +220,11 @@ func (ag *Agent) Run(ctx context.Context, nc net.Conn) error {
 				return err
 			}
 			if cellRunning() {
-				_ = wc.Write(wire.TCellDone, wire.CellDone{CellID: cell.ID, Error: "agent busy"})
+				// Structured rejection, not a cell failure: Running tells the
+				// coordinator whether this was a duplicated dispatch frame for
+				// the very cell in flight (ignore) or a dispatch that must be
+				// requeued elsewhere.
+				_ = wc.Write(wire.TCellDone, wire.CellDone{CellID: cell.ID, Rejected: true, Running: cur.id, Error: "agent busy"})
 				continue
 			}
 			cellCtx, cancel := context.WithCancel(ctx)
@@ -214,6 +234,7 @@ func (ag *Agent) Run(ctx context.Context, nc net.Conn) error {
 				startCh: make(chan int64, 1),
 				done:    make(chan struct{}),
 			}
+			hbCell.Store(cur)
 			ag.cfg.Metrics.Counter("agent.cells_started").Inc()
 			go ag.runCell(cellCtx, wc, cell, cur)
 		case wire.TStart:

@@ -280,9 +280,10 @@ func (a *agentLink) readLoop() {
 			return
 		}
 		switch f.Type {
-		case wire.THeartbeat:
-			// Reading the frame is the liveness proof; nothing to do.
-		case wire.TReady, wire.TSnap, wire.TCellDone:
+		case wire.THeartbeat, wire.TReady, wire.TSnap, wire.TCellDone:
+			// Reading any frame is the liveness proof. Heartbeats also reach
+			// the campaign (best-effort) so it can reconcile its dispatch
+			// ledger against the cell ID the agent reports.
 			if p := a.sink.Load(); p != nil {
 				(*p)(a, f)
 			}
@@ -466,7 +467,7 @@ func (cp *campaign) enroll(a *agentLink) {
 	cp.enrolled[a] = true
 	sink := frameSink(func(a *agentLink, f wire.Frame) {
 		ev := campaignEvent{a: a, frame: f}
-		if f.Type == wire.TSnap {
+		if f.Type == wire.TSnap || f.Type == wire.THeartbeat {
 			select {
 			case cp.events <- ev:
 			case <-cp.done:
@@ -542,12 +543,19 @@ func (c *Coordinator) RunCells(ctx context.Context, cells []wire.Cell) ([]CellRe
 	for i := range cells {
 		pending[i] = i
 	}
-	busy := make(map[*agentLink]int) // agent -> cell index in flight
+	busy := make(map[*agentLink]int)             // agent -> cell index in flight
+	dispatched := make(map[*agentLink]time.Time) // last dispatch or progress evidence
 
 	dispatch := func(a *agentLink) {
 		for len(pending) > 0 {
 			idx := pending[0]
 			cell := cells[idx]
+			if committed[cell.ID] {
+				// A requeued cell whose earlier run's result arrived after
+				// all: nothing left to do for it.
+				pending = pending[1:]
+				continue
+			}
 			action := "dispatch"
 			if reassigns[cell.ID] > 0 {
 				action = "reassign"
@@ -558,10 +566,31 @@ func (c *Coordinator) RunCells(ctx context.Context, cells []wire.Cell) ([]CellRe
 			}
 			pending = pending[1:]
 			busy[a] = idx
+			dispatched[a] = time.Now()
 			c.journalFleet(telemetry.FleetRecord{Action: action, Agent: a.name, Cell: cell.ID})
 			c.cfg.Metrics.Counter("fleet.cells_dispatched").Inc()
 			return
 		}
+	}
+
+	// requeue puts an agent's assigned cell back on the pending queue —
+	// the dispatch (or its result) was lost in transit, or the agent is
+	// provably busy with something else. The cell's idempotent ID makes a
+	// duplicate execution harmless: the first commit wins.
+	requeue := func(a *agentLink, reason string) {
+		idx, ok := busy[a]
+		if !ok {
+			return
+		}
+		delete(busy, a)
+		delete(dispatched, a)
+		if committed[cells[idx].ID] {
+			return
+		}
+		reassigns[cells[idx].ID]++
+		pending = append(pending, idx)
+		c.journalFleet(telemetry.FleetRecord{Action: "requeue", Agent: a.name, Cell: cells[idx].ID, Detail: reason})
+		c.cfg.Metrics.Counter("fleet.cells_requeued").Inc()
 	}
 
 	fill := func() {
@@ -599,6 +628,7 @@ func (c *Coordinator) RunCells(ctx context.Context, cells []wire.Cell) ([]CellRe
 			case ev.lost:
 				idx, wasBusy := ev.a.busyCell(busy)
 				delete(busy, ev.a)
+				delete(dispatched, ev.a)
 				if c.cfg.Loss == LossAbort {
 					err := ev.a.lostErr()
 					return nil, fmt.Errorf("fleet: agent %q lost (policy abort): %w", ev.a.name, err)
@@ -609,12 +639,47 @@ func (c *Coordinator) RunCells(ctx context.Context, cells []wire.Cell) ([]CellRe
 					c.journalFleet(telemetry.FleetRecord{Action: "degrade", Agent: ev.a.name, Cell: cells[idx].ID, Policy: c.cfg.Loss.String()})
 				}
 				fill()
+			case ev.frame.Type == wire.THeartbeat:
+				// Reconcile the dispatch ledger against the agent's reported
+				// state. A transport that can lose whole frames (chaos
+				// testing; in production, a proxy or split-brain middlebox)
+				// can swallow a dispatch or a result while heartbeats keep
+				// flowing — without reconciliation the cell would wait
+				// forever on an agent that is provably idle. The LossTimeout
+				// grace covers a just-written dispatch still in flight.
+				var hb wire.Heartbeat
+				if err := ev.frame.Decode(&hb); err != nil {
+					break
+				}
+				idx, owns := busy[ev.a]
+				if !owns {
+					break
+				}
+				if hb.CellID == cells[idx].ID {
+					dispatched[ev.a] = time.Now() // evidence the cell is running
+				} else if time.Since(dispatched[ev.a]) > c.cfg.LossTimeout {
+					requeue(ev.a, fmt.Sprintf("agent reports %q in flight", hb.CellID))
+					fill()
+				}
 			case ev.frame.Type == wire.TSnap:
 				var s wire.Snap
 				if err := ev.frame.Decode(&s); err == nil {
-					c.cfg.Metrics.Counter("fleet.snaps_received").Inc()
-					if c.cfg.OnSnap != nil {
-						c.cfg.OnSnap(ev.a.name, s.CellID, s.Hist, s.Requests)
+					// Only the cell's current owner may report progress for
+					// it. After a loss the cell is re-dispatched, and a late
+					// frame from the previous owner (or any frame for an
+					// already-committed cell) would hand OnSnap the same
+					// samples twice — agent snapshots are cumulative, so a
+					// consumer keying streams by (agent, cell) would
+					// double-count every bin the dead stream had delivered.
+					idx, owns := busy[ev.a]
+					if owns && cells[idx].ID == s.CellID && !committed[s.CellID] {
+						dispatched[ev.a] = time.Now()
+						c.cfg.Metrics.Counter("fleet.snaps_received").Inc()
+						if c.cfg.OnSnap != nil {
+							c.cfg.OnSnap(ev.a.name, s.CellID, s.Hist, s.Requests)
+						}
+					} else {
+						c.cfg.Metrics.Counter("fleet.snaps_stale_dropped").Inc()
 					}
 				}
 			case ev.frame.Type == wire.TCellDone:
@@ -622,10 +687,40 @@ func (c *Coordinator) RunCells(ctx context.Context, cells []wire.Cell) ([]CellRe
 				if err := ev.frame.Decode(&d); err != nil {
 					return nil, err
 				}
-				idx, ok := byID[d.CellID]
-				if !ok || committed[d.CellID] {
+				idx, known := byID[d.CellID]
+				if d.Rejected {
+					// The dispatch bounced off a busy agent: a duplicated
+					// dispatch frame, or a requeued cell racing the agent's
+					// previous run. If the echo shows the agent is executing
+					// this very cell, it is just a duplicate frame — keep
+					// waiting. Otherwise put the cell back in the queue.
+					if known {
+						if bidx, owns := busy[ev.a]; owns && bidx == idx {
+							if d.Running == d.CellID {
+								dispatched[ev.a] = time.Now()
+							} else {
+								requeue(ev.a, "dispatch rejected: "+d.Error)
+								fill()
+							}
+						}
+					}
+					continue
+				}
+				// Release the agent only if this result is for the cell we
+				// have it down for — a late result for a previously requeued
+				// cell must not free (or double-book) an agent that already
+				// holds a different dispatch.
+				if bidx, owns := busy[ev.a]; owns && known && bidx == idx {
+					delete(busy, ev.a)
+					delete(dispatched, ev.a)
+				}
+				if !known || committed[d.CellID] {
 					// Unknown or duplicate (re-dispatched cell finishing twice):
-					// idempotent commit drops it.
+					// idempotent commit drops it, and the now-idle agent goes
+					// back to work.
+					if _, stillBusy := busy[ev.a]; !stillBusy && len(pending) > 0 && !ev.a.isLost() {
+						dispatch(ev.a)
+					}
 					continue
 				}
 				if d.Error != "" {
@@ -640,10 +735,9 @@ func (c *Coordinator) RunCells(ctx context.Context, cells []wire.Cell) ([]CellRe
 				committed[d.CellID] = true
 				results[idx] = CellResult{Done: d, Agent: ev.a.name, Reassigned: reassigns[d.CellID]}
 				remaining--
-				delete(busy, ev.a)
 				c.journalFleet(telemetry.FleetRecord{Action: "commit", Agent: ev.a.name, Cell: d.CellID})
 				c.cfg.Metrics.Counter("fleet.cells_committed").Inc()
-				if len(pending) > 0 {
+				if _, stillBusy := busy[ev.a]; !stillBusy && len(pending) > 0 && !ev.a.isLost() {
 					dispatch(ev.a)
 				}
 			}
@@ -838,9 +932,18 @@ func (c *Coordinator) RunBroadcast(ctx context.Context, cell wire.Cell) (*Broadc
 			case ev.frame.Type == wire.TSnap:
 				var s wire.Snap
 				if err := ev.frame.Decode(&s); err == nil {
-					c.cfg.Metrics.Counter("fleet.snaps_received").Inc()
-					if c.cfg.OnSnap != nil {
-						c.cfg.OnSnap(ev.a.name, s.CellID, s.Hist, s.Requests)
+					// Broadcast shards all carry the campaign's cell ID, so
+					// the ownership check is by membership: drop frames for
+					// foreign cells, from lost agents, and from agents whose
+					// shard already committed (a replaced reconnect can leave
+					// a stale stream behind).
+					if s.CellID == cell.ID && !lost[ev.a] && res.Done[pos[ev.a]].CellID == "" {
+						c.cfg.Metrics.Counter("fleet.snaps_received").Inc()
+						if c.cfg.OnSnap != nil {
+							c.cfg.OnSnap(ev.a.name, s.CellID, s.Hist, s.Requests)
+						}
+					} else {
+						c.cfg.Metrics.Counter("fleet.snaps_stale_dropped").Inc()
 					}
 				}
 			case ev.frame.Type == wire.TCellDone:

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"sync"
+
+	"treadmill/internal/hist"
+)
+
+// SnapAccumulator folds the coordinator's OnSnap stream into a coherent
+// live view of campaign progress. Agents stream cumulative snapshots —
+// each frame re-snapshots the shard's whole histogram — so merging
+// every frame would count the same samples once per frame, and after an
+// agent loss the cell restarts on another agent (possibly reconnected
+// under the same name), so even "one frame per agent" double-counts the
+// dead stream. The accumulator therefore keeps exactly one snapshot per
+// cell: the newest frame from the cell's current stream, replaced
+// wholesale on every update, restarted when the streaming agent
+// changes, and frozen once the cell commits.
+//
+// Observe matches Config.OnSnap, so wiring is one line:
+//
+//	acc := fleet.NewSnapAccumulator()
+//	cfg.OnSnap = acc.Observe
+//
+// These semantics are exact for queue-mode campaigns (RunCells), where
+// a cell ID identifies one unit of work. Broadcast shards share the
+// campaign's cell ID, so per-cell accumulation cannot tell shards
+// apart; broadcast progress needs per-agent bookkeeping instead.
+type SnapAccumulator struct {
+	mu    sync.Mutex
+	cells map[string]*cellProgress
+}
+
+// cellProgress is the live state of one cell's snapshot stream.
+type cellProgress struct {
+	agent     string
+	snap      *hist.Snapshot
+	requests  uint64
+	committed bool
+}
+
+// NewSnapAccumulator returns an empty accumulator.
+func NewSnapAccumulator() *SnapAccumulator {
+	return &SnapAccumulator{cells: make(map[string]*cellProgress)}
+}
+
+// Observe ingests one mid-cell snapshot frame. It has the Config.OnSnap
+// signature. Frames are cumulative, so the newest replaces the cell's
+// previous snapshot outright; a frame from a different agent means the
+// cell was reassigned and its samples are being re-measured from
+// scratch, so the dead stream's snapshot is dropped, not merged. Frames
+// for committed cells are ignored — the committed result is
+// authoritative.
+func (sa *SnapAccumulator) Observe(agent, cellID string, snap *hist.Snapshot, requests uint64) {
+	if snap == nil {
+		return
+	}
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	cp := sa.cells[cellID]
+	if cp == nil {
+		cp = &cellProgress{}
+		sa.cells[cellID] = cp
+	}
+	if cp.committed {
+		return
+	}
+	cp.agent = agent
+	cp.snap = snap
+	cp.requests = requests
+}
+
+// Commit pins the cell's final result (the histograms a CellResult
+// carries), replacing whatever partial stream state the cell had and
+// suppressing any late Observe for it.
+func (sa *SnapAccumulator) Commit(agent, cellID string, finals []*hist.Snapshot, requests uint64) error {
+	merged, err := hist.MergeSnapshots(finals...)
+	if err != nil {
+		return err
+	}
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sa.cells[cellID] = &cellProgress{agent: agent, snap: merged, requests: requests, committed: true}
+	return nil
+}
+
+// CommitResults pins every cell in a finished campaign's result set.
+func (sa *SnapAccumulator) CommitResults(results []CellResult) error {
+	for _, r := range results {
+		if err := sa.Commit(r.Agent, r.Done.CellID, r.Done.Hists, r.Done.Requests); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Progress returns the merged campaign-wide latency snapshot and
+// request total over every cell's current state. The snapshot is nil
+// when nothing has been observed yet.
+func (sa *SnapAccumulator) Progress() (*hist.Snapshot, uint64, error) {
+	sa.mu.Lock()
+	snaps := make([]*hist.Snapshot, 0, len(sa.cells))
+	var requests uint64
+	for _, cp := range sa.cells {
+		if cp.snap != nil {
+			snaps = append(snaps, cp.snap)
+		}
+		requests += cp.requests
+	}
+	sa.mu.Unlock()
+	merged, err := hist.MergeSnapshots(snaps...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return merged, requests, nil
+}
+
+// CellAgent reports which agent's stream currently backs a cell, for
+// dashboards and tests. ok is false if the cell has never been seen.
+func (sa *SnapAccumulator) CellAgent(cellID string) (agent string, committed, ok bool) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	cp, ok := sa.cells[cellID]
+	if !ok {
+		return "", false, false
+	}
+	return cp.agent, cp.committed, true
+}

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"treadmill/internal/fleet/wire"
+	"treadmill/internal/hist"
+	"treadmill/internal/telemetry"
+)
+
+// streamingRunner records the payload values once, then streams the
+// cumulative snapshot every few milliseconds — the shape of a real load
+// runner's mid-cell progress. With honorBlock it streams until
+// cancelled (so tests can kill the agent mid-stream); otherwise it
+// streams a handful of frames and completes.
+func streamingRunner(frames int, honorBlock bool) CellRunner {
+	return CellRunnerFunc(func(ctx context.Context, cell wire.Cell, progress ProgressFunc) (wire.CellDone, error) {
+		var p cellPayload
+		if err := json.Unmarshal(cell.Payload, &p); err != nil {
+			return wire.CellDone{}, err
+		}
+		h, err := hist.NewWithBounds(hist.DefaultConfig(), 1e-5, 10)
+		if err != nil {
+			return wire.CellDone{}, err
+		}
+		for _, v := range p.Values {
+			if err := h.Record(v); err != nil {
+				return wire.CellDone{}, err
+			}
+		}
+		s, err := h.Snapshot()
+		if err != nil {
+			return wire.CellDone{}, err
+		}
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for sent := 0; (honorBlock && p.Block) || sent < frames; sent++ {
+			select {
+			case <-ctx.Done():
+				return wire.CellDone{}, ctx.Err()
+			case <-tick.C:
+				if progress != nil {
+					progress(s, uint64(len(p.Values)))
+				}
+			}
+		}
+		return wire.CellDone{Hists: []*hist.Snapshot{s}, Requests: uint64(len(p.Values))}, nil
+	})
+}
+
+// TestReconnectDuringSnapshotStreaming kills an agent mid-snapshot-
+// stream and rejoins one under the same name while the campaign is
+// still running. The accumulator's merged view must equal the committed
+// result exactly: the dead incarnation's cumulative frames and the new
+// incarnation's restarted stream cover the same samples, so any
+// merge-accumulating consumer would double-count every bin.
+func TestReconnectDuringSnapshotStreaming(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Loss = LossDegrade
+	var buf bytes.Buffer
+	cfg.Journal = telemetry.NewJournal(&buf)
+	acc := NewSnapAccumulator()
+	var mu sync.Mutex
+	snaps := 0
+	cfg.OnSnap = func(agent, cellID string, snap *hist.Snapshot, requests uint64) {
+		acc.Observe(agent, cellID, snap, requests)
+		mu.Lock()
+		snaps++
+		mu.Unlock()
+	}
+
+	tf := &testFleet{co: NewCoordinator(cfg)}
+	tf.addAgent(t, "agent-0", streamingRunner(3, true))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tf.co.WaitAgents(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		tf.co.Close()
+		for _, c := range tf.cancels {
+			c()
+		}
+		tf.wg.Wait()
+	})
+
+	vals := []float64{0.001, 0.002, 0.003, 0.004}
+	cells := []wire.Cell{mkCell(t, "stream", 0, cellPayload{Values: vals, Block: true})}
+	resCh := make(chan []CellResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := tf.co.RunCells(context.Background(), cells)
+		resCh <- res
+		errCh <- err
+	}()
+
+	// Let the first incarnation stream at least two cumulative frames,
+	// then kill it mid-stream.
+	waitSnaps := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			got := snaps
+			mu.Unlock()
+			if got >= n {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("saw fewer than %d snapshots before deadline", n)
+	}
+	waitSnaps(2)
+	mu.Lock()
+	beforeKill := snaps
+	mu.Unlock()
+	tf.kill(0)
+	time.Sleep(50 * time.Millisecond)
+
+	// Same name rejoins while the campaign is live; the cell is
+	// reassigned to it, and it streams its own frames before finishing.
+	tf.addAgent(t, "agent-0", streamingRunner(3, false))
+	waitSnaps(beforeKill + 1) // the new incarnation's stream reached OnSnap
+
+	var res []CellResult
+	select {
+	case res = <-resCh:
+		if err := <-errCh; err != nil {
+			t.Fatalf("campaign failed despite reconnect: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign did not recover via reconnect")
+	}
+	if res[0].Reassigned != 1 {
+		t.Fatalf("Reassigned = %d, want 1", res[0].Reassigned)
+	}
+
+	if err := acc.CommitResults(res); err != nil {
+		t.Fatal(err)
+	}
+	merged, requests, err := acc.Progress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the committed mass: both incarnations streamed cumulative
+	// snapshots of the same 4 samples, so any double-count shows up as
+	// count >= 8.
+	if merged.Count() != uint64(len(vals)) {
+		t.Fatalf("accumulated count = %d, want %d (duplicate-bin double-count)", merged.Count(), len(vals))
+	}
+	if requests != uint64(len(vals)) {
+		t.Fatalf("accumulated requests = %d, want %d", requests, len(vals))
+	}
+	agent, committed, ok := acc.CellAgent("stream")
+	if !ok || !committed || agent != res[0].Agent {
+		t.Fatalf("cell state = (%q, committed=%v, ok=%v), want committed by %q", agent, committed, ok, res[0].Agent)
+	}
+
+	tf.co.Close()
+	events, err := telemetry.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits := 0
+	for _, e := range events {
+		if e.Kind == telemetry.EventFleet && e.Fleet != nil && e.Fleet.Action == "commit" && e.Fleet.Cell == "stream" {
+			commits++
+		}
+	}
+	if commits != 1 {
+		t.Fatalf("journaled %d commits for the cell, want exactly 1", commits)
+	}
+}
+
+// TestRunCellsFiltersNonOwnerSnapshots drives the protocol by hand to
+// prove the coordinator forwards a snapshot to OnSnap only from the
+// cell's current owner and only before the cell commits. The puppet
+// owns "second" and sends stale frames for the committed "first" cell
+// and for a never-assigned cell; neither may reach OnSnap.
+func TestRunCellsFiltersNonOwnerSnapshots(t *testing.T) {
+	type obs struct {
+		agent, cell string
+		requests    uint64
+	}
+	var mu sync.Mutex
+	var seen []obs
+	cfg := fastConfig()
+	cfg.OnSnap = func(agent, cellID string, snap *hist.Snapshot, requests uint64) {
+		mu.Lock()
+		seen = append(seen, obs{agent, cellID, requests})
+		mu.Unlock()
+	}
+	co := NewCoordinator(cfg)
+	defer co.Close()
+	wc := puppetAgent(t, co, "puppet")
+	defer wc.Close()
+	if err := co.WaitAgents(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := hist.NewWithBounds(hist.DefaultConfig(), 1e-5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Record(0.002); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	go func() {
+		for {
+			f, err := wc.Read()
+			if err != nil {
+				return
+			}
+			switch f.Type {
+			case wire.THeartbeat:
+				wc.Write(wire.THeartbeat, wire.Heartbeat{})
+			case wire.TCell:
+				var cell wire.Cell
+				if err := f.Decode(&cell); err != nil {
+					return
+				}
+				if cell.ID == "first" {
+					wc.Write(wire.TCellDone, wire.CellDone{CellID: "first", Requests: 1})
+					continue
+				}
+				// Now the owner of "second". A frame for the committed
+				// "first", a frame for a foreign cell, one legitimate
+				// frame, then completion — all in order on one conn, so
+				// the coordinator sees them in this order too.
+				wc.Write(wire.TSnap, wire.Snap{CellID: "first", Seq: 1, Hist: snap, Requests: 111})
+				wc.Write(wire.TSnap, wire.Snap{CellID: "never-assigned", Seq: 1, Hist: snap, Requests: 222})
+				wc.Write(wire.TSnap, wire.Snap{CellID: "second", Seq: 1, Hist: snap, Requests: 7})
+				wc.Write(wire.TCellDone, wire.CellDone{CellID: "second", Requests: 2})
+			}
+		}
+	}()
+
+	cells := []wire.Cell{{ID: "first", Kind: "test"}, {ID: "second", Kind: "test"}}
+	if _, err := co.RunCells(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 {
+		t.Fatalf("OnSnap fired %d times with %+v, want exactly the owned pre-commit frame", len(seen), seen)
+	}
+	if seen[0] != (obs{"puppet", "second", 7}) {
+		t.Fatalf("OnSnap saw %+v, want the owned frame for cell second", seen[0])
+	}
+}

@@ -198,6 +198,13 @@ type CellDone struct {
 	// Error, when non-empty, reports the cell failed; other fields are
 	// then meaningless.
 	Error string `json:"error,omitempty"`
+	// Rejected reports the dispatch bounced off a busy agent instead of
+	// running: no result, no failure. The coordinator uses it to requeue
+	// the cell (unless Running shows the agent is in fact executing it —
+	// a duplicated dispatch frame echoing back).
+	Rejected bool `json:"rejected,omitempty"`
+	// Running, on a rejection, is the cell the agent was busy with.
+	Running string `json:"running,omitempty"`
 	// Payload is the kind-specific result.
 	Payload json.RawMessage `json:"payload,omitempty"`
 	// Hists are the agent's per-instance final histogram snapshots.
@@ -210,10 +217,17 @@ type CellDone struct {
 	EndNs   int64 `json:"end_ns,omitempty"`
 }
 
-// Heartbeat is the liveness beacon.
+// Heartbeat is the liveness beacon. Agent-side heartbeats double as
+// state reconciliation: CellID names the cell the agent is currently
+// executing ("" = idle), letting the coordinator detect a dispatch or
+// result frame lost in transit — the agent is alive and heartbeating,
+// yet provably not running the cell the coordinator assigned it.
 type Heartbeat struct {
 	Seq uint64 `json:"seq"`
 	Now int64  `json:"now"`
+	// CellID is the sender's in-flight cell (agent → coordinator only;
+	// coordinator heartbeats leave it empty).
+	CellID string `json:"cell,omitempty"`
 }
 
 // Frame is one decoded protocol frame.
@@ -237,7 +251,7 @@ type Conn struct {
 	nc      net.Conn
 	timeout time.Duration
 
-	wmu sync.Mutex
+	wmu  sync.Mutex
 	rbuf [5]byte
 }
 
@@ -256,13 +270,10 @@ func (c *Conn) Write(t Type, v any) error {
 	if err != nil {
 		return fmt.Errorf("wire: marshal %s: %w", t, err)
 	}
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("wire: %s frame of %d bytes exceeds limit %d", t, len(payload), MaxFrame)
+	buf, err := AppendFrame(make([]byte, 0, 5+len(payload)), t, payload)
+	if err != nil {
+		return err
 	}
-	buf := make([]byte, 5+len(payload))
-	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
-	buf[4] = byte(t)
-	copy(buf[5:], payload)
 
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -287,19 +298,50 @@ func (c *Conn) ReadTimeout(timeout time.Duration) (Frame, error) {
 	if err := c.nc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 		return Frame{}, fmt.Errorf("wire: set read deadline: %w", err)
 	}
-	if _, err := io.ReadFull(c.nc, c.rbuf[:]); err != nil {
+	return readFrame(c.nc, c.rbuf[:])
+}
+
+// ReadFrame decodes one frame from r: 5-byte header (big-endian payload
+// length + type byte) followed by the payload. It is the pure decoding
+// core behind Conn.Read, factored onto io.Reader so byte streams from any
+// source — sockets, files, fuzzers — decode identically. A frame longer
+// than MaxFrame is rejected before any payload allocation, so a hostile
+// header cannot make the receiver allocate unboundedly.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [5]byte
+	return readFrame(r, hdr[:])
+}
+
+// readFrame is ReadFrame over a caller-supplied 5-byte header scratch
+// buffer (Conn reuses one across reads).
+func readFrame(r io.Reader, hdr []byte) (Frame, error) {
+	if _, err := io.ReadFull(r, hdr[:5]); err != nil {
 		return Frame{}, fmt.Errorf("wire: read header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(c.rbuf[:4])
-	t := Type(c.rbuf[4])
+	n := binary.BigEndian.Uint32(hdr[:4])
+	t := Type(hdr[4])
 	if n > MaxFrame {
 		return Frame{}, fmt.Errorf("wire: %s frame of %d bytes exceeds limit %d", t, n, MaxFrame)
 	}
 	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.nc, payload); err != nil {
+	if _, err := io.ReadFull(r, payload); err != nil {
 		return Frame{}, fmt.Errorf("wire: read %s payload: %w", t, err)
 	}
 	return Frame{Type: t, Payload: payload}, nil
+}
+
+// AppendFrame encodes one frame (header + payload) onto buf and returns
+// the extended slice. It is Write's encoding core, exposed so tests and
+// fuzz targets can construct wire-exact byte streams without a net.Conn.
+func AppendFrame(buf []byte, t Type, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("wire: %s frame of %d bytes exceeds limit %d", t, len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
 }
 
 // Close closes the underlying connection.

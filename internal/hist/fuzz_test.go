@@ -1,0 +1,117 @@
+package hist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// fuzzSnapJSON builds a seed-corpus snapshot via the real construction
+// path so the seeds are representative of agent-shipped snapshots.
+func fuzzSnapJSON(f *testing.F, lo, hi float64, bins int, samples []float64) []byte {
+	f.Helper()
+	cfg := DefaultConfig()
+	cfg.Bins = bins
+	h, err := NewWithBounds(cfg, lo, hi)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, v := range samples {
+		if err := h.Record(v); err != nil {
+			f.Fatal(err)
+		}
+	}
+	s, err := h.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// tooBig reports whether the snapshot's mass risks uint64 overflow when
+// added to a peer's, which would make conservation checks meaningless.
+func tooBig(s *Snapshot) bool {
+	const limit = uint64(1) << 50
+	total := s.Underflow + s.Overflow
+	if s.Underflow > limit || s.Overflow > limit {
+		return true
+	}
+	for _, c := range s.Counts {
+		if c > limit {
+			return true
+		}
+		total += c
+		if total > limit {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzSnapshotMerge decodes two arbitrary JSON snapshots and merges them
+// both ways, checking the distributed-aggregation invariants that the
+// fleet coordinator depends on: validity is symmetric, the merge is
+// commutative bin-for-bin, total mass is conserved, and quantile queries
+// on the result never panic.
+func FuzzSnapshotMerge(f *testing.F) {
+	same1 := fuzzSnapJSON(f, 1e-6, 1, 64, []float64{1e-4, 2e-4, 5e-3, 0.9})
+	same2 := fuzzSnapJSON(f, 1e-6, 1, 64, []float64{3e-5, 3e-5, 0.5})
+	other := fuzzSnapJSON(f, 1e-5, 10, 48, []float64{2e-5, 4, 9.99})
+	overflowing := fuzzSnapJSON(f, 1e-3, 1e-2, 16, []float64{1e-4, 5e-2, 0.5})
+	empty := fuzzSnapJSON(f, 1e-6, 1, 64, nil)
+	f.Add(same1, same2)
+	f.Add(same1, other)
+	f.Add(same1, overflowing)
+	f.Add(empty, same2)
+	f.Add([]byte(`{"lo":1,"hi":2,"counts":[1,2]}`), []byte(`{"lo":0,"hi":2,"counts":[1,2]}`))
+	f.Add([]byte(`{}`), []byte(`not json`))
+	f.Add([]byte(`{"lo":5e-324,"hi":1e308,"counts":[1,0,3]}`), []byte(`{"lo":1,"hi":1.0000000000000002,"counts":[7,9]}`))
+
+	f.Fuzz(func(t *testing.T, aj, bj []byte) {
+		var a, b Snapshot
+		if json.Unmarshal(aj, &a) != nil || json.Unmarshal(bj, &b) != nil {
+			t.Skip()
+		}
+		ab, errAB := a.Merge(&b)
+		ba, errBA := b.Merge(&a)
+		if (errAB == nil) != (errBA == nil) {
+			t.Fatalf("asymmetric validity: a.Merge(b)=%v, b.Merge(a)=%v", errAB, errBA)
+		}
+		if errAB != nil {
+			return
+		}
+		if tooBig(&a) || tooBig(&b) {
+			return
+		}
+		if got, want := ab.Count(), a.Count()+b.Count(); got != want {
+			t.Fatalf("mass not conserved: merged %d, inputs %d", got, want)
+		}
+		if ab.Lo != ba.Lo || ab.Hi != ba.Hi || len(ab.Counts) != len(ba.Counts) {
+			t.Fatalf("merge not commutative in geometry: [%g,%g)x%d vs [%g,%g)x%d",
+				ab.Lo, ab.Hi, len(ab.Counts), ba.Lo, ba.Hi, len(ba.Counts))
+		}
+		for i := range ab.Counts {
+			if ab.Counts[i] != ba.Counts[i] {
+				t.Fatalf("merge not commutative: bin %d has %d vs %d", i, ab.Counts[i], ba.Counts[i])
+			}
+		}
+		if ab.Underflow != ba.Underflow || ab.Overflow != ba.Overflow {
+			t.Fatalf("merge not commutative in out-of-range mass: %d/%d vs %d/%d",
+				ab.Underflow, ab.Overflow, ba.Underflow, ba.Overflow)
+		}
+		if a.Count() > 0 && b.Count() > 0 && (ab.Min != ba.Min || ab.Max != ba.Max) {
+			t.Fatalf("merge not commutative in range: [%g,%g] vs [%g,%g]", ab.Min, ab.Max, ba.Min, ba.Max)
+		}
+		// Quantile queries on merged junk must never panic.
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			ab.Quantile(q) //nolint:errcheck // empty merges legitimately error
+		}
+		// The result must itself be mergeable (closure under Merge).
+		if _, err := ab.Merge(ba); err != nil {
+			t.Fatalf("merged snapshot not re-mergeable: %v", err)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package hist
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"treadmill/internal/dist"
+)
+
+// shardSnapshot records n lognormal samples into a fresh histogram with
+// the given geometry and returns its snapshot.
+func shardSnapshot(t *testing.T, rng *dist.RNG, n, bins int, lo, hi float64) *Snapshot {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Bins = bins
+	h, err := NewWithBounds(cfg, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := dist.Lognormal{Mu: math.Log(1e-4), Sigma: 1.2} // spans under- and overflow
+	for i := 0; i < n; i++ {
+		if err := h.Record(ln.Sample(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMergeCommutativeRandomShards(t *testing.T) {
+	rng := dist.NewRNG(21)
+	for trial := 0; trial < 20; trial++ {
+		a := shardSnapshot(t, rng, 500+rng.Intn(2000), 256, 1e-6, 1e-2)
+		b := shardSnapshot(t, rng, 500+rng.Intn(2000), 256, 1e-6, 1e-2)
+		ab, err := a.Merge(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := b.Merge(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: same-geometry merge not exactly commutative:\n%+v\nvs\n%+v", trial, ab, ba)
+		}
+	}
+}
+
+func TestMergeAssociativeRandomShards(t *testing.T) {
+	rng := dist.NewRNG(22)
+	for trial := 0; trial < 20; trial++ {
+		a := shardSnapshot(t, rng, 500+rng.Intn(2000), 256, 1e-6, 1e-2)
+		b := shardSnapshot(t, rng, 500+rng.Intn(2000), 256, 1e-6, 1e-2)
+		c := shardSnapshot(t, rng, 500+rng.Intn(2000), 256, 1e-6, 1e-2)
+		ab, err := a.Merge(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abc1, err := ab.Merge(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := b.Merge(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abc2, err := a.Merge(bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Counts are integer-exact; Sum differs only by float addition
+		// order, so compare it with a relative tolerance and everything
+		// else exactly.
+		sum1, sum2 := abc1.Sum, abc2.Sum
+		abc1.Sum, abc2.Sum = 0, 0
+		if !reflect.DeepEqual(abc1, abc2) {
+			t.Fatalf("trial %d: same-geometry merge not associative:\n%+v\nvs\n%+v", trial, abc1, abc2)
+		}
+		if math.Abs(sum1-sum2) > math.Abs(sum1)*1e-12 {
+			t.Fatalf("trial %d: sums diverge beyond float reassociation: %g vs %g", trial, sum1, sum2)
+		}
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	rng := dist.NewRNG(23)
+	a := shardSnapshot(t, rng, 3000, 256, 1e-6, 1e-2)
+	id := shardSnapshot(t, rng, 0, 256, 1e-6, 1e-2)
+	left, err := id.Merge(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := a.Merge(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(left, a) {
+		t.Fatalf("empty.Merge(a) != a:\n%+v\nvs\n%+v", left, a)
+	}
+	if !reflect.DeepEqual(right, a) {
+		t.Fatalf("a.Merge(empty) != a:\n%+v\nvs\n%+v", right, a)
+	}
+}
+
+func TestMergeEqualsSingleHistogram(t *testing.T) {
+	// Sharding samples across agents and merging their snapshots must be
+	// bin-identical to one histogram that observed every sample — the
+	// exactness claim NewWithBounds makes for fleet campaigns.
+	rng := dist.NewRNG(24)
+	cfg := DefaultConfig()
+	cfg.Bins = 512
+	whole, err := NewWithBounds(cfg, 1e-6, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 7
+	parts := make([]*Histogram, shards)
+	for i := range parts {
+		if parts[i], err = NewWithBounds(cfg, 1e-6, 1e-2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln := dist.Lognormal{Mu: math.Log(1e-4), Sigma: 1.2}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := ln.Sample(rng)
+		if err := whole.Record(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := parts[i%shards].Record(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := make([]*Snapshot, shards)
+	for i, p := range parts {
+		if snaps[i], err = p.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeSnapshots(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := whole.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Counts, want.Counts) {
+		t.Fatal("merged shard bins differ from the single-histogram bins")
+	}
+	if merged.Underflow != want.Underflow || merged.Overflow != want.Overflow {
+		t.Fatalf("out-of-range mass differs: %d/%d vs %d/%d",
+			merged.Underflow, merged.Overflow, want.Underflow, want.Overflow)
+	}
+	if merged.Min != want.Min || merged.Max != want.Max {
+		t.Fatalf("range differs: [%g,%g] vs [%g,%g]", merged.Min, merged.Max, want.Min, want.Max)
+	}
+	if math.Abs(merged.Sum-want.Sum) > math.Abs(want.Sum)*1e-9 {
+		t.Fatalf("sums differ beyond float reassociation: %g vs %g", merged.Sum, want.Sum)
+	}
+}
+
+func TestMergeCommutativeUnionGeometry(t *testing.T) {
+	rng := dist.NewRNG(25)
+	for trial := 0; trial < 20; trial++ {
+		a := shardSnapshot(t, rng, 500+rng.Intn(2000), 128+rng.Intn(4)*64, 1e-6, 1e-2)
+		b := shardSnapshot(t, rng, 500+rng.Intn(2000), 128+rng.Intn(4)*64, 5e-6, 5e-2)
+		ab, err := a.Merge(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := b.Merge(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: union-geometry merge not commutative:\n%+v\nvs\n%+v", trial, ab, ba)
+		}
+	}
+}
+
+func TestMergeUnionGeometryAssociativeWithinBinWidth(t *testing.T) {
+	// Mixed geometries redistribute at bin midpoints, so associativity
+	// holds only up to bin resolution — but mass conservation stays exact
+	// and quantiles from either association must agree within a couple of
+	// bin widths.
+	rng := dist.NewRNG(26)
+	a := shardSnapshot(t, rng, 4000, 256, 1e-6, 1e-2)
+	b := shardSnapshot(t, rng, 4000, 192, 5e-6, 5e-2)
+	c := shardSnapshot(t, rng, 4000, 320, 2e-6, 2e-2)
+	ab, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc1, err := ab.Merge(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := b.Merge(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc2, err := a.Merge(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abc1.Count() != abc2.Count() {
+		t.Fatalf("mass depends on association: %d vs %d", abc1.Count(), abc2.Count())
+	}
+	// Union geometry: lo/hi are min/max over inputs — association-free.
+	if abc1.Lo != abc2.Lo || abc1.Hi != abc2.Hi {
+		t.Fatalf("union bounds depend on association: [%g,%g) vs [%g,%g)", abc1.Lo, abc1.Hi, abc2.Lo, abc2.Hi)
+	}
+	binRatio := math.Exp(math.Log(abc1.Hi/abc1.Lo) / float64(len(abc1.Counts)))
+	tol := binRatio*binRatio - 1 // two bin widths, relative
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		q1, err := abc1.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := abc2.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(q1-q2) / q1; rel > tol {
+			t.Fatalf("P%g depends on association beyond bin resolution: %g vs %g (rel %g > %g)",
+				q*100, q1, q2, rel, tol)
+		}
+	}
+}

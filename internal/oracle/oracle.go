@@ -1,0 +1,274 @@
+// Package oracle provides closed-form queueing results the measurement
+// pipeline can be validated against. The paper's central risk is biased
+// tooling silently corrupting tail estimates (Sec. II); self-consistency
+// tests cannot catch a bias shared by every stage. These oracles are
+// external ground truth: for an M/M/1 or M/D/1 queue the full sojourn-
+// time distribution is known analytically, so the simulator, the
+// histogram merge, and the quantile pipeline can each be pinned to the
+// true quantile within a statistically principled tolerance band.
+//
+// Tolerances come in two flavors, used together by the validation tests:
+//
+//   - the asymptotic standard error of a sample quantile,
+//     SE = sqrt(p(1-p)/n) / f(x_p), available here because the oracle
+//     knows the analytic density f; and
+//   - a bootstrap confidence interval on the measured estimate
+//     (stats.BootstrapCI), which assumes nothing about the distribution.
+//
+// A pipeline estimate that stays inside both bands is correct to within
+// sampling noise; an estimate that drifts outside them reveals a bias no
+// matter how internally consistent the pipeline is.
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/stats"
+)
+
+// MM1 is an M/M/1 FIFO queue: Poisson arrivals at rate Lambda, a single
+// server with exponential service at rate Mu (both per second).
+type MM1 struct {
+	Lambda, Mu float64
+}
+
+// validate rejects unstable or degenerate queues.
+func (q MM1) validate() error {
+	if !(q.Lambda > 0) || !(q.Mu > 0) {
+		return fmt.Errorf("oracle: M/M/1 needs positive rates, got lambda=%g mu=%g", q.Lambda, q.Mu)
+	}
+	if q.Lambda >= q.Mu {
+		return fmt.Errorf("oracle: M/M/1 unstable: rho = %g >= 1", q.Lambda/q.Mu)
+	}
+	return nil
+}
+
+// Rho is the utilization Lambda/Mu.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanSojourn is the mean time in system, 1/(Mu-Lambda).
+func (q MM1) MeanSojourn() float64 { return 1 / (q.Mu - q.Lambda) }
+
+// SojournCDF is P(T <= t) for the time in system (wait + service). For
+// FIFO M/M/1 the sojourn time is exactly Exp(Mu-Lambda).
+func (q MM1) SojournCDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-(q.Mu-q.Lambda)*t)
+}
+
+// SojournDensity is the sojourn-time density, (Mu-Lambda)e^{-(Mu-Lambda)t}.
+func (q MM1) SojournDensity(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return (q.Mu - q.Lambda) * math.Exp(-(q.Mu-q.Lambda)*t)
+}
+
+// SojournQuantile inverts the sojourn CDF: -ln(1-p)/(Mu-Lambda).
+func (q MM1) SojournQuantile(p float64) (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("oracle: quantile p=%g out of (0,1)", p)
+	}
+	return -math.Log(1-p) / (q.Mu - q.Lambda), nil
+}
+
+// MD1 is an M/D/1 FIFO queue: Poisson arrivals at rate Lambda, a single
+// server with deterministic service time D seconds.
+type MD1 struct {
+	Lambda float64
+	D      float64
+}
+
+func (q MD1) validate() error {
+	if !(q.Lambda > 0) || !(q.D > 0) {
+		return fmt.Errorf("oracle: M/D/1 needs positive lambda and D, got %g, %g", q.Lambda, q.D)
+	}
+	if q.Rho() >= 1 {
+		return fmt.Errorf("oracle: M/D/1 unstable: rho = %g >= 1", q.Rho())
+	}
+	return nil
+}
+
+// Rho is the utilization Lambda*D.
+func (q MD1) Rho() float64 { return q.Lambda * q.D }
+
+// MeanSojourn is the Pollaczek-Khinchine mean time in system,
+// D + rho*D/(2(1-rho)).
+func (q MD1) MeanSojourn() float64 {
+	rho := q.Rho()
+	return q.D + rho*q.D/(2*(1-rho))
+}
+
+// WaitCDF is P(W <= t) for the queueing delay, by Erlang's classic
+// series for M/D/1 (see e.g. Iversen & Staalhagen, 1999):
+//
+//	P(W <= t) = (1-rho) * sum_{j=0}^{floor(t/D)} [lambda(jD-t)]^j/j! * e^{-lambda(jD-t)}
+//
+// The series alternates in sign, which is numerically fine for the
+// moderate t/D the validation quantiles need: float64 cancellation stays
+// below ~1e-9 for t/D <= ~15, far past P99.99 at the utilizations
+// (rho <= 0.8) the validation tests run.
+func (q MD1) WaitCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	rho := q.Rho()
+	k := int(math.Floor(t / q.D))
+	sum := 0.0
+	logFact := 0.0
+	for j := 0; j <= k; j++ {
+		if j > 0 {
+			logFact += math.Log(float64(j))
+		}
+		x := q.Lambda * (float64(j)*q.D - t) // <= 0 for j <= k
+		// term = x^j/j! * e^{-x}, computed via logs of magnitudes to keep
+		// the alternating series stable.
+		var term float64
+		if j == 0 {
+			term = math.Exp(-x)
+		} else {
+			mag := math.Exp(float64(j)*math.Log(-x) - logFact - x)
+			if j%2 == 1 {
+				mag = -mag
+			}
+			term = mag
+		}
+		sum += term
+	}
+	p := (1 - rho) * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// SojournCDF is P(T <= t) for the time in system, W + D.
+func (q MD1) SojournCDF(t float64) float64 {
+	return q.WaitCDF(t - q.D)
+}
+
+// SojournQuantile inverts the sojourn CDF by bisection (the CDF is
+// continuous and strictly increasing past the atom at t = D).
+func (q MD1) SojournQuantile(p float64) (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("oracle: quantile p=%g out of (0,1)", p)
+	}
+	// P(T <= D) = P(W = 0) = 1-rho: quantiles below the atom are D.
+	if p <= 1-q.Rho() {
+		return q.D, nil
+	}
+	lo, hi := q.D, 2*q.D
+	for q.SojournCDF(hi) < p {
+		hi *= 2
+		if hi > 1e6*q.D {
+			return 0, fmt.Errorf("oracle: M/D/1 quantile p=%g did not bracket", p)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if q.SojournCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// SojournDensity approximates the sojourn density by central difference
+// on the CDF — good enough for tolerance-band construction, where the
+// density only scales the SE.
+func (q MD1) SojournDensity(t float64) float64 {
+	h := q.D * 1e-4
+	return (q.SojournCDF(t+h) - q.SojournCDF(t-h)) / (2 * h)
+}
+
+// Band is a tolerance interval around an analytic truth.
+type Band struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies inside the band.
+func (b Band) Contains(x float64) bool { return x >= b.Lo && x <= b.Hi }
+
+// Width is the band's extent.
+func (b Band) Width() float64 { return b.Hi - b.Lo }
+
+// String renders the band for failure messages.
+func (b Band) String() string { return fmt.Sprintf("[%g, %g]", b.Lo, b.Hi) }
+
+// QuantileSE is the asymptotic standard error of the sample p-quantile
+// from n observations, sqrt(p(1-p)/n)/f, where f is the distribution's
+// density at the true quantile. It is the statistically principled
+// "how close must a correct estimator land" scale for quantile checks.
+func QuantileSE(p float64, n int, density float64) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("oracle: quantile p=%g out of (0,1)", p)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("oracle: need >= 2 samples, got %d", n)
+	}
+	if !(density > 0) {
+		return 0, fmt.Errorf("oracle: need positive density at the quantile, got %g", density)
+	}
+	return math.Sqrt(p*(1-p)/float64(n)) / density, nil
+}
+
+// QuantileBand builds the k-sigma tolerance band around an analytic
+// quantile. k = 4 keeps the false-alarm rate of a correct pipeline below
+// ~1e-4 per check while still catching percent-level biases at the
+// sample sizes the validation tests use.
+func QuantileBand(analytic, se, k float64) Band {
+	return Band{Lo: analytic - k*se, Hi: analytic + k*se}
+}
+
+// CV is the sample coefficient of variation (stddev/mean) of xs.
+func CV(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("oracle: CV needs >= 2 samples, got %d", len(xs))
+	}
+	m := stats.Mean(xs)
+	if m == 0 {
+		return 0, fmt.Errorf("oracle: CV undefined at zero mean")
+	}
+	return stats.StdDev(xs) / m, nil
+}
+
+// ArrivalCVCheck validates that inter-arrival gaps look Poisson: the CV
+// of exponential gaps is 1, so it computes the sample CV and a bootstrap
+// confidence interval around it, and reports whether 1 falls inside.
+// This is the open-loop litmus test — a closed-loop or self-throttling
+// generator produces gap CV well below 1 at load (coordinated omission),
+// which is exactly the client-side bias the paper's pitfall 3 warns
+// about.
+func ArrivalCVCheck(gaps []float64, confidence float64, resamples int, rng *dist.RNG) (cv float64, band Band, ok bool, err error) {
+	cv, err = CV(gaps)
+	if err != nil {
+		return 0, Band{}, false, err
+	}
+	lo, hi, err := stats.BootstrapCI(gaps, func(xs []float64) float64 {
+		c, cerr := CV(xs)
+		if cerr != nil {
+			return math.NaN()
+		}
+		return c
+	}, confidence, resamples, rng)
+	if err != nil {
+		return cv, Band{}, false, err
+	}
+	band = Band{Lo: lo, Hi: hi}
+	return cv, band, band.Contains(1), nil
+}

@@ -1,0 +1,252 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"treadmill/internal/dist"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g want %g (tol %g)", what, got, want, tol)
+	}
+}
+
+func TestMM1QuantileInvertsCDF(t *testing.T) {
+	q := MM1{Lambda: 6000, Mu: 10000}
+	for _, p := range []float64{0.01, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		x, err := q.SojournQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		almost(t, q.SojournCDF(x), p, 1e-12, "CDF(quantile)")
+	}
+}
+
+func TestMM1MeanMatchesIntegratedCDF(t *testing.T) {
+	q := MM1{Lambda: 6000, Mu: 10000}
+	// E[T] = integral of the survival function.
+	h := 1e-7
+	mean := 0.0
+	for x := 0.0; x < 0.05; x += h {
+		mean += (1 - q.SojournCDF(x+h/2)) * h
+	}
+	almost(t, mean, q.MeanSojourn(), q.MeanSojourn()*1e-4, "integrated mean")
+}
+
+func TestMM1DensityIsCDFDerivative(t *testing.T) {
+	q := MM1{Lambda: 6000, Mu: 10000}
+	for _, x := range []float64{1e-5, 1e-4, 1e-3} {
+		h := x * 1e-4
+		num := (q.SojournCDF(x+h) - q.SojournCDF(x-h)) / (2 * h)
+		almost(t, q.SojournDensity(x), num, num*1e-4, "density vs dCDF")
+	}
+}
+
+func TestMM1Validation(t *testing.T) {
+	for _, q := range []MM1{{Lambda: 0, Mu: 1}, {Lambda: 1, Mu: 0}, {Lambda: 2, Mu: 1}, {Lambda: 1, Mu: 1}} {
+		if _, err := q.SojournQuantile(0.5); err == nil {
+			t.Fatalf("MM1 %+v accepted", q)
+		}
+	}
+	good := MM1{Lambda: 1, Mu: 2}
+	for _, p := range []float64{0, 1, -0.1, 1.1, math.NaN()} {
+		if _, err := good.SojournQuantile(p); err == nil {
+			t.Fatalf("p=%g accepted", p)
+		}
+	}
+}
+
+func TestMD1WaitCDFAnchors(t *testing.T) {
+	q := MD1{Lambda: 6000, D: 1e-4} // rho = 0.6
+	rho := q.Rho()
+	// P(W = 0) = 1 - rho: an arrival finds the server idle.
+	almost(t, q.WaitCDF(0), 1-rho, 1e-12, "P(W=0)")
+	// For t in [0, D) the series collapses to (1-rho)e^{lambda t}.
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		tt := frac * q.D
+		almost(t, q.WaitCDF(tt), (1-rho)*math.Exp(q.Lambda*tt), 1e-12, "small-t closed form")
+	}
+	if q.WaitCDF(-1e-9) != 0 {
+		t.Fatal("negative t must give 0")
+	}
+}
+
+func TestMD1CDFMonotoneAndProper(t *testing.T) {
+	q := MD1{Lambda: 7000, D: 1e-4} // rho = 0.7
+	prev := -1.0
+	// Scan the series' stable range (t/D <= 15 reaches far past P99.99 at
+	// rho = 0.7; beyond that the alternating series cancels at float64
+	// precision, which is outside the oracle's documented domain).
+	for i := 0; i <= 1500; i++ {
+		tt := float64(i) * q.D / 100
+		p := q.SojournCDF(tt)
+		// Strict monotonicity through the quantile-relevant range; in the
+		// far tail only bound the float wobble.
+		tol := 1e-12
+		if prev > 0.999 {
+			tol = 1e-8
+		}
+		if p < prev-tol {
+			t.Fatalf("CDF decreased at t=%g: %g -> %g", tt, prev, p)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("CDF out of [0,1] at t=%g: %g", tt, p)
+		}
+		prev = p
+	}
+	if got := q.SojournCDF(15 * q.D); got < 1-1e-4 {
+		t.Fatalf("CDF not approaching 1: %g at t=15D", got)
+	}
+}
+
+func TestMD1MeanMatchesPollaczekKhinchine(t *testing.T) {
+	// The implemented CDF series, integrated numerically, must reproduce
+	// the independent P-K mean formula — this cross-checks the series
+	// against a result it does not share code with.
+	q := MD1{Lambda: 6000, D: 1e-4}
+	h := q.D / 2000
+	mean := 0.0
+	for x := 0.0; x < 30*q.D; x += h {
+		mean += (1 - q.SojournCDF(x+h/2)) * h
+	}
+	almost(t, mean, q.MeanSojourn(), q.MeanSojourn()*1e-3, "integrated vs P-K mean")
+}
+
+func TestMD1QuantileInvertsCDF(t *testing.T) {
+	q := MD1{Lambda: 6000, D: 1e-4}
+	rho := q.Rho()
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		x, err := q.SojournQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= 1-rho {
+			almost(t, x, q.D, 1e-15, "atom quantile")
+			continue
+		}
+		almost(t, q.SojournCDF(x), p, 1e-9, "CDF(quantile)")
+	}
+	// Below the atom at D the quantile is exactly D.
+	x, err := q.SojournQuantile((1 - rho) / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, x, q.D, 0, "sub-atom quantile is D")
+}
+
+func TestMD1TailBelowMM1(t *testing.T) {
+	// Deterministic service halves the mean wait vs exponential service at
+	// equal rates, and the whole upper tail sits below it too.
+	lambda, mu := 6000.0, 10000.0
+	mm1 := MM1{Lambda: lambda, Mu: mu}
+	md1 := MD1{Lambda: lambda, D: 1 / mu}
+	if md1.MeanSojourn() >= mm1.MeanSojourn() {
+		t.Fatalf("M/D/1 mean %g >= M/M/1 mean %g", md1.MeanSojourn(), mm1.MeanSojourn())
+	}
+	for _, p := range []float64{0.9, 0.99, 0.999} {
+		xm, _ := mm1.SojournQuantile(p)
+		xd, err := md1.SojournQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xd >= xm {
+			t.Fatalf("P%g: M/D/1 %g >= M/M/1 %g", p*100, xd, xm)
+		}
+	}
+}
+
+func TestMD1Validation(t *testing.T) {
+	for _, q := range []MD1{{Lambda: 0, D: 1}, {Lambda: 1, D: 0}, {Lambda: 2, D: 1}} {
+		if _, err := q.SojournQuantile(0.5); err == nil {
+			t.Fatalf("MD1 %+v accepted", q)
+		}
+	}
+}
+
+func TestQuantileSE(t *testing.T) {
+	// Known case: p=0.5, n=10000, density 2 -> sqrt(0.25/10000)/2 = 0.0025.
+	se, err := QuantileSE(0.5, 10000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, se, 0.0025, 1e-15, "SE")
+	for _, bad := range []struct {
+		p       float64
+		n       int
+		density float64
+	}{{0, 10, 1}, {1, 10, 1}, {0.5, 1, 1}, {0.5, 10, 0}, {0.5, 10, -1}} {
+		if _, err := QuantileSE(bad.p, bad.n, bad.density); err == nil {
+			t.Fatalf("QuantileSE(%v) accepted", bad)
+		}
+	}
+}
+
+func TestBand(t *testing.T) {
+	b := QuantileBand(10, 0.5, 4)
+	if b.Lo != 8 || b.Hi != 12 {
+		t.Fatalf("band %v", b)
+	}
+	if !b.Contains(8) || !b.Contains(12) || !b.Contains(10) {
+		t.Fatal("band must contain its edges and center")
+	}
+	if b.Contains(7.99) || b.Contains(12.01) {
+		t.Fatal("band contains outside points")
+	}
+	almost(t, b.Width(), 4, 1e-15, "width")
+}
+
+func TestCV(t *testing.T) {
+	if _, err := CV([]float64{1}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := CV([]float64{1, -1}); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+	cv, err := CV([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, cv, 0, 1e-15, "constant CV")
+}
+
+func TestArrivalCVCheckAcceptsPoisson(t *testing.T) {
+	rng := dist.NewRNG(11)
+	exp := dist.Exponential{Rate: 1000}
+	gaps := make([]float64, 20000)
+	for i := range gaps {
+		gaps[i] = exp.Sample(rng)
+	}
+	cv, band, ok, err := ArrivalCVCheck(gaps, 0.99, 300, rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("Poisson gaps rejected: cv=%g band=%v", cv, band)
+	}
+	if math.Abs(cv-1) > 0.05 {
+		t.Fatalf("exponential gap CV %g far from 1", cv)
+	}
+}
+
+func TestArrivalCVCheckRejectsPacedGenerator(t *testing.T) {
+	// A closed-loop or self-pacing generator emits near-constant gaps:
+	// CV well below 1 — the coordinated-omission signature.
+	rng := dist.NewRNG(12)
+	gaps := make([]float64, 20000)
+	for i := range gaps {
+		gaps[i] = 1e-3 + 1e-5*rng.Float64()
+	}
+	cv, band, ok, err := ArrivalCVCheck(gaps, 0.99, 300, rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("paced gaps accepted as Poisson: cv=%g band=%v", cv, band)
+	}
+	if cv > 0.1 {
+		t.Fatalf("paced gap CV %g unexpectedly high", cv)
+	}
+}
