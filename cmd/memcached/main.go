@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	memcached [-addr 127.0.0.1:11211] [-shards 64] [-capacity-mb 256]
+//	memcached [-addr 127.0.0.1:11211] [-shards 64] [-capacity-mb 256] [-rtprobe]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"treadmill/internal/rtprobe"
 	"treadmill/internal/server"
 )
 
@@ -22,6 +23,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:11211", "listen address")
 	shards := flag.Int("shards", 64, "store shard count")
 	capacityMB := flag.Int64("capacity-mb", 256, "store capacity in MiB")
+	probeOn := flag.Bool("rtprobe", true, "run the runtime probe so 'timing on' trailers attribute GC pauses and scheduler wait (off: those spans report zero)")
 	flag.Parse()
 
 	cfg := server.DefaultConfig()
@@ -29,6 +31,12 @@ func main() {
 	cfg.Shards = *shards
 	cfg.CapacityBytes = *capacityMB << 20
 	cfg.Logger = log.New(os.Stderr, "memcached: ", log.LstdFlags)
+	if *probeOn {
+		probe := rtprobe.NewSampler(rtprobe.Config{})
+		probe.Start()
+		defer probe.Stop()
+		cfg.Probe = probe
+	}
 
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -9,7 +9,7 @@
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
 //
 //	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution bench
-//	fleetbias chaos all
+//	fleetbias chaos liveanatomy all
 //
 // "attribution" runs table4 + fig7/8/11/12 + anatomy (memcached) and
 // fig9/10 (mcrouter) off shared campaigns; "all" runs everything
@@ -21,6 +21,14 @@
 // real sockets, in-process memcached) instead of the simulator. Its
 // numbers are wall-clock measurements, so it is excluded from "all" —
 // unlike everything else it is not bit-identical across machines or runs.
+//
+// "liveanatomy" is the live attribution target (wall-clock, excluded from
+// "all"): a real-knob factorial (GOMAXPROCS × GOGC × connection count ×
+// value size) over an in-process memcached server on loopback, with the
+// server stamping per-request phase spans into a protocol trailer and the
+// rtprobe runtime sampler attributing GC pauses and scheduler wait. It
+// renders the per-cell dominant-mechanism table, the quantile-regression
+// coefficients with bootstrap CIs, and the GC-share-of-tail finding.
 //
 // "chaos" is the other wall-clock target (also excluded from "all"): it
 // runs loopback fleet campaigns over the deterministic fault-injection
@@ -296,6 +304,19 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+		case "liveanatomy":
+			fmt.Fprintln(os.Stderr, "running live anatomy factorial (GOMAXPROCS x GOGC x conns x value size, real sockets, runtime probe)...")
+			la, err := experiments.RunLiveAnatomy(ctx, scale)
+			if err != nil {
+				fatal(err)
+			}
+			tab, err := experiments.LiveAnatomyTable(la)
+			if err != nil {
+				fatal(err)
+			}
+			p.table(tab)
+			p.table(experiments.LiveAttributionTable(la))
+			p.table(experiments.LiveGCTable(la))
 		case "anatomy":
 			tab, err := experiments.AnatomyTable(needMemcached())
 			if err != nil {

@@ -90,6 +90,7 @@ type options struct {
 	fleetAgents  int
 	fleetLoss    string
 	chaos        bool
+	serverTiming bool
 	obs          telemetry.ObsFlags
 }
 
@@ -115,6 +116,7 @@ func main() {
 	flag.IntVar(&o.fleetAgents, "agents", 2, "with -fleet, number of agents to wait for before measuring")
 	flag.StringVar(&o.fleetLoss, "loss-policy", "abort", "with -fleet, agent-loss policy: abort or degrade")
 	flag.BoolVar(&o.chaos, "chaos", false, "run the loopback chaos-fleet smoke (seeded fault schedules, loss-policy invariants) instead of generating load; -target not required")
+	flag.BoolVar(&o.serverTiming, "server-timing", false, "negotiate per-request server-timing trailers (treadmill-kv servers only; others downgrade gracefully) so anatomy splits server time into parse/store/serialize/write/gc/sched")
 	o.obs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -299,9 +301,10 @@ func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telem
 			Addr:      o.target,
 			Instances: o.instances,
 			PerInstance: loadgen.Options{
-				Rate:     o.rate / float64(o.instances),
-				Conns:    o.conns,
-				Workload: wl,
+				Rate:         o.rate / float64(o.instances),
+				Conns:        o.conns,
+				Workload:     wl,
+				ServerTiming: o.serverTiming,
 			},
 			Duration:      o.duration,
 			Telemetry:     reg,

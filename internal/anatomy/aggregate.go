@@ -21,12 +21,25 @@ type Config struct {
 	// statistically undefined and the breakdown is marked low-confidence
 	// (100 requests put exactly one expected sample beyond P99).
 	MinRequests uint64
+	// Source tags where the phase spans came from: SourceSim for
+	// simulator-stamped vectors, SourceLive for spans derived from a real
+	// server's timestamps and runtime signals. It flows into every
+	// Breakdown and journal AnatomyRecord so downstream tooling can
+	// distinguish derived from simulated spans.
+	Source string
 }
 
+// Anatomy span provenance values for Config.Source / AnatomyRecord.Source.
+const (
+	SourceSim  = "sim"
+	SourceLive = "live"
+)
+
 // DefaultConfig covers 100ns–100s in 512 bins (~4% bin width) with the
-// paper's body/tail split (P50 vs P99).
+// paper's body/tail split (P50 vs P99). Source defaults to SourceSim, the
+// historical meaning of an untagged breakdown.
 func DefaultConfig() Config {
-	return Config{Lo: 1e-7, Hi: 100, Bins: 512, BodyQ: 0.5, TailQ: 0.99, MinRequests: 100}
+	return Config{Lo: 1e-7, Hi: 100, Bins: 512, BodyQ: 0.5, TailQ: 0.99, MinRequests: 100, Source: SourceSim}
 }
 
 func (c Config) validate() error {
@@ -237,6 +250,9 @@ type Cut struct {
 // Breakdown is a finalized tail-vs-body anatomy: where body requests spend
 // their time versus where tail requests spend theirs.
 type Breakdown struct {
+	// Source tags span provenance (SourceSim or SourceLive), copied from
+	// the aggregator's Config.
+	Source string
 	// Requests / Invalid count valid and rejected observations.
 	Requests uint64
 	Invalid  uint64
@@ -271,6 +287,7 @@ func (a *Aggregator) Finalize() *Breakdown {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	b := &Breakdown{
+		Source:   a.cfg.Source,
 		Requests: a.n,
 		Invalid:  a.invalid,
 		BodyQ:    a.cfg.BodyQ,

@@ -62,8 +62,32 @@ const (
 	ClientRecv
 	// WireServer is the coarse wire+server span the real TCP path records
 	// (send syscall return to first response byte) — indivisible from the
-	// client's vantage point without server cooperation.
+	// client's vantage point without server cooperation. When the server
+	// cooperates (rtprobe server timing), this span is split into the
+	// Srv* phases below plus an explicit Other remainder.
 	WireServer
+
+	// The phases below are stamped only in live (real-TCP) mode, derived
+	// from server-side timestamps and Go runtime signals (internal/rtprobe).
+
+	// SrvParse is server-side time from request arrival (first byte) to the
+	// end of request parsing.
+	SrvParse
+	// SrvStore is the store operation itself (get/set/delete execution).
+	SrvStore
+	// SrvSerialize is response encoding into the server's write buffer.
+	SrvSerialize
+	// SrvWrite is the response flush (write syscall) on the server.
+	SrvWrite
+	// SrvGC is stop-the-world GC pause time overlapping the request's
+	// server residence, derived from windowed /gc/pauses:seconds deltas.
+	SrvGC
+	// Other is the unattributed remainder of the coarse wire+server span
+	// after the server-derived phases are subtracted: network stack, NIC,
+	// and anything the runtime signals cannot see. Reported explicitly
+	// rather than silently absorbed so the phase-sum invariant stays
+	// checkable in live mode.
+	Other
 
 	// NumPhases is the phase count; Vec is indexed by Phase.
 	NumPhases int = iota
@@ -73,6 +97,7 @@ var phaseNames = [NumPhases]string{
 	"client_send", "net_queue", "wire", "rss_queue", "cstate_wake",
 	"pstate_ramp", "numa", "srv_queue", "service", "backend",
 	"client_recv", "wire_server",
+	"srv_parse", "srv_store", "srv_serialize", "srv_write", "srv_gc", "other",
 }
 
 // String returns the phase's stable snake_case name (used in metrics,

@@ -59,6 +59,7 @@ func (b *Breakdown) Record(label string) *telemetry.AnatomyRecord {
 	}
 	rec := &telemetry.AnatomyRecord{
 		Label:         label,
+		Source:        b.Source,
 		Requests:      b.Requests,
 		Invalid:       b.Invalid,
 		BodyQ:         b.BodyQ,
@@ -174,19 +175,45 @@ func (l *Live) Observe(v Vec) {
 	}
 }
 
-// FromTrace derives the coarse three-phase client-side decomposition the
-// real TCP path can observe from a request trace's timestamps: ClientSend =
+// ClientStamps is the real TCP client's per-request timestamp mirror, in
+// UnixNano: the intended (open-loop scheduled) issue instant, the
+// send-syscall return, the first response byte, and callback completion.
+// It is the single client-side origin of live-mode phase vectors — both the
+// coarse three-phase mirror (Coarse) and the rtprobe-correlated server
+// decomposition consume it, expressed with the same Phase constants and
+// units (seconds) the simulator's ledger uses, so sim and live breakdowns
+// aggregate through one code path.
+type ClientStamps struct {
+	ArrivalNs, SendNs, FirstByteNs, CompleteNs int64
+}
+
+// Valid reports whether the stamps are complete and monotone.
+func (s ClientStamps) Valid() bool {
+	return s.SendNs >= s.ArrivalNs && s.FirstByteNs >= s.SendNs &&
+		s.CompleteNs >= s.FirstByteNs && s.CompleteNs > s.ArrivalNs
+}
+
+// Total returns the measured latency in seconds.
+func (s ClientStamps) Total() float64 { return float64(s.CompleteNs-s.ArrivalNs) / 1e9 }
+
+// Coarse derives the three-phase client-side decomposition the real TCP
+// path can observe without server cooperation: ClientSend =
 // enqueue→send-syscall-return, WireServer = send→first response byte,
 // ClientRecv = first byte→callback completion. Returns false when the
-// trace is missing stamps (errors, disconnects).
-func FromTrace(arrivalNs, sendNs, firstByteNs, completeNs int64) (Vec, float64, bool) {
+// stamps are missing or non-monotone (errors, disconnects).
+func (s ClientStamps) Coarse() (Vec, float64, bool) {
 	var v Vec
-	if sendNs < arrivalNs || firstByteNs < sendNs || completeNs < firstByteNs {
+	if !s.Valid() {
 		return v, 0, false
 	}
-	v[ClientSend] = float64(sendNs-arrivalNs) / 1e9
-	v[WireServer] = float64(firstByteNs-sendNs) / 1e9
-	v[ClientRecv] = float64(completeNs-firstByteNs) / 1e9
-	total := float64(completeNs-arrivalNs) / 1e9
-	return v, total, total > 0
+	v[ClientSend] = float64(s.SendNs-s.ArrivalNs) / 1e9
+	v[WireServer] = float64(s.FirstByteNs-s.SendNs) / 1e9
+	v[ClientRecv] = float64(s.CompleteNs-s.FirstByteNs) / 1e9
+	return v, s.Total(), true
+}
+
+// FromTrace derives the coarse three-phase decomposition from raw trace
+// timestamps (see ClientStamps.Coarse, which it delegates to).
+func FromTrace(arrivalNs, sendNs, firstByteNs, completeNs int64) (Vec, float64, bool) {
+	return ClientStamps{arrivalNs, sendNs, firstByteNs, completeNs}.Coarse()
 }

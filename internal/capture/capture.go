@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"treadmill/internal/protocol"
+	"treadmill/internal/telemetry"
 )
 
 // DefaultProbeTimeout bounds each probe's write-plus-response exchange. A
@@ -37,6 +38,9 @@ type Sample struct {
 	Sent time.Time
 	// FirstByte is when the first response byte was available.
 	FirstByte time.Time
+	// Server holds the server-timing trailer when the prober negotiated
+	// timing (EnableServerTiming); nil otherwise.
+	Server *protocol.ServerTiming
 }
 
 // Wire returns the ground-truth wire latency.
@@ -81,6 +85,50 @@ type Prober struct {
 
 	mu    sync.Mutex
 	samps []Sample
+
+	timed bool
+	recs  *timingRecorders
+}
+
+// timingRecorders are the rtprobe_probe_* telemetry recorders a timing-
+// enabled prober feeds: one per server phase span, so the ground-truth
+// connection exposes where server time goes even without a full campaign.
+type timingRecorders struct {
+	parse, store, serialize, write, gc, sched *telemetry.Recorder
+}
+
+func newTimingRecorders(reg *telemetry.Registry) *timingRecorders {
+	if reg == nil {
+		return nil
+	}
+	return &timingRecorders{
+		parse:     reg.Recorder("rtprobe_probe_srv_parse_seconds"),
+		store:     reg.Recorder("rtprobe_probe_srv_store_seconds"),
+		serialize: reg.Recorder("rtprobe_probe_srv_serialize_seconds"),
+		write:     reg.Recorder("rtprobe_probe_srv_write_seconds"),
+		gc:        reg.Recorder("rtprobe_probe_srv_gc_seconds"),
+		sched:     reg.Recorder("rtprobe_probe_srv_sched_seconds"),
+	}
+}
+
+// observe records each positive span. Zero spans (a request the GC never
+// touched) are skipped: a log-spaced Recorder cannot represent zero, and
+// counting them as invalid would misread as measurement failures.
+func (tr *timingRecorders) observe(st *protocol.ServerTiming) {
+	if tr == nil || st == nil {
+		return
+	}
+	rec := func(r *telemetry.Recorder, ns int64) {
+		if ns > 0 {
+			r.Record(float64(ns) / 1e9)
+		}
+	}
+	rec(tr.parse, st.ParseNs)
+	rec(tr.store, st.StoreNs)
+	rec(tr.serialize, st.SerializeNs)
+	rec(tr.write, st.WriteNs)
+	rec(tr.gc, st.GCNs)
+	rec(tr.sched, st.SchedNs)
 }
 
 // NewProber connects to addr and ensures key exists (storing a small value
@@ -119,6 +167,37 @@ func NewProber(addr, key string) (*Prober, error) {
 	return p, nil
 }
 
+// EnableServerTiming negotiates server-timing trailers on the probe
+// connection ("timing on"). Subsequent probes parse the per-request phase
+// trailer into Sample.Server and, when reg is non-nil, feed the
+// rtprobe_probe_* recorders. Servers that do not understand the verb reply
+// ERROR; that is returned as an error and the connection stays untimed.
+func (p *Prober) EnableServerTiming(reg *telemetry.Registry) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.timed {
+		return nil
+	}
+	_ = p.conn.SetDeadline(time.Now().Add(DefaultProbeTimeout))
+	defer p.conn.SetDeadline(time.Time{})
+	if err := protocol.WriteRequest(p.bw, &protocol.Request{Op: protocol.OpTiming, TimingOn: true}); err != nil {
+		return err
+	}
+	if err := p.bw.Flush(); err != nil {
+		return err
+	}
+	resp, err := protocol.ParseResponse(p.br, protocol.OpTiming)
+	if err != nil {
+		return fmt.Errorf("capture: timing handshake: %w", err)
+	}
+	if resp.Status != "TIMING_ON" {
+		return fmt.Errorf("capture: server declined timing: %q", resp.Status)
+	}
+	p.timed = true
+	p.recs = newTimingRecorders(reg)
+	return nil
+}
+
 // ProbeOnce issues one GET and records its wire sample. The exchange is
 // bounded by Timeout, so a hung server fails the probe instead of
 // blocking it indefinitely.
@@ -146,6 +225,14 @@ func (p *Prober) ProbeOnce() (Sample, error) {
 		return Sample{}, fmt.Errorf("capture: probe key %q missing", p.key)
 	}
 	s := Sample{Sent: sent, FirstByte: p.sr.last()}
+	if p.timed {
+		st, err := protocol.ParseServerTiming(p.br)
+		if err != nil {
+			return Sample{}, fmt.Errorf("capture: probe trailer: %w", err)
+		}
+		s.Server = st
+		p.recs.observe(st)
+	}
 	// The stamp of the Read that completed the response can only be at or
 	// after the first byte; with one outstanding request and a small
 	// response they coincide. Guard against clock anomalies anyway.

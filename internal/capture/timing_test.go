@@ -1,0 +1,63 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+
+	"treadmill/internal/telemetry"
+)
+
+// TestProberServerTiming negotiates trailers on the ground-truth connection
+// and checks that probes carry server spans and feed the rtprobe_probe_*
+// recorders.
+func TestProberServerTiming(t *testing.T) {
+	srv := startServer(t)
+	reg := telemetry.New()
+	p, err := NewProber(srv.Addr(), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Before negotiation probes carry no server view.
+	s, err := p.ProbeOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Server != nil {
+		t.Error("untimed probe has server spans")
+	}
+
+	if err := p.EnableServerTiming(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableServerTiming(reg); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s, err = p.ProbeOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Server == nil {
+			t.Fatal("timed probe missing server spans")
+		}
+		if s.Server.WallNs() <= 0 {
+			t.Errorf("probe %d: zero server wall time: %+v", i, s.Server)
+		}
+		if s.Server.WallNs() > s.Wire().Nanoseconds()+int64(1e6) {
+			t.Errorf("probe %d: server wall %dns exceeds wire %v", i, s.Server.WallNs(), s.Wire())
+		}
+	}
+
+	snap := reg.Snapshot()
+	found := 0
+	for name, r := range snap.Recorders {
+		if strings.HasPrefix(name, "rtprobe_probe_") && r.Count > 0 {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Errorf("no populated rtprobe_probe_* recorders; snapshot: %+v", snap.Recorders)
+	}
+}

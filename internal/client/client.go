@@ -16,6 +16,7 @@ import (
 
 	"treadmill/internal/anatomy"
 	"treadmill/internal/protocol"
+	"treadmill/internal/rtprobe"
 	"treadmill/internal/telemetry"
 )
 
@@ -60,6 +61,10 @@ type pending struct {
 	// without the CAS both sides would deliver and a WaitGroup-counting
 	// caller would double-decrement.
 	claimed atomic.Bool
+	// timed marks requests enqueued after the timing handshake was written:
+	// their responses carry a server-timing trailer the reader must consume
+	// to keep FIFO framing. Snapshotted under c.mu at enqueue time.
+	timed bool
 }
 
 // Conn is one pipelined client connection.
@@ -69,6 +74,14 @@ type Conn struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
 	closed bool
+	// timed (guarded by c.mu) reports that the timing handshake has been
+	// written, so every later request's response will carry a trailer.
+	timed bool
+
+	// trailers is touched only on the reader goroutine: it starts true and
+	// is cleared if the server rejects the timing handshake, downgrading the
+	// connection to the coarse client-only decomposition.
+	trailers bool
 
 	inflight chan *pending
 	done     chan struct{}
@@ -84,6 +97,7 @@ type Conn struct {
 	resps     *telemetry.Counter
 	fails     *telemetry.Counter
 	inflightG *telemetry.Gauge
+	clampsC   *telemetry.Counter
 }
 
 // ConnConfig tunes a connection.
@@ -105,6 +119,15 @@ type ConnConfig struct {
 	// of every successful request (client send / wire+server / client
 	// receive) — every request, independent of trace sampling.
 	Anatomy *anatomy.Aggregator
+	// ServerTiming requests per-response server-timing trailers (a treadmill
+	// protocol extension; see protocol.OpTiming): the connection sends
+	// "timing on" before any user request and the read loop consumes one ST
+	// line behind every response, splitting the coarse wire+server span into
+	// server-derived phases via rtprobe.Correlate before recording into
+	// Anatomy. A server that rejects the handshake (pre-extension builds
+	// answer ERROR) downgrades the connection back to the coarse
+	// decomposition.
+	ServerTiming bool
 }
 
 // DefaultConnConfig returns sensible load-test defaults.
@@ -143,6 +166,7 @@ func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
 		done:     make(chan struct{}),
 		tracer:   cfg.Tracer,
 		anatomy:  cfg.Anatomy,
+		trailers: true,
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		reg.Counter("client.conns_opened").Inc()
@@ -150,8 +174,22 @@ func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
 		c.resps = reg.Counter("client.responses")
 		c.fails = reg.Counter("client.errors")
 		c.inflightG = reg.Gauge("client.inflight")
+		c.clampsC = reg.Counter("client.timing_clamped")
 	}
 	go c.readLoop(bufio.NewReaderSize(nc, cfg.BufferSize))
+	if cfg.ServerTiming {
+		// Handshake before any user request. Its callback runs on the
+		// reader goroutine ahead of every later response (FIFO), so the
+		// downgrade takes effect before the first trailer would be parsed.
+		_ = c.Do(&protocol.Request{Op: protocol.OpTiming, TimingOn: true}, func(r *Result) {
+			if r.Err != nil || r.Resp == nil || r.Resp.Status != "TIMING_ON" {
+				c.trailers = false
+			}
+		})
+		c.mu.Lock()
+		c.timed = true
+		c.mu.Unlock()
+	}
 	return c
 }
 
@@ -181,6 +219,17 @@ func (c *Conn) readLoop(r *bufio.Reader) {
 			c.failConn(err)
 			return
 		}
+		var srvTiming *protocol.ServerTiming
+		if p.timed && c.trailers {
+			// The trailer belongs to this response; it must be consumed
+			// before the next pending's response to keep FIFO framing.
+			srvTiming, err = protocol.ParseServerTiming(r)
+			if err != nil {
+				c.deliverErr(p, err, now)
+				c.failConn(err)
+				return
+			}
+		}
 		c.inflightG.Add(-1)
 		if !p.claimed.CompareAndSwap(false, true) {
 			// The writer already reported this request's outcome as a
@@ -203,10 +252,21 @@ func (c *Conn) readLoop(r *bufio.Reader) {
 			}
 			// The anatomy mirror sees every request, not just sampled
 			// traces, so the breakdown is not subject to trace-buffer
-			// limits or sampling noise.
-			if c.anatomy != nil {
-				if v, total, ok := anatomy.FromTrace(p.arrivalNs, sendNs, now.UnixNano(), completeNs); ok {
+			// limits or sampling noise. With a server-timing trailer the
+			// coarse wire+server span is split into server-derived phases;
+			// without one Correlate degrades to the coarse triple. The
+			// timing handshake itself is control traffic, not workload, and
+			// stays out of the ledger.
+			if c.anatomy != nil && p.op != protocol.OpTiming {
+				stamps := anatomy.ClientStamps{
+					ArrivalNs: p.arrivalNs, SendNs: sendNs,
+					FirstByteNs: now.UnixNano(), CompleteNs: completeNs,
+				}
+				if v, total, ok, clamped := rtprobe.Correlate(stamps, srvTiming); ok {
 					c.anatomy.Record(total, v)
+					if clamped {
+						c.clampsC.Inc()
+					}
 				}
 			}
 		}
@@ -294,6 +354,11 @@ func (c *Conn) DoAt(req *protocol.Request, arrival time.Time, cb Callback) error
 		return ErrClosed
 	}
 	if !req.NoReply {
+		// Snapshot the timing flag under c.mu: the handshake is also written
+		// under c.mu, so every request ordered after it on the wire sees
+		// timed=true and its reader-side trailer parse stays in lockstep
+		// with what the server actually sends.
+		p.timed = c.timed
 		// Reserve the pipeline slot before writing so the reader can
 		// always match responses FIFO.
 		select {

@@ -55,18 +55,22 @@ type anatomyState struct {
 
 // newRunAggregator returns a fresh per-run aggregator (with live telemetry
 // recorders attached), creating the merged cross-run aggregator and the
-// recorders on first use.
-func (s *anatomyState) newRunAggregator(reg *telemetry.Registry) (*anatomy.Aggregator, error) {
+// recorders on first use. source tags the provenance of the spans the
+// aggregator will see (anatomy.SourceSim or anatomy.SourceLive) so journaled
+// breakdowns carry it.
+func (s *anatomyState) newRunAggregator(reg *telemetry.Registry, source string) (*anatomy.Aggregator, error) {
+	cfg := anatomy.DefaultConfig()
+	cfg.Source = source
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.agg == nil {
 		var err error
-		if s.agg, err = anatomy.NewAggregator(anatomy.DefaultConfig()); err != nil {
+		if s.agg, err = anatomy.NewAggregator(cfg); err != nil {
 			return nil, err
 		}
 		s.live = anatomy.RegisterRecorders(reg)
 	}
-	run, err := anatomy.NewAggregator(anatomy.DefaultConfig())
+	run, err := anatomy.NewAggregator(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +135,7 @@ func (r *SimRunner) RunOnce(ctx context.Context, run int, seed uint64) ([][]floa
 	}
 	var runAgg *anatomy.Aggregator
 	if r.Anatomy {
-		if runAgg, err = r.newRunAggregator(r.Telemetry); err != nil {
+		if runAgg, err = r.newRunAggregator(r.Telemetry, anatomy.SourceSim); err != nil {
 			return nil, err
 		}
 	}
@@ -216,7 +220,7 @@ func (r *TCPRunner) RunOnce(ctx context.Context, run int, seed uint64) ([][]floa
 	var runAgg *anatomy.Aggregator
 	if r.Anatomy {
 		var err error
-		if runAgg, err = r.newRunAggregator(r.Telemetry); err != nil {
+		if runAgg, err = r.newRunAggregator(r.Telemetry, anatomy.SourceLive); err != nil {
 			return nil, err
 		}
 	}

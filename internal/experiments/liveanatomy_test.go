@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"treadmill/internal/anatomy"
+	"treadmill/internal/quantreg"
+	"treadmill/internal/runner"
+)
+
+// syntheticBreakdown builds a live breakdown whose tail pays gcExcess more
+// seconds of SrvGC than the body, inside a totalGap tail-vs-body spread.
+func syntheticBreakdown(requests uint64, totalGap, gcExcess float64) *anatomy.Breakdown {
+	var body, tail anatomy.Vec
+	body[anatomy.SrvStore] = 100e-6
+	tail[anatomy.SrvStore] = 100e-6 + (totalGap - gcExcess)
+	tail[anatomy.SrvGC] = gcExcess
+	b := &anatomy.Breakdown{
+		Source:   anatomy.SourceLive,
+		Requests: requests,
+		P50:      100e-6,
+		P99:      100e-6 + totalGap,
+	}
+	b.Body.MeanTotal = body.Sum()
+	b.Body.Mean = body
+	b.Tail.MeanTotal = tail.Sum()
+	b.Tail.Mean = tail
+	b.Overall = b.Body
+	return b
+}
+
+// syntheticLive assembles a LiveAnatomy over a single gogc factor: the
+// relaxed cell's tail excess is 10% GC, the aggressive cell's is 40%.
+func syntheticLive() *LiveAnatomy {
+	res := &runner.Result{
+		Factors:   []string{"gogc"},
+		Quantiles: []float64{0.5, 0.99},
+		Anatomy: map[string]*anatomy.Breakdown{
+			"0": syntheticBreakdown(1000, 1e-3, 0.1e-3),
+			"1": syntheticBreakdown(1000, 2e-3, 0.8e-3),
+		},
+	}
+	fit99 := &quantreg.Result{Coefs: []quantreg.Coefficient{
+		{Term: "(intercept)", Est: 1.1e-3, StdErr: 0.05e-3, P: 0},
+		{Term: "gogc", Est: 1.0e-3, StdErr: 0.2e-3, P: 0.001},
+	}}
+	fit50 := &quantreg.Result{Coefs: []quantreg.Coefficient{
+		{Term: "(intercept)", Est: 0.1e-3, StdErr: 0.01e-3, P: 0},
+		{Term: "gogc", Est: 0.01e-3, StdErr: 0.02e-3, P: 0.6},
+	}}
+	return &LiveAnatomy{
+		Factors: res.Factors,
+		Result:  res,
+		Fits:    map[float64]*quantreg.Result{0.5: fit50, 0.99: fit99},
+	}
+}
+
+// TestGCFinding checks the share arithmetic and the regression passthrough
+// against hand-computed values.
+func TestGCFinding(t *testing.T) {
+	la := syntheticLive()
+	la.GC = gcFinding(la)
+	if math.Abs(la.GC.ShareRelaxed-0.1) > 1e-12 {
+		t.Errorf("relaxed share = %g, want 0.1", la.GC.ShareRelaxed)
+	}
+	if math.Abs(la.GC.ShareAggressive-0.4) > 1e-12 {
+		t.Errorf("aggressive share = %g, want 0.4", la.GC.ShareAggressive)
+	}
+	if math.Abs(la.GC.P99Coef-1.0e-3) > 1e-12 {
+		t.Errorf("p99 coef = %g", la.GC.P99Coef)
+	}
+	if !(la.GC.CILow < la.GC.P99Coef && la.GC.P99Coef < la.GC.CIHigh) {
+		t.Errorf("CI [%g, %g] does not bracket %g", la.GC.CILow, la.GC.CIHigh, la.GC.P99Coef)
+	}
+}
+
+// TestGCFindingMissingFactor: without a gogc factor the finding degrades to
+// NaN shares instead of mislabeling another factor's levels.
+func TestGCFindingMissingFactor(t *testing.T) {
+	la := syntheticLive()
+	la.Factors = []string{"conns"}
+	la.Result.Factors = la.Factors
+	f := gcFinding(la)
+	if !math.IsNaN(f.ShareRelaxed) || !math.IsNaN(f.ShareAggressive) {
+		t.Errorf("shares should be NaN: %+v", f)
+	}
+}
+
+// TestLiveTables renders all three liveanatomy tables from the synthetic
+// campaign and spot-checks content.
+func TestLiveTables(t *testing.T) {
+	la := syntheticLive()
+	la.GC = gcFinding(la)
+
+	tab, err := LiveAnatomyTable(la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "Live tail anatomy") {
+		t.Errorf("anatomy table missing title:\n%s", s)
+	}
+	// The aggressive cell's dominant excess phase is the store span
+	// (1.2ms of the 2ms gap); the GC share rows carry srv_gc.
+	if !strings.Contains(s, anatomy.SrvStore.String()) {
+		t.Errorf("anatomy table missing dominant phase:\n%s", s)
+	}
+
+	at := LiveAttributionTable(la)
+	s = at.String()
+	if !strings.Contains(s, "gogc") || !strings.Contains(s, "0.001") {
+		t.Errorf("attribution table missing gogc row or p-value:\n%s", s)
+	}
+
+	gt := LiveGCTable(la)
+	s = gt.String()
+	if !strings.Contains(s, "10.0%") || !strings.Contains(s, "40.0%") {
+		t.Errorf("gc table missing shares:\n%s", s)
+	}
+	if !strings.Contains(s, "95% CI") {
+		t.Errorf("gc table missing CI:\n%s", s)
+	}
+}
+
+// TestLiveAnatomyTableNoData: a campaign without anatomy must error, not
+// render an empty table.
+func TestLiveAnatomyTableNoData(t *testing.T) {
+	la := &LiveAnatomy{Factors: []string{"gogc"}, Result: &runner.Result{}}
+	if _, err := LiveAnatomyTable(la); err == nil {
+		t.Error("no error for missing anatomy")
+	}
+}

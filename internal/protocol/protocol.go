@@ -28,6 +28,12 @@ const (
 	OpDelete
 	OpVersion
 	OpStats
+	// OpTiming toggles the per-connection server-timing trailer (a
+	// treadmill extension; see ServerTiming). "timing on" makes the server
+	// append one ST line after every subsequent response on this
+	// connection; "timing off" stops it. Servers that predate the
+	// extension answer ERROR, which clients treat as "not supported".
+	OpTiming
 )
 
 // String returns the wire verb.
@@ -43,6 +49,8 @@ func (o Op) String() string {
 		return "version"
 	case OpStats:
 		return "stats"
+	case OpTiming:
+		return "timing"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -72,6 +80,9 @@ type Request struct {
 	Value   []byte
 	// NoReply suppresses the response for set/delete.
 	NoReply bool
+	// TimingOn selects the level of an OpTiming request ("timing on" when
+	// true, "timing off" when false).
+	TimingOn bool
 }
 
 // AllKeys returns the request's key set: Keys when present, else [Key].
@@ -119,9 +130,9 @@ func validKey(key string) bool {
 
 // WriteRequest encodes req to w.
 func WriteRequest(w *bufio.Writer, req *Request) error {
-	// OpGet validates its (possibly multiple) keys below; version and
-	// stats carry no key.
-	if req.Op != OpGet && req.Op != OpVersion && req.Op != OpStats && !validKey(req.Key) {
+	// OpGet validates its (possibly multiple) keys below; version, stats,
+	// and timing carry no key.
+	if req.Op != OpGet && req.Op != OpVersion && req.Op != OpStats && req.Op != OpTiming && !validKey(req.Key) {
 		return fmt.Errorf("%w: invalid key %q", ErrProtocol, req.Key)
 	}
 	switch req.Op {
@@ -174,6 +185,14 @@ func WriteRequest(w *bufio.Writer, req *Request) error {
 		}
 	case OpStats:
 		if _, err := w.WriteString("stats\r\n"); err != nil {
+			return err
+		}
+	case OpTiming:
+		level := "off"
+		if req.TimingOn {
+			level = "on"
+		}
+		if _, err := w.WriteString("timing " + level + "\r\n"); err != nil {
 			return err
 		}
 	default:
@@ -296,6 +315,18 @@ func ParseRequest(r *bufio.Reader) (*Request, error) {
 		return &Request{Op: OpVersion}, nil
 	case "stats":
 		return &Request{Op: OpStats}, nil
+	case "timing":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%w: timing wants on|off", ErrProtocol)
+		}
+		switch string(fields[1]) {
+		case "on":
+			return &Request{Op: OpTiming, TimingOn: true}, nil
+		case "off":
+			return &Request{Op: OpTiming}, nil
+		default:
+			return nil, fmt.Errorf("%w: timing wants on|off, got %q", ErrProtocol, fields[1])
+		}
 	default:
 		return nil, fmt.Errorf("%w: unknown command %q", ErrProtocol, fields[0])
 	}
@@ -388,7 +419,7 @@ func ParseResponse(r *bufio.Reader, op Op) (*Response, error) {
 			Items:  items,
 			Hit:    true,
 		}, nil
-	case OpSet, OpDelete, OpVersion:
+	case OpSet, OpDelete, OpVersion, OpTiming:
 		line, err := readLine(r)
 		if err != nil {
 			return nil, err
@@ -413,4 +444,62 @@ func ParseResponse(r *bufio.Reader, op Op) (*Response, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown op %v", ErrProtocol, op)
 	}
+}
+
+// ServerTiming is the per-request server-side span report carried by the
+// timing trailer (see OpTiming): wall-clock nanoseconds the server spent in
+// each handling stage, plus the runtime-derived GC-pause and scheduler-
+// latency attribution for the request's residence window. All fields are
+// non-negative; a server without a runtime probe reports zero GC/Sched.
+type ServerTiming struct {
+	// ParseNs is first request byte → request fully parsed.
+	ParseNs int64
+	// StoreNs is the store operation (get/set/delete execution).
+	StoreNs int64
+	// SerializeNs is response encoding into the write buffer.
+	SerializeNs int64
+	// WriteNs is the response flush (write syscall return).
+	WriteNs int64
+	// GCNs is stop-the-world GC pause time overlapping the residence
+	// window, from windowed /gc/pauses:seconds deltas.
+	GCNs int64
+	// SchedNs is estimated scheduler run-queue wait for this request's
+	// goroutine wakeups, from windowed /sched/latencies:seconds deltas.
+	SchedNs int64
+}
+
+// WallNs returns the server-observed wall-clock residence:
+// parse+store+serialize+write. GC and scheduler time overlap these spans
+// (they inflate them) rather than adding to them.
+func (t *ServerTiming) WallNs() int64 {
+	return t.ParseNs + t.StoreNs + t.SerializeNs + t.WriteNs
+}
+
+// WriteServerTiming writes the trailer line: ST <parse> <store> <serialize>
+// <write> <gc> <sched>, all base-10 nanoseconds.
+func WriteServerTiming(w *bufio.Writer, t *ServerTiming) error {
+	_, err := fmt.Fprintf(w, "ST %d %d %d %d %d %d\r\n",
+		t.ParseNs, t.StoreNs, t.SerializeNs, t.WriteNs, t.GCNs, t.SchedNs)
+	return err
+}
+
+// ParseServerTiming reads one ST trailer line.
+func ParseServerTiming(r *bufio.Reader) (*ServerTiming, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	fields := splitFields(line)
+	if len(fields) != 7 || !bytes.Equal(fields[0], []byte("ST")) {
+		return nil, fmt.Errorf("%w: bad timing trailer %q", ErrProtocol, line)
+	}
+	var t ServerTiming
+	for i, dst := range []*int64{&t.ParseNs, &t.StoreNs, &t.SerializeNs, &t.WriteNs, &t.GCNs, &t.SchedNs} {
+		v, err := strconv.ParseInt(string(fields[i+1]), 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("%w: bad timing field %q", ErrProtocol, fields[i+1])
+		}
+		*dst = v
+	}
+	return &t, nil
 }

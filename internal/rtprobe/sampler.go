@@ -1,0 +1,319 @@
+// Package rtprobe derives per-request server-side phase attributions from Go
+// runtime signals. The simulator stamps exact phase ledgers because it owns
+// every mechanism; a real server cannot — but the Go runtime continuously
+// publishes two of the mechanisms that matter most for tail latency
+// (stop-the-world GC pauses and scheduler run-queue wait) as cumulative
+// histograms in runtime/metrics. This package polls those histograms on a
+// fixed cadence into a ring of cumulative sums, so that for any request
+// residence window [start, end] it can answer "how much GC pause and
+// scheduler wait overlapped this request" by interpolating the cumulative
+// curves at the window edges and differencing.
+//
+// The attribution is necessarily process-wide (the runtime does not tag
+// pauses with the goroutine they stalled), so callers treat the result as an
+// upper-bound overlap estimate and clamp it to the request's own window; the
+// correlation step (Correlate) then folds it into the anatomy ledger while
+// preserving the phase-sum invariant: spans always tile the client-measured
+// latency, with any unattributed remainder reported as an explicit Other
+// phase rather than silently absorbed.
+package rtprobe
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"treadmill/internal/telemetry"
+)
+
+// metric names polled each interval.
+const (
+	metricGCPauses  = "/gc/pauses:seconds"
+	metricSchedLat  = "/sched/latencies:seconds"
+	metricHeapBytes = "/memory/classes/heap/objects:bytes"
+	metricProcs     = "/sched/gomaxprocs:threads"
+)
+
+// wakeupsPerRequest is the number of goroutine scheduling wakeups a pipelined
+// request costs the server on the happy path: one to run the connection
+// goroutine when request bytes arrive, one when the write completes/flushes.
+// The scheduler-latency histogram is per-wakeup, so the per-request estimate
+// is the windowed per-wakeup mean times this factor.
+const wakeupsPerRequest = 2
+
+// Config parameterizes a Sampler.
+type Config struct {
+	// Interval is the polling cadence (default 1ms). Each poll is two
+	// histogram reads — cheap enough that 1ms adds well under 1% CPU.
+	Interval time.Duration
+	// Window is how much history the ring retains (default 2s). Attribute
+	// calls outside the retained window see the oldest/newest sample, which
+	// degrades to "no delta" rather than an error.
+	Window time.Duration
+	// Registry, when non-nil, receives rtprobe_* gauges updated every poll.
+	Registry *telemetry.Registry
+}
+
+// sample is one poll: wall-clock instant plus cumulative sums derived from
+// the runtime histograms (Σ count×bucket-midpoint, monotone non-decreasing).
+type sample struct {
+	wallNs     int64
+	gcSum      float64 // cumulative GC pause seconds
+	schedSum   float64 // cumulative scheduler-wait seconds
+	schedCount float64 // cumulative scheduler wakeups observed
+}
+
+// Sampler polls runtime/metrics into a ring buffer and answers windowed
+// attribution queries. A nil *Sampler is a disabled no-op: Attribute returns
+// zeros and Stop is safe. All methods are safe for concurrent use.
+type Sampler struct {
+	cfg Config
+
+	mu   sync.RWMutex
+	ring []sample // circular, fixed capacity
+	head int      // index of oldest sample
+	n    int      // number of valid samples
+
+	samples []metrics.Sample // reused read buffer (poll goroutine only)
+
+	gProcs *telemetry.Gauge
+	gHeap  *telemetry.Gauge
+	gGC    *telemetry.FloatGauge
+	gSched *telemetry.FloatGauge
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewSampler builds a sampler (not yet polling; call Start).
+func NewSampler(cfg Config) *Sampler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Millisecond
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 2 * time.Second
+	}
+	capacity := int(cfg.Window/cfg.Interval) + 2
+	if capacity < 8 {
+		capacity = 8
+	}
+	s := &Sampler{
+		cfg:  cfg,
+		ring: make([]sample, capacity),
+		samples: []metrics.Sample{
+			{Name: metricGCPauses},
+			{Name: metricSchedLat},
+			{Name: metricHeapBytes},
+			{Name: metricProcs},
+		},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if reg := cfg.Registry; reg != nil {
+		s.gProcs = reg.Gauge("rtprobe_gomaxprocs")
+		s.gHeap = reg.Gauge("rtprobe_heap_objects_bytes")
+		s.gGC = reg.FloatGauge("rtprobe_gc_pause_total_seconds")
+		s.gSched = reg.FloatGauge("rtprobe_sched_wait_total_seconds")
+	}
+	return s
+}
+
+// Start launches the polling goroutine. Safe to call more than once; only
+// the first call has effect. A nil Sampler ignores the call.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.startOnce.Do(func() {
+		s.started = true
+		s.poll() // seed one sample synchronously so Attribute works at once
+		go s.loop()
+	})
+}
+
+// Stop halts polling and waits for the goroutine to exit (no leaks). Safe on
+// a nil or never-started Sampler, and idempotent.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() {
+		close(s.stop)
+	})
+	// Consume startOnce so a Start after Stop cannot launch a fresh loop,
+	// then wait for the loop only if one was ever started.
+	s.startOnce.Do(func() {})
+	if s.started {
+		<-s.done
+	}
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.poll()
+		}
+	}
+}
+
+// poll reads the runtime histograms and appends one sample to the ring.
+func (s *Sampler) poll() {
+	metrics.Read(s.samples)
+	now := time.Now().UnixNano()
+	var sm sample
+	sm.wallNs = now
+	if h := histOf(&s.samples[0]); h != nil {
+		sm.gcSum, _ = histSum(h)
+	}
+	if h := histOf(&s.samples[1]); h != nil {
+		sm.schedSum, sm.schedCount = histSum(h)
+	}
+	if s.gHeap != nil && s.samples[2].Value.Kind() == metrics.KindUint64 {
+		s.gHeap.Set(int64(s.samples[2].Value.Uint64()))
+	}
+	if s.gProcs != nil && s.samples[3].Value.Kind() == metrics.KindUint64 {
+		s.gProcs.Set(int64(s.samples[3].Value.Uint64()))
+	}
+	if s.gGC != nil {
+		s.gGC.Set(sm.gcSum)
+	}
+	if s.gSched != nil {
+		s.gSched.Set(sm.schedSum)
+	}
+
+	s.mu.Lock()
+	if s.n == len(s.ring) {
+		s.ring[s.head] = sm
+		s.head = (s.head + 1) % len(s.ring)
+	} else {
+		s.ring[(s.head+s.n)%len(s.ring)] = sm
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+func histOf(sm *metrics.Sample) *metrics.Float64Histogram {
+	if sm.Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return sm.Value.Float64Histogram()
+}
+
+// histSum collapses a cumulative runtime histogram into (Σ count×midpoint,
+// Σ count). Infinite bucket edges are clamped to their finite neighbor so
+// the overflow buckets contribute a finite, conservative estimate.
+func histSum(h *metrics.Float64Histogram) (sum float64, count float64) {
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		mid := (lo + hi) / 2
+		if math.IsInf(mid, 0) || math.IsNaN(mid) {
+			continue
+		}
+		sum += float64(c) * mid
+		count += float64(c)
+	}
+	return sum, count
+}
+
+// at returns the i-th logical (oldest-first) sample. Caller holds mu.
+func (s *Sampler) at(i int) sample {
+	return s.ring[(s.head+i)%len(s.ring)]
+}
+
+// valueAt interpolates the cumulative curves at wall-clock instant t.
+// Outside the retained window it clamps to the oldest/newest sample (zero
+// delta rather than extrapolated nonsense). Caller holds mu (read).
+func (s *Sampler) valueAt(t int64) (gcSum, schedSum, schedCount float64) {
+	first, last := s.at(0), s.at(s.n-1)
+	if t <= first.wallNs {
+		return first.gcSum, first.schedSum, first.schedCount
+	}
+	if t >= last.wallNs {
+		return last.gcSum, last.schedSum, last.schedCount
+	}
+	// Binary search for the first sample at or after t.
+	lo, hi := 0, s.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.at(mid).wallNs < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b := s.at(lo)
+	a := s.at(lo - 1)
+	span := float64(b.wallNs - a.wallNs)
+	if span <= 0 {
+		return b.gcSum, b.schedSum, b.schedCount
+	}
+	f := float64(t-a.wallNs) / span
+	return a.gcSum + f*(b.gcSum-a.gcSum),
+		a.schedSum + f*(b.schedSum-a.schedSum),
+		a.schedCount + f*(b.schedCount-a.schedCount)
+}
+
+// Attribute estimates the GC-pause seconds and scheduler-wait seconds that
+// overlapped the residence window [startNs, endNs] (UnixNano). Both results
+// are clamped to the window length (a process-wide pause cannot have stalled
+// this request for longer than the request existed); their sum never exceeds
+// the window. A nil or unstarted Sampler returns zeros.
+func (s *Sampler) Attribute(startNs, endNs int64) (gcSec, schedSec float64) {
+	if s == nil || endNs <= startNs {
+		return 0, 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.n < 2 {
+		return 0, 0
+	}
+	window := float64(endNs-startNs) / 1e9
+	g0, w0, c0 := s.valueAt(startNs)
+	g1, w1, c1 := s.valueAt(endNs)
+	gcSec = clamp(g1-g0, 0, window)
+
+	// Scheduler wait is per-wakeup; estimate the request's share as the
+	// windowed per-wakeup mean times the wakeups one request costs.
+	perWakeup := 0.0
+	if dc := c1 - c0; dc >= 1 {
+		perWakeup = (w1 - w0) / dc
+	} else {
+		// Too few wakeups landed inside the window for a local mean; fall
+		// back to the whole retained window.
+		first, last := s.at(0), s.at(s.n-1)
+		if dc := last.schedCount - first.schedCount; dc >= 1 {
+			perWakeup = (last.schedSum - first.schedSum) / dc
+		}
+	}
+	schedSec = clamp(perWakeup*wakeupsPerRequest, 0, window-gcSec)
+	return gcSec, schedSec
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,343 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treadmill/internal/agg"
+	"treadmill/internal/anatomy"
+	"treadmill/internal/client"
+	"treadmill/internal/dist"
+	"treadmill/internal/loadgen"
+	"treadmill/internal/rtprobe"
+	"treadmill/internal/server"
+	"treadmill/internal/telemetry"
+	"treadmill/internal/workload"
+)
+
+// LiveKnobs are the real runtime/deployment knobs a live factorial can
+// turn — the live-mode analogue of the simulator's ClusterConfig. GOMAXPROCS
+// and GOGC are process-wide Go runtime settings; Conns and ValueSize shape
+// the offered load.
+type LiveKnobs struct {
+	GOMAXPROCS int
+	GOGC       int
+	Conns      int
+	ValueSize  int
+}
+
+// DefaultLiveKnobs returns the baseline configuration factors mutate.
+func DefaultLiveKnobs() LiveKnobs {
+	return LiveKnobs{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOGC:       100,
+		Conns:      2,
+		ValueSize:  64,
+	}
+}
+
+// LiveFactor is one 2-level factor of a live factorial: the same shape as
+// Factor, but Apply mutates LiveKnobs instead of a simulated cluster.
+type LiveFactor struct {
+	Name      string
+	Low, High string
+	Apply     func(k *LiveKnobs, level int)
+}
+
+// LiveFactors returns the default live factorial: the two Go runtime knobs
+// that move GC and scheduling mechanisms (GOMAXPROCS, GOGC) crossed with two
+// load-shape knobs (connection count, value size). GOGC's high level is the
+// aggressive setting (GC runs 16x as often as the relaxed low level), so a
+// positive high-level coefficient reads "more GC hurts".
+func LiveFactors() []LiveFactor {
+	procs := runtime.NumCPU()
+	if procs < 2 {
+		procs = 2
+	}
+	return []LiveFactor{
+		{
+			Name: "gomaxprocs", Low: "1", High: fmt.Sprint(procs),
+			Apply: func(k *LiveKnobs, level int) {
+				if level == 0 {
+					k.GOMAXPROCS = 1
+				} else {
+					k.GOMAXPROCS = procs
+				}
+			},
+		},
+		{
+			Name: "gogc", Low: "400", High: "25",
+			Apply: func(k *LiveKnobs, level int) {
+				if level == 0 {
+					k.GOGC = 400
+				} else {
+					k.GOGC = 25
+				}
+			},
+		},
+		{
+			Name: "conns", Low: "1", High: "8",
+			Apply: func(k *LiveKnobs, level int) {
+				if level == 0 {
+					k.Conns = 1
+				} else {
+					k.Conns = 8
+				}
+			},
+		},
+		{
+			Name: "valuesize", Low: "64B", High: "4KiB",
+			Apply: func(k *LiveKnobs, level int) {
+				if level == 0 {
+					k.ValueSize = 64
+				} else {
+					k.ValueSize = 4096
+				}
+			},
+		},
+	}
+}
+
+// LiveStudy runs a factorial attribution campaign against a real in-process
+// memcached server over loopback TCP, with server-timing trailers and the
+// rtprobe runtime sampler supplying the live anatomy ledger. It produces the
+// same Result type as the simulated Study, so quantile-regression fitting,
+// marginal-impact tables, and anatomy rendering are shared.
+//
+// Unlike the simulated Study, experiments run strictly sequentially:
+// GOMAXPROCS and GOGC are process-wide, so concurrent cells would contaminate
+// each other — the live campaign trades wall-clock for isolation.
+type LiveStudy struct {
+	// Factors are the live factors (default: LiveFactors).
+	Factors []LiveFactor
+	// TotalRate is the offered open-loop load, split over the connections.
+	TotalRate float64
+	// Duration / Warmup are wall-clock per experiment; warmup completions
+	// are excluded from the quantile samples.
+	Duration, Warmup time.Duration
+	// Replicates is the number of experiments per permutation.
+	Replicates int
+	// Quantiles to extract per experiment.
+	Quantiles []float64
+	// Keys is the preloaded key-space size (default 256).
+	Keys int
+	// Seed drives schedule randomization and per-run workload seeds.
+	Seed uint64
+	// Progress, when non-nil, receives (done, total) after each experiment.
+	Progress func(done, total int)
+	// Telemetry, when non-nil, receives campaign gauges plus the rtprobe_*
+	// runtime gauges and client/server metrics.
+	Telemetry *telemetry.Registry
+	// CollectAnatomy accumulates per-cell live anatomy breakdowns
+	// (Result.Anatomy), tagged anatomy.SourceLive.
+	CollectAnatomy bool
+	// Journal, when non-nil (and CollectAnatomy set), receives one
+	// "anatomy" event per factorial cell after the campaign.
+	Journal *telemetry.Journal
+}
+
+func (s *LiveStudy) validate() error {
+	if len(s.Factors) == 0 || len(s.Factors) > 8 {
+		return fmt.Errorf("runner: need 1-8 live factors, got %d", len(s.Factors))
+	}
+	if s.TotalRate <= 0 || s.Duration <= 0 || s.Warmup < 0 {
+		return fmt.Errorf("runner: need positive rate/duration")
+	}
+	if s.Replicates < 1 {
+		return fmt.Errorf("runner: need >= 1 replicate")
+	}
+	if len(s.Quantiles) == 0 {
+		return fmt.Errorf("runner: need at least one quantile")
+	}
+	return nil
+}
+
+// Run executes the live campaign. Each experiment gets a fresh server (the
+// paper's restart-between-runs hysteresis control), fresh connections, and
+// its own preloaded store; the Go runtime knobs are set before the server
+// starts and restored when the campaign ends.
+func (s *LiveStudy) Run(ctx context.Context) (*Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	probe := rtprobe.NewSampler(rtprobe.Config{Registry: s.Telemetry})
+	probe.Start()
+	defer probe.Stop()
+
+	// Capture the ambient runtime knobs so the process leaves the campaign
+	// the way it entered. SetGCPercent has no getter; set-and-restore reads
+	// the current value.
+	origProcs := runtime.GOMAXPROCS(0)
+	origGC := debug.SetGCPercent(100)
+	debug.SetGCPercent(origGC)
+	defer func() {
+		runtime.GOMAXPROCS(origProcs)
+		debug.SetGCPercent(origGC)
+	}()
+
+	// Same randomized schedule construction as the simulated Study.
+	perms := Permutations(len(s.Factors))
+	var schedule [][]int
+	for r := 0; r < s.Replicates; r++ {
+		schedule = append(schedule, perms...)
+	}
+	rng := dist.NewRNG(s.Seed)
+	rng.Shuffle(len(schedule), func(i, j int) { schedule[i], schedule[j] = schedule[j], schedule[i] })
+
+	res := &Result{Quantiles: append([]float64(nil), s.Quantiles...)}
+	for _, f := range s.Factors {
+		res.Factors = append(res.Factors, f.Name)
+	}
+	doneG := s.Telemetry.Gauge("runner.experiments_done")
+	totalG := s.Telemetry.Gauge("runner.experiments_total")
+	totalG.Set(int64(len(schedule)))
+
+	var cellAggs map[string]*anatomy.Aggregator
+	if s.CollectAnatomy {
+		cellAggs = make(map[string]*anatomy.Aggregator)
+	}
+	for idx, levels := range schedule {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		knobs := DefaultLiveKnobs()
+		for i, f := range s.Factors {
+			f.Apply(&knobs, levels[i])
+		}
+		var cellAgg *anatomy.Aggregator
+		if cellAggs != nil {
+			key := LevelsKey(levels)
+			cellAgg = cellAggs[key]
+			if cellAgg == nil {
+				cfg := anatomy.DefaultConfig()
+				cfg.Source = anatomy.SourceLive
+				var err error
+				if cellAgg, err = anatomy.NewAggregator(cfg); err != nil {
+					return nil, err
+				}
+				cellAggs[key] = cellAgg
+			}
+		}
+		sample, err := s.runCell(ctx, knobs, levels, probe, cellAgg, s.Seed+uint64(idx)*7919+1)
+		if err != nil {
+			return nil, fmt.Errorf("runner: live experiment %d (levels %v): %w", idx, levels, err)
+		}
+		res.Samples = append(res.Samples, sample)
+		doneG.Set(int64(idx + 1))
+		if s.Progress != nil {
+			s.Progress(idx+1, len(schedule))
+		}
+	}
+
+	if cellAggs != nil {
+		res.Anatomy = make(map[string]*anatomy.Breakdown, len(cellAggs))
+		keys := make([]string, 0, len(cellAggs))
+		for key := range cellAggs {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			b := cellAggs[key].Finalize()
+			res.Anatomy[key] = b
+			if s.Journal != nil {
+				if err := s.Journal.Emit(telemetry.Event{
+					Kind:    telemetry.EventAnatomy,
+					Anatomy: b.Record("cell " + key),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// runCell performs one live experiment: apply the runtime knobs, boot a
+// fresh server with the probe attached, preload, drive timed open-loop load
+// over loopback, and extract quantiles from post-warmup completions.
+func (s *LiveStudy) runCell(ctx context.Context, knobs LiveKnobs, levels []int, probe *rtprobe.Sampler, cellAgg *anatomy.Aggregator, seed uint64) (Sample, error) {
+	runtime.GOMAXPROCS(knobs.GOMAXPROCS)
+	debug.SetGCPercent(knobs.GOGC)
+
+	scfg := server.DefaultConfig()
+	scfg.Telemetry = s.Telemetry
+	scfg.Probe = probe
+	srv, err := server.New(scfg)
+	if err != nil {
+		return Sample{}, err
+	}
+	if err := srv.Start(); err != nil {
+		return Sample{}, err
+	}
+	defer srv.Close()
+
+	keys := s.Keys
+	if keys <= 0 {
+		keys = 256
+	}
+	wl := workload.Default()
+	wl.Keys = keys
+	wl.ValueSize = workload.SizeDist{Kind: "constant", Value: float64(knobs.ValueSize)}
+	if err := loadgen.Preload(srv.Addr(), wl, seed); err != nil {
+		return Sample{}, err
+	}
+
+	// One generator covers warmup and measurement so connections stay warm;
+	// completions before the measurement gate opens are discarded.
+	var measureFrom atomic.Int64
+	measureFrom.Store(1 << 62)
+	var mu sync.Mutex
+	var lats []float64
+	gen, err := loadgen.NewOpenLoop(srv.Addr(), loadgen.Options{
+		Rate:         s.TotalRate,
+		Conns:        knobs.Conns,
+		Workload:     wl,
+		Seed:         seed,
+		Telemetry:    s.Telemetry,
+		Anatomy:      cellAgg,
+		ServerTiming: true,
+		OnResult: func(r *client.Result) {
+			if r.Err != nil || r.Done.UnixNano() < measureFrom.Load() {
+				return
+			}
+			lat := r.RTT().Seconds()
+			mu.Lock()
+			lats = append(lats, lat)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return Sample{}, err
+	}
+	defer gen.Close()
+
+	measureFrom.Store(time.Now().Add(s.Warmup).UnixNano())
+	if _, err := gen.Run(ctx, s.Warmup+s.Duration); err != nil {
+		return Sample{}, err
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lats) == 0 {
+		return Sample{}, fmt.Errorf("no measured completions")
+	}
+	src := []agg.QuantileSource{agg.Samples(lats)}
+	sample := Sample{
+		Levels:    append([]int(nil), levels...),
+		Quantiles: make(map[float64]float64, len(s.Quantiles)),
+	}
+	for _, q := range s.Quantiles {
+		v, err := agg.PerInstance(src, q, agg.Mean)
+		if err != nil {
+			return Sample{}, err
+		}
+		sample.Quantiles[q] = v
+	}
+	return sample, nil
+}

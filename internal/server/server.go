@@ -10,8 +10,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"treadmill/internal/protocol"
+	"treadmill/internal/rtprobe"
 	"treadmill/internal/telemetry"
 )
 
@@ -32,6 +34,12 @@ type Config struct {
 	// Telemetry, when non-nil, receives server metrics
 	// (server.connections, server.active_conns, server.requests).
 	Telemetry *telemetry.Registry
+	// Probe, when non-nil, attributes GC-pause and scheduler-wait time to
+	// each request's residence window in the server-timing trailer (see
+	// protocol.OpTiming). The server does not own the sampler's lifecycle;
+	// the caller starts and stops it. A nil probe reports zero GC/sched in
+	// trailers, which remain otherwise functional.
+	Probe *rtprobe.Sampler
 }
 
 // DefaultConfig returns a production-shaped configuration listening on an
@@ -156,9 +164,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		s.activeG.Add(-1)
 	}()
-	r := bufio.NewReaderSize(conn, s.cfg.ReadBufferSize)
+	sc := &stampConn{Conn: conn}
+	r := bufio.NewReaderSize(sc, s.cfg.ReadBufferSize)
 	w := bufio.NewWriterSize(conn, s.cfg.WriteBufferSize)
+	timed := false
 	for {
+		var markNs int64
+		if timed {
+			// Arrival stamp: wall time of the first read that delivered this
+			// request's bytes, or — when the request was already buffered
+			// behind a pipelined batch — the instant the server turned to it.
+			sc.mark()
+			markNs = time.Now().UnixNano()
+		}
 		req, err := protocol.ParseRequest(r)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) && s.cfg.Logger != nil {
@@ -172,28 +190,125 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.requests.Add(1)
 		s.reqsC.Inc()
-		if err := s.handle(w, req); err != nil {
+		if req.Op == protocol.OpTiming {
+			// The toggle's own response never carries a trailer; trailers
+			// start with the next response once timing is on.
+			timed = req.TimingOn
+			status := "TIMING_OFF"
+			if timed {
+				status = "TIMING_ON"
+			}
+			if err := protocol.WriteStatusResponse(w, status); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+		if !timed {
+			if err := s.handle(w, req, nil); err != nil {
+				if s.cfg.Logger != nil {
+					s.cfg.Logger.Printf("conn %s write: %v", conn.RemoteAddr(), err)
+				}
+				return
+			}
+			// Flush when no further pipelined request is buffered, batching
+			// responses under pipelining without adding latency otherwise.
+			if r.Buffered() == 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+			continue
+		}
+		// Timed path: stamp each stage boundary, flush the response to
+		// measure the write span, then append and flush the trailer. The
+		// pipelining flush batch is deliberately given up here — the trailer
+		// must reach the client right behind its response, and the measured
+		// WriteNs should cover a real syscall, not a buffer append.
+		var tm reqTiming
+		tm.arrivalNs = sc.firstReadNs
+		if tm.arrivalNs == 0 {
+			tm.arrivalNs = markNs
+		}
+		tm.parsedNs = time.Now().UnixNano()
+		if err := s.handle(w, req, &tm); err != nil {
 			if s.cfg.Logger != nil {
 				s.cfg.Logger.Printf("conn %s write: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		// Flush when no further pipelined request is buffered, batching
-		// responses under pipelining without adding latency otherwise.
-		if r.Buffered() == 0 {
-			if err := w.Flush(); err != nil {
-				return
-			}
+		tm.serializedNs = time.Now().UnixNano()
+		if err := w.Flush(); err != nil {
+			return
+		}
+		flushedNs := time.Now().UnixNano()
+		if req.NoReply {
+			continue // no response on the wire, so no trailer either
+		}
+		gcSec, schedSec := s.cfg.Probe.Attribute(tm.arrivalNs, flushedNs)
+		st := protocol.ServerTiming{
+			ParseNs:     clampNs(tm.parsedNs - tm.arrivalNs),
+			StoreNs:     clampNs(tm.storedNs - tm.parsedNs),
+			SerializeNs: clampNs(tm.serializedNs - tm.storedNs),
+			WriteNs:     clampNs(flushedNs - tm.serializedNs),
+			GCNs:        clampNs(int64(gcSec * 1e9)),
+			SchedNs:     clampNs(int64(schedSec * 1e9)),
+		}
+		if err := protocol.WriteServerTiming(w, &st); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
 		}
 	}
 }
 
-func (s *Server) handle(w *bufio.Writer, req *protocol.Request) error {
+// reqTiming holds the per-request stage-boundary stamps of the timed path,
+// all UnixNano: arrival (first request byte), parse done, store op done,
+// response serialized into the buffer. The flush stamp is taken inline.
+type reqTiming struct {
+	arrivalNs, parsedNs, storedNs, serializedNs int64
+}
+
+func clampNs(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// stampConn wraps the accepted connection to record the wall-clock instant
+// of the first Read that returns data after each mark — the closest
+// observable proxy for "request bytes arrived" without kernel timestamping.
+// Reads happen only on the connection goroutine, so plain fields suffice.
+type stampConn struct {
+	net.Conn
+	firstReadNs int64
+}
+
+func (c *stampConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.firstReadNs == 0 {
+		c.firstReadNs = time.Now().UnixNano()
+	}
+	return n, err
+}
+
+func (c *stampConn) mark() { c.firstReadNs = 0 }
+
+// handle executes req against the store and serializes the response into w.
+// When tm is non-nil (timed path) the store/serialize boundary is stamped
+// into tm.storedNs; the parse and flush boundaries are stamped by the
+// caller, which owns the surrounding I/O.
+func (s *Server) handle(w *bufio.Writer, req *protocol.Request, tm *reqTiming) error {
 	switch req.Op {
 	case protocol.OpGet:
 		keys := req.AllKeys()
 		if len(keys) == 1 {
 			value, flags, ok := s.store.Get(keys[0])
+			tm.stampStored()
 			return protocol.WriteGetResponse(w, keys[0], flags, value, ok)
 		}
 		var items []protocol.Item
@@ -202,9 +317,11 @@ func (s *Server) handle(w *bufio.Writer, req *protocol.Request) error {
 				items = append(items, protocol.Item{Key: key, Flags: flags, Value: value})
 			}
 		}
+		tm.stampStored()
 		return protocol.WriteItemsResponse(w, items)
 	case protocol.OpSet:
 		err := s.store.Set(req.Key, req.Flags, req.Value)
+		tm.stampStored()
 		if req.NoReply {
 			return nil
 		}
@@ -214,6 +331,7 @@ func (s *Server) handle(w *bufio.Writer, req *protocol.Request) error {
 		return protocol.WriteStatusResponse(w, "STORED")
 	case protocol.OpDelete:
 		ok := s.store.Delete(req.Key)
+		tm.stampStored()
 		if req.NoReply {
 			return nil
 		}
@@ -222,9 +340,11 @@ func (s *Server) handle(w *bufio.Writer, req *protocol.Request) error {
 		}
 		return protocol.WriteStatusResponse(w, "NOT_FOUND")
 	case protocol.OpVersion:
+		tm.stampStored()
 		return protocol.WriteStatusResponse(w, "VERSION "+Version)
 	case protocol.OpStats:
 		st := s.store.Stats()
+		tm.stampStored()
 		for _, line := range []string{
 			fmt.Sprintf("STAT curr_items %d", st.Items),
 			fmt.Sprintf("STAT bytes %d", st.Bytes),
@@ -239,7 +359,16 @@ func (s *Server) handle(w *bufio.Writer, req *protocol.Request) error {
 		}
 		return protocol.WriteStatusResponse(w, "END")
 	default:
+		tm.stampStored()
 		return protocol.WriteStatusResponse(w, "ERROR")
+	}
+}
+
+// stampStored records the execute→serialize boundary; a nil receiver (the
+// untimed fast path) is a no-op, keeping one handle implementation for both.
+func (tm *reqTiming) stampStored() {
+	if tm != nil {
+		tm.storedNs = time.Now().UnixNano()
 	}
 }
 

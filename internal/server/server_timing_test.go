@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+
+	"treadmill/internal/protocol"
+	"treadmill/internal/rtprobe"
+)
+
+// timedServer boots a loopback server, optionally with a runtime probe.
+func timedServer(t testing.TB, probe *rtprobe.Sampler) *Server {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Probe = probe
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+type rawConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+func dialRaw(t testing.TB, addr string) *rawConn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+func (c *rawConn) roundTrip(t testing.TB, req *protocol.Request) *protocol.Response {
+	t.Helper()
+	if err := protocol.WriteRequest(c.bw, req); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := protocol.ParseResponse(c.br, req.Op)
+	if err != nil {
+		t.Fatalf("%s response: %v", req.Op, err)
+	}
+	return resp
+}
+
+func (c *rawConn) trailer(t testing.TB) *protocol.ServerTiming {
+	t.Helper()
+	st, err := protocol.ParseServerTiming(c.br)
+	if err != nil {
+		t.Fatalf("server-timing trailer: %v", err)
+	}
+	return st
+}
+
+// TestServerTimingTrailer exercises the opt-in timing protocol end to end
+// over a raw connection: negotiation, per-response ST trailers with sane
+// spans, probe-supplied GC/sched fields, and clean teardown via timing off.
+func TestServerTimingTrailer(t *testing.T) {
+	probe := rtprobe.NewSampler(rtprobe.Config{Interval: time.Millisecond})
+	probe.Start()
+	defer probe.Stop()
+	srv := timedServer(t, probe)
+	c := dialRaw(t, srv.Addr())
+
+	// Before negotiation: plain responses, no trailers (a trailer here would
+	// desync the next round trip's framing).
+	if resp := c.roundTrip(t, &protocol.Request{Op: protocol.OpSet, Key: "k", Value: []byte("v")}); resp.Status != "STORED" {
+		t.Fatalf("set: %q", resp.Status)
+	}
+
+	if resp := c.roundTrip(t, &protocol.Request{Op: protocol.OpTiming, TimingOn: true}); resp.Status != "TIMING_ON" {
+		t.Fatalf("timing on: %q", resp.Status)
+	}
+
+	// Every subsequent response carries an ST trailer with non-negative
+	// spans and nonzero wall time.
+	for i, req := range []*protocol.Request{
+		{Op: protocol.OpGet, Key: "k"},
+		{Op: protocol.OpSet, Key: "k2", Value: []byte("vv")},
+		{Op: protocol.OpGet, Key: "absent"},
+		{Op: protocol.OpVersion},
+	} {
+		c.roundTrip(t, req)
+		st := c.trailer(t)
+		if st.ParseNs < 0 || st.StoreNs < 0 || st.SerializeNs < 0 || st.WriteNs < 0 || st.GCNs < 0 || st.SchedNs < 0 {
+			t.Fatalf("req %d: negative span: %+v", i, st)
+		}
+		if st.WallNs() <= 0 {
+			t.Errorf("req %d: zero wall time: %+v", i, st)
+		}
+	}
+
+	if resp := c.roundTrip(t, &protocol.Request{Op: protocol.OpTiming}); resp.Status != "TIMING_OFF" {
+		t.Fatalf("timing off: %q", resp.Status)
+	}
+	// After timing off, responses must carry no trailer: two back-to-back
+	// round trips only frame correctly if nothing extra sits on the wire.
+	c.roundTrip(t, &protocol.Request{Op: protocol.OpGet, Key: "k"})
+	if resp := c.roundTrip(t, &protocol.Request{Op: protocol.OpVersion}); resp.Status == "" {
+		t.Fatal("empty version response")
+	}
+}
+
+// TestServerTimingNoReply: noreply stores produce no response and therefore
+// no trailer; the following reply-bearing request must still frame.
+func TestServerTimingNoReply(t *testing.T) {
+	srv := timedServer(t, nil)
+	c := dialRaw(t, srv.Addr())
+	if resp := c.roundTrip(t, &protocol.Request{Op: protocol.OpTiming, TimingOn: true}); resp.Status != "TIMING_ON" {
+		t.Fatalf("timing on: %q", resp.Status)
+	}
+	if err := protocol.WriteRequest(c.bw, &protocol.Request{Op: protocol.OpSet, Key: "nr", Value: []byte("x"), NoReply: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp := c.roundTrip(t, &protocol.Request{Op: protocol.OpGet, Key: "nr"})
+	if !resp.Hit {
+		t.Fatal("noreply set did not store")
+	}
+	st := c.trailer(t)
+	// No probe attached: interference spans report zero rather than lying.
+	if st.GCNs != 0 || st.SchedNs != 0 {
+		t.Errorf("probe-less trailer has interference: %+v", st)
+	}
+}
+
+// TestServerTimingPerConnIsolation: timing is per connection; a second,
+// untimed connection must see trailer-free responses while the first one
+// streams trailers.
+func TestServerTimingPerConnIsolation(t *testing.T) {
+	srv := timedServer(t, nil)
+	timed := dialRaw(t, srv.Addr())
+	plain := dialRaw(t, srv.Addr())
+	if resp := timed.roundTrip(t, &protocol.Request{Op: protocol.OpTiming, TimingOn: true}); resp.Status != "TIMING_ON" {
+		t.Fatalf("timing on: %q", resp.Status)
+	}
+	timed.roundTrip(t, &protocol.Request{Op: protocol.OpSet, Key: "a", Value: []byte("1")})
+	timed.trailer(t)
+	// The plain connection frames two consecutive responses with no trailer.
+	plain.roundTrip(t, &protocol.Request{Op: protocol.OpSet, Key: "b", Value: []byte("2")})
+	if resp := plain.roundTrip(t, &protocol.Request{Op: protocol.OpGet, Key: "b"}); !resp.Hit {
+		t.Fatal("plain connection lost a response")
+	}
+}
+
+// benchRoundTrips measures single-outstanding GET round trips against a
+// loopback server and reports the client-observed mean as ns/op, so the
+// timed and untimed paths compare directly:
+//
+//	go test -bench ServerTiming -benchtime 10000x ./internal/server
+//
+// BenchmarkServerTimingOff is the guard for the overhead satellite: the
+// untimed path (timing never negotiated, probe attached but idle per
+// request) must stay within noise (<1%) of the pre-trailer server, because
+// it executes no timing code beyond one per-request bool check and skipped
+// stamps.
+func benchRoundTrips(b *testing.B, timing bool) {
+	probe := rtprobe.NewSampler(rtprobe.Config{})
+	probe.Start()
+	defer probe.Stop()
+	srv := timedServer(b, probe)
+	c := dialRaw(b, srv.Addr())
+	if resp := c.roundTrip(b, &protocol.Request{Op: protocol.OpSet, Key: "bench", Value: []byte("value")}); resp.Status != "STORED" {
+		b.Fatalf("seed: %q", resp.Status)
+	}
+	if timing {
+		if resp := c.roundTrip(b, &protocol.Request{Op: protocol.OpTiming, TimingOn: true}); resp.Status != "TIMING_ON" {
+			b.Fatalf("timing on: %q", resp.Status)
+		}
+	}
+	get := &protocol.Request{Op: protocol.OpGet, Key: "bench"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := c.roundTrip(b, get); !resp.Hit {
+			b.Fatal("miss")
+		}
+		if timing {
+			c.trailer(b)
+		}
+	}
+}
+
+func BenchmarkServerTimingOff(b *testing.B) { benchRoundTrips(b, false) }
+func BenchmarkServerTimingOn(b *testing.B)  { benchRoundTrips(b, true) }

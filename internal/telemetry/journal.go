@@ -97,7 +97,12 @@ type FinalRecord struct {
 type AnatomyRecord struct {
 	// Label identifies the scope of the breakdown (a run index, a
 	// factorial-cell key, or "final" for the whole experiment).
-	Label    string `json:"label,omitempty"`
+	Label string `json:"label,omitempty"`
+	// Source tags span provenance: "sim" for simulator-stamped vectors,
+	// "live" for spans derived from a real server's timestamps and runtime
+	// signals. Absent in journals written before the field existed — decode
+	// treats the empty string as unknown/legacy.
+	Source   string `json:"anatomy_source,omitempty"`
 	Requests uint64 `json:"requests"`
 	Invalid  uint64 `json:"invalid,omitempty"`
 	// BodyQ/TailQ are the conditioning quantiles; P50/P99 their estimated

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJournalAnatomySourceRoundTrip: a journaled anatomy event carries the
+// anatomy_source field and reads back intact.
+func TestJournalAnatomySourceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	err := j.Emit(Event{Kind: EventAnatomy, Anatomy: &AnatomyRecord{
+		Label:    "run 1",
+		Source:   "live",
+		Requests: 42,
+		Phases:   []string{"srv_gc"},
+		Cuts:     []AnatomyCut{{Name: "overall", Count: 42, MeanTotal: 1e-3, PhaseMeans: []float64{1e-4}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"anatomy_source":"live"`) {
+		t.Fatalf("encoded event missing anatomy_source: %s", buf.String())
+	}
+	events, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Anatomy == nil {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Anatomy.Source != "live" {
+		t.Errorf("source = %q", events[0].Anatomy.Source)
+	}
+}
+
+// TestJournalAnatomySourceLegacyDecode: journal lines written before the
+// anatomy_source field existed (and before the Srv* phases) must still
+// decode, with Source empty — the legacy marker — and no invented phases.
+func TestJournalAnatomySourceLegacyDecode(t *testing.T) {
+	legacy := `{"event":"anatomy","anatomy":{"label":"run 0","requests":100,` +
+		`"body_q":0.5,"tail_q":0.99,"p50":0.0001,"p99":0.001,` +
+		`"phases":["client_send","wire_server","client_recv"],` +
+		`"cuts":[{"name":"overall","count":100,"mean_total":0.0002,` +
+		`"phase_means":[0.00005,0.0001,0.00005]}]}}` + "\n"
+	events, err := ReadJournal(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Anatomy == nil {
+		t.Fatalf("events = %+v", events)
+	}
+	rec := events[0].Anatomy
+	if rec.Source != "" {
+		t.Errorf("legacy source = %q, want empty", rec.Source)
+	}
+	if rec.Requests != 100 || len(rec.Phases) != 3 || len(rec.Cuts) != 1 {
+		t.Errorf("legacy record mangled: %+v", rec)
+	}
+	// Sim/live tagged lines must not collide with the legacy decode path.
+	tagged := strings.Replace(legacy, `"requests":100`, `"anatomy_source":"sim","requests":100`, 1)
+	events, err = ReadJournal(strings.NewReader(tagged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Anatomy.Source != "sim" {
+		t.Errorf("tagged source = %q", events[0].Anatomy.Source)
+	}
+}
