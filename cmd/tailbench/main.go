@@ -9,7 +9,7 @@
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
 //
 //	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution bench
-//	fleetbias chaos liveanatomy all
+//	fleetbias chaos liveanatomy timeline all
 //
 // "attribution" runs table4 + fig7/8/11/12 + anatomy (memcached) and
 // fig9/10 (mcrouter) off shared campaigns; "all" runs everything
@@ -29,6 +29,15 @@
 // rtprobe runtime sampler attributing GC pauses and scheduler wait. It
 // renders the per-cell dominant-mechanism table, the quantile-regression
 // coefficients with bootstrap CIs, and the GC-share-of-tail finding.
+//
+// "timeline" is the flight-recorder target (wall-clock, excluded from
+// "all"): it records a 4-agent loopback fleet campaign with flight
+// capture enabled — sampled request spans with anatomy sub-spans, an
+// always-on forensic ring, and an online-P99 tail trigger — renders the
+// per-cell/per-agent summary and the body-vs-tail-bundle phase contrast,
+// and writes the clock-corrected timeline as Chrome trace-event JSON
+// (-flight path, default timeline.trace.json; open it in Perfetto). The
+// written trace is schema-validated before the target exits.
 //
 // "chaos" is the other wall-clock target (also excluded from "all"): it
 // runs loopback fleet campaigns over the deterministic fault-injection
@@ -64,6 +73,7 @@ import (
 
 	"treadmill/internal/anatomy"
 	"treadmill/internal/experiments"
+	"treadmill/internal/flightrec"
 	"treadmill/internal/report"
 	"treadmill/internal/telemetry"
 )
@@ -304,6 +314,26 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+		case "timeline":
+			fmt.Fprintln(os.Stderr, "recording campaign flight timeline (4 loopback agents, real sockets, forensic tail triggers)...")
+			tl, err := experiments.RunTimeline(ctx, scale)
+			if err != nil {
+				fatal(err)
+			}
+			p.table(experiments.TimelineTable(tl))
+			p.table(experiments.TimelineContrastTable(tl))
+			out := obsFlags.Flight
+			if out == "" {
+				out = "timeline.trace.json"
+			}
+			if err := flightrec.WriteChromeTraceFile(out, tl.Spans, tl.Marks); err != nil {
+				fatal(err)
+			}
+			if err := flightrec.ValidateChromeTraceFile(out); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "flight: wrote %d spans, %d forensic bundles to %s (trace validates); open in https://ui.perfetto.dev\n",
+				len(tl.Spans), tl.Forensics, out)
 		case "liveanatomy":
 			fmt.Fprintln(os.Stderr, "running live anatomy factorial (GOMAXPROCS x GOGC x conns x value size, real sockets, runtime probe)...")
 			la, err := experiments.RunLiveAnatomy(ctx, scale)

@@ -80,13 +80,15 @@ func run(ctx context.Context, o options) (err error) {
 			err = cerr
 		}
 	}()
-	if obs.Tracer != nil {
-		defer func() {
-			if werr := writeTraces(obs.Tracer, o.obs.Trace); werr != nil && err == nil {
-				err = werr
-			}
-		}()
-	}
+	defer func() {
+		line, werr := obs.WriteTraceFile(o.obs.Trace)
+		if line != "" {
+			fmt.Println(line)
+		}
+		if werr != nil && err == nil {
+			err = werr
+		}
+	}()
 	if line := obs.ServingLine(); line != "" {
 		fmt.Println(line)
 	}
@@ -131,22 +133,4 @@ func run(ctx context.Context, o options) (err error) {
 			return err
 		}
 	}
-}
-
-// writeTraces flushes the sampled trace buffer to path.
-func writeTraces(tracer *telemetry.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tracer.WriteJSONL(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("traces: wrote %d sampled records to %s (%d dropped)\n",
-		tracer.Len(), path, tracer.Dropped())
-	return nil
 }

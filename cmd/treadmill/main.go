@@ -12,7 +12,7 @@
 //	          [-fleet :9200] [-agents 4] [-loss-policy abort] [-chaos]
 //	          [-journal run.jsonl] [-trace traces.jsonl] [-trace-sample 1000]
 //	          [-slippage-alert 1ms] [-telemetry-addr 127.0.0.1:9150]
-//	          [-anatomy anatomy.csv]
+//	          [-anatomy anatomy.csv] [-flight flight.trace.json]
 //
 // With -fleet, treadmill runs as a coordinator instead of generating load
 // itself: it listens for treadmill-agent processes, calibrates each
@@ -36,7 +36,10 @@
 // -telemetry-addr serves /metrics, /debug/vars, and /debug/pprof live;
 // -anatomy collects every request's client-observable phase decomposition
 // (client send / wire+server / client receive) into a tail-vs-body
-// breakdown, prints it, and exports it as CSV or JSONL.
+// breakdown, prints it, and exports it as CSV or JSONL; -flight (fleet
+// mode only) records the campaign flight timeline — clock-corrected
+// per-agent run and request spans plus tail-trigger forensic bundles —
+// and writes it as Perfetto-loadable Chrome trace-event JSON.
 package main
 
 import (
@@ -59,6 +62,7 @@ import (
 	"treadmill/internal/core"
 	"treadmill/internal/experiments"
 	"treadmill/internal/fleet"
+	"treadmill/internal/flightrec"
 	"treadmill/internal/loadgen"
 	"treadmill/internal/report"
 	"treadmill/internal/stats"
@@ -133,6 +137,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treadmill: -chaos runs its own loopback fleet and is incompatible with -fleet")
 		os.Exit(2)
 	}
+	if o.obs.Flight != "" && o.fleetAddr == "" {
+		fmt.Fprintln(os.Stderr, "treadmill: -flight requires -fleet (the flight recorder is the coordinator's campaign timeline)")
+		os.Exit(2)
+	}
 	if o.fleetAddr != "" {
 		switch {
 		case o.findCapacity || o.closedLoop:
@@ -175,13 +183,15 @@ func run(ctx context.Context, o options) (err error) {
 			err = cerr
 		}
 	}()
-	if obs.Tracer != nil {
-		defer func() {
-			if werr := writeTraces(obs.Tracer, o.obs.Trace); werr != nil && err == nil {
-				err = werr
-			}
-		}()
-	}
+	defer func() {
+		line, werr := obs.WriteTraceFile(o.obs.Trace)
+		if line != "" {
+			fmt.Println(line)
+		}
+		if werr != nil && err == nil {
+			err = werr
+		}
+	}()
 	if line := obs.ServingLine(); line != "" {
 		fmt.Println(line)
 	}
@@ -201,6 +211,7 @@ func run(ctx context.Context, o options) (err error) {
 	// slow) preload, so agents can dial in and calibrate their clocks while
 	// the key space loads instead of bouncing off a closed port.
 	var co *fleet.Coordinator
+	var flight *flightrec.Recorder
 	if o.fleetAddr != "" {
 		loss, perr := fleet.ParseLossPolicy(o.fleetLoss)
 		if perr != nil {
@@ -210,11 +221,19 @@ func run(ctx context.Context, o options) (err error) {
 		if lerr != nil {
 			return fmt.Errorf("fleet: listen %s: %w", o.fleetAddr, lerr)
 		}
-		co = fleet.NewCoordinator(fleet.Config{
+		cfg := fleet.Config{
 			Loss:    loss,
 			Journal: obs.Journal,
 			Metrics: reg,
-		})
+		}
+		if o.obs.Flight != "" {
+			flight = flightrec.NewRecorder("treadmill-fleet", time.Now().UnixNano(), obs.Journal)
+			cfg.Flight = flight
+			// The online-quantile trigger keys off each cell's own tail, so
+			// the default policy works at any rate without tuning.
+			cfg.FlightSpec = &flightrec.CaptureSpec{Quantile: 0.999}
+		}
+		co = fleet.NewCoordinator(cfg)
 		defer co.Close()
 		co.Serve(ln)
 		fmt.Printf("fleet: accepting agents on %s (loss policy %s)\n", ln.Addr(), loss)
@@ -247,6 +266,26 @@ func run(ctx context.Context, o options) (err error) {
 		err = runTreadmill(ctx, o, wl, reg, obs.Journal, obs.Tracer, co)
 	}
 
+	// Export the flight timeline even after a failed or interrupted
+	// campaign: whatever was recorded is exactly the evidence needed to
+	// see what the fleet was doing when things went wrong.
+	if flight != nil {
+		flight.Close(time.Now().UnixNano())
+		spans, marks := flight.Spans(), flight.Marks()
+		fmt.Print(flightrec.RenderSummary(flightrec.Summarize(spans, marks)))
+		werr := flightrec.WriteChromeTraceFile(o.obs.Flight, spans, marks)
+		if werr == nil {
+			werr = flightrec.ValidateChromeTraceFile(o.obs.Flight)
+		}
+		switch {
+		case werr != nil && err == nil:
+			err = werr
+		case werr == nil:
+			fmt.Printf("flight: wrote %d spans, %d forensic bundles to %s (trace validates); open in https://ui.perfetto.dev\n",
+				len(spans), len(marks), o.obs.Flight)
+		}
+	}
+
 	if prober != nil {
 		close(proberStop)
 		if perr := <-proberDone; perr != nil {
@@ -263,23 +302,6 @@ func run(ctx context.Context, o options) (err error) {
 	return err
 }
 
-// writeTraces flushes the sampled trace buffer to path.
-func writeTraces(tracer *telemetry.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tracer.WriteJSONL(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("traces: wrote %d sampled records to %s (%d dropped)\n",
-		tracer.Len(), path, tracer.Dropped())
-	return nil
-}
 
 func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telemetry.Registry, journal *telemetry.Journal, tracer *telemetry.Tracer, co *fleet.Coordinator) error {
 	cfg := core.DefaultConfig()

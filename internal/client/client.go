@@ -93,6 +93,7 @@ type Conn struct {
 	// pays only inlined nil checks on the hot path.
 	tracer    *telemetry.Tracer
 	anatomy   *anatomy.Aggregator
+	onVec     func(op string, stamps anatomy.ClientStamps, total float64, vec anatomy.Vec)
 	reqs      *telemetry.Counter
 	resps     *telemetry.Counter
 	fails     *telemetry.Counter
@@ -128,6 +129,13 @@ type ConnConfig struct {
 	// answer ERROR) downgrades the connection back to the coarse
 	// decomposition.
 	ServerTiming bool
+	// OnVec, when non-nil, receives every successful request's anatomy
+	// decomposition — the same rtprobe.Correlate output the Anatomy
+	// aggregator consumes, but per request with its client stamps, so a
+	// flight recorder can keep individual tail requests instead of
+	// streaming aggregates. Runs inline on the reader goroutine: keep it
+	// short.
+	OnVec func(op string, stamps anatomy.ClientStamps, total float64, vec anatomy.Vec)
 }
 
 // DefaultConnConfig returns sensible load-test defaults.
@@ -166,6 +174,7 @@ func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
 		done:     make(chan struct{}),
 		tracer:   cfg.Tracer,
 		anatomy:  cfg.Anatomy,
+		onVec:    cfg.OnVec,
 		trailers: true,
 	}
 	if reg := cfg.Telemetry; reg != nil {
@@ -242,7 +251,7 @@ func (c *Conn) readLoop(r *bufio.Reader) {
 		}
 		p.cb(&Result{Resp: resp, Start: p.start, Done: now})
 		c.resps.Inc()
-		if p.trace != nil || c.anatomy != nil {
+		if p.trace != nil || c.anatomy != nil || c.onVec != nil {
 			completeNs := time.Now().UnixNano()
 			sendNs := p.sendNs.Load()
 			if p.trace != nil {
@@ -256,14 +265,21 @@ func (c *Conn) readLoop(r *bufio.Reader) {
 			// coarse wire+server span is split into server-derived phases;
 			// without one Correlate degrades to the coarse triple. The
 			// timing handshake itself is control traffic, not workload, and
-			// stays out of the ledger.
-			if c.anatomy != nil && p.op != protocol.OpTiming {
+			// stays out of the ledger. OnVec sees the identical
+			// decomposition per request, for consumers (the flight
+			// recorder) that keep individuals rather than aggregates.
+			if (c.anatomy != nil || c.onVec != nil) && p.op != protocol.OpTiming {
 				stamps := anatomy.ClientStamps{
 					ArrivalNs: p.arrivalNs, SendNs: sendNs,
 					FirstByteNs: now.UnixNano(), CompleteNs: completeNs,
 				}
 				if v, total, ok, clamped := rtprobe.Correlate(stamps, srvTiming); ok {
-					c.anatomy.Record(total, v)
+					if c.anatomy != nil {
+						c.anatomy.Record(total, v)
+					}
+					if c.onVec != nil {
+						c.onVec(p.op.String(), stamps, total, v)
+					}
 					if clamped {
 						c.clampsC.Inc()
 					}
@@ -373,7 +389,7 @@ func (c *Conn) DoAt(req *protocol.Request, arrival time.Time, cb Callback) error
 	if err == nil {
 		err = c.w.Flush()
 	}
-	if err == nil && (p.trace != nil || c.anatomy != nil) {
+	if err == nil && (p.trace != nil || c.anatomy != nil || c.onVec != nil) {
 		p.sendNs.Store(time.Now().UnixNano())
 	}
 	c.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -258,7 +259,10 @@ func (ag *Agent) Run(ctx context.Context, nc net.Conn) error {
 
 // handshake performs Hello/Welcome and the clock-probe burst.
 func (ag *Agent) handshake(ctx context.Context, wc *wire.Conn) (wire.Welcome, error) {
-	if err := wc.Write(wire.THello, wire.Hello{Version: wire.Version, Name: ag.cfg.Name}); err != nil {
+	if err := wc.Write(wire.THello, wire.Hello{
+		Version: wire.Version, Name: ag.cfg.Name,
+		Features: []string{wire.FeatureFlightRec},
+	}); err != nil {
 		return wire.Welcome{}, err
 	}
 	f, err := wc.Read()
@@ -355,7 +359,14 @@ func (ag *Agent) executeCell(ctx context.Context, wc *wire.Conn, cell wire.Cell,
 	})
 
 	startNs := time.Now().UnixNano()
-	res, err := ag.cfg.Runner.RunCell(ctx, cell, prog)
+	var res wire.CellDone
+	var err error
+	// Cell runs execute under pprof labels so CPU profiles — including the
+	// forensic slices the flight recorder triggers — attribute samples to
+	// the cell and agent that produced them.
+	pprof.Do(ctx, pprof.Labels("fleet_cell", cell.ID, "cell_kind", cell.Kind, "agent", ag.cfg.Name), func(ctx context.Context) {
+		res, err = ag.cfg.Runner.RunCell(ctx, cell, prog)
+	})
 	endNs := time.Now().UnixNano()
 	res.CellID = cell.ID
 	if res.StartNs == 0 {

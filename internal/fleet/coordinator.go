@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"treadmill/internal/fleet/wire"
+	"treadmill/internal/flightrec"
 	"treadmill/internal/hist"
 	"treadmill/internal/telemetry"
 )
@@ -45,6 +46,14 @@ type Config struct {
 	// OnSnap, when non-nil, observes every mid-cell snapshot that arrives
 	// (after merging is the caller's business; this is raw per-agent flow).
 	OnSnap func(agent, cellID string, snap *hist.Snapshot, requests uint64)
+	// Flight, when non-nil, is the campaign flight recorder: every cell
+	// gets a dispatch→done span, and agents that advertise
+	// wire.FeatureFlightRec return clock-corrected request spans and
+	// forensic bundles that are folded into the timeline.
+	Flight *flightrec.Recorder
+	// FlightSpec is the capture policy shipped with each dispatch when
+	// Flight is set (nil = flightrec defaults).
+	FlightSpec *flightrec.CaptureSpec
 }
 
 func (c Config) withDefaults() Config {
@@ -100,11 +109,12 @@ type frameSink func(a *agentLink, f wire.Frame)
 
 // agentLink is the coordinator's handle on one connected agent.
 type agentLink struct {
-	co    *Coordinator
-	name  string
-	index int
-	conn  *wire.Conn
-	clock ClockEstimate
+	co       *Coordinator
+	name     string
+	index    int
+	conn     *wire.Conn
+	clock    ClockEstimate
+	features []string
 
 	sink atomic.Pointer[frameSink]
 
@@ -190,7 +200,10 @@ func (c *Coordinator) Attach(nc net.Conn) error {
 	c.next++
 	c.mu.Unlock()
 
-	if err := wc.Write(wire.TWelcome, wire.Welcome{Version: wire.Version, Index: index, ClockProbes: c.cfg.ClockProbes}); err != nil {
+	if err := wc.Write(wire.TWelcome, wire.Welcome{
+		Version: wire.Version, Index: index, ClockProbes: c.cfg.ClockProbes,
+		Features: []string{wire.FeatureFlightRec},
+	}); err != nil {
 		wc.Close()
 		return err
 	}
@@ -225,7 +238,7 @@ func (c *Coordinator) Attach(nc net.Conn) error {
 		return err
 	}
 
-	a := &agentLink{co: c, name: hello.Name, index: index, conn: wc, clock: est, done: make(chan struct{})}
+	a := &agentLink{co: c, name: hello.Name, index: index, conn: wc, clock: est, features: hello.Features, done: make(chan struct{})}
 	// Registration and wg.Add happen under the same lock Close takes
 	// before waiting, so no goroutine can start after teardown begins.
 	c.mu.Lock()
@@ -347,6 +360,40 @@ func (a *agentLink) lostErr() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.err
+}
+
+// flightCapable reports whether the agent advertised flight recording.
+func (a *agentLink) flightCapable() bool {
+	return wire.HasFeature(a.features, wire.FeatureFlightRec)
+}
+
+// flightCell decorates a dispatch with the campaign's capture policy —
+// only for agents that advertised the feature, so pre-feature agents
+// never see (and would anyway ignore) the new fields.
+func (c *Coordinator) flightCell(cell wire.Cell, a *agentLink) wire.Cell {
+	if c.cfg.Flight == nil || !a.flightCapable() {
+		return cell
+	}
+	spec := c.cfg.FlightSpec
+	if spec == nil {
+		spec = &flightrec.CaptureSpec{}
+	}
+	cell.Capture = spec
+	cell.Campaign = c.cfg.Flight.Campaign()
+	return cell
+}
+
+// recordFlight folds one agent's flight payload into the campaign
+// timeline under cellSpan: timestamps are mapped from the agent's clock
+// onto the coordinator's with the join-time offset estimate, then the
+// agent-run, request, and phase spans plus forensic marks are recorded
+// (and journaled by the recorder).
+func (c *Coordinator) recordFlight(cellSpan uint64, a *agentLink, cellID string, flight *flightrec.CellFlight) {
+	if c.cfg.Flight == nil || flight == nil {
+		return
+	}
+	flight.CorrectClock(a.clock.ToCoord)
+	c.cfg.Flight.RecordCellFlight(cellSpan, a.name, cellID, flight)
 }
 
 // journalFleet emits a fleet event, ignoring journal errors (the journal
@@ -545,6 +592,7 @@ func (c *Coordinator) RunCells(ctx context.Context, cells []wire.Cell) ([]CellRe
 	}
 	busy := make(map[*agentLink]int)             // agent -> cell index in flight
 	dispatched := make(map[*agentLink]time.Time) // last dispatch or progress evidence
+	dispatchNs := make(map[string]int64)         // cell ID -> latest dispatch instant (flight envelope)
 
 	dispatch := func(a *agentLink) {
 		for len(pending) > 0 {
@@ -560,13 +608,14 @@ func (c *Coordinator) RunCells(ctx context.Context, cells []wire.Cell) ([]CellRe
 			if reassigns[cell.ID] > 0 {
 				action = "reassign"
 			}
-			if err := a.conn.Write(wire.TCell, cell); err != nil {
+			if err := a.conn.Write(wire.TCell, c.flightCell(cell, a)); err != nil {
 				a.markLost(fmt.Errorf("fleet: dispatch %q to %q: %w", cell.ID, a.name, err))
 				return
 			}
 			pending = pending[1:]
 			busy[a] = idx
 			dispatched[a] = time.Now()
+			dispatchNs[cell.ID] = time.Now().UnixNano()
 			c.journalFleet(telemetry.FleetRecord{Action: action, Agent: a.name, Cell: cell.ID})
 			c.cfg.Metrics.Counter("fleet.cells_dispatched").Inc()
 			return
@@ -732,6 +781,14 @@ func (c *Coordinator) RunCells(ctx context.Context, cells []wire.Cell) ([]CellRe
 				if d.EndNs != 0 {
 					d.EndNs = ev.a.clock.ToCoord(d.EndNs)
 				}
+				if rec := c.cfg.Flight; rec != nil {
+					cellSpan := rec.Add(flightrec.Span{
+						Parent: rec.Root(), Kind: flightrec.KindCell,
+						Name: "cell " + d.CellID, Cell: d.CellID,
+						StartNs: dispatchNs[d.CellID], EndNs: time.Now().UnixNano(),
+					})
+					c.recordFlight(cellSpan, ev.a, d.CellID, d.Flight)
+				}
 				committed[d.CellID] = true
 				results[idx] = CellResult{Done: d, Agent: ev.a.name, Reassigned: reassigns[d.CellID]}
 				remaining--
@@ -816,12 +873,13 @@ func (c *Coordinator) RunBroadcast(ctx context.Context, cell wire.Cell) (*Broadc
 		cp.enroll(a)
 		pos[a] = i
 	}
+	dispatchNs := time.Now().UnixNano()
 	for i, a := range agents {
 		shard := cell
 		shard.Shard = i
 		shard.Shards = n
 		shard.Barrier = true
-		if err := a.conn.Write(wire.TCell, shard); err != nil {
+		if err := a.conn.Write(wire.TCell, c.flightCell(shard, a)); err != nil {
 			a.markLost(fmt.Errorf("fleet: broadcast dispatch to %q: %w", a.name, err))
 			if c.cfg.Loss == LossAbort {
 				return nil, fmt.Errorf("fleet: agent %q lost during broadcast dispatch", a.name)
@@ -967,6 +1025,18 @@ func (c *Coordinator) RunBroadcast(ctx context.Context, cell wire.Cell) (*Broadc
 				c.journalFleet(telemetry.FleetRecord{Action: "commit", Agent: ev.a.name, Cell: d.CellID})
 				c.cfg.Metrics.Counter("fleet.cells_committed").Inc()
 			}
+		}
+	}
+	// Fold every surviving shard's flight payload into the timeline under
+	// one cell span spanning dispatch→collection.
+	if rec := c.cfg.Flight; rec != nil {
+		cellSpan := rec.Add(flightrec.Span{
+			Parent: rec.Root(), Kind: flightrec.KindCell,
+			Name: "cell " + cell.ID, Cell: cell.ID,
+			StartNs: dispatchNs, EndNs: time.Now().UnixNano(),
+		})
+		for i, a := range agents {
+			c.recordFlight(cellSpan, a, cell.ID, res.Done[i].Flight)
 		}
 	}
 	return res, nil

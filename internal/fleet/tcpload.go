@@ -7,10 +7,13 @@ import (
 	"sync"
 	"time"
 
+	"treadmill/internal/anatomy"
 	"treadmill/internal/client"
 	"treadmill/internal/fleet/wire"
+	"treadmill/internal/flightrec"
 	"treadmill/internal/hist"
 	"treadmill/internal/loadgen"
+	"treadmill/internal/rtprobe"
 	"treadmill/internal/telemetry"
 	"treadmill/internal/workload"
 )
@@ -96,6 +99,14 @@ type TCPLoadRunner struct {
 	// SlippageAlert is the send-slippage alert threshold (<= 0 selects the
 	// default).
 	SlippageAlert time.Duration
+	// Probe, when non-nil, supplies the runtime GC/sched window
+	// attribution for flight-recorder forensic bundles (cells dispatched
+	// without a Capture spec never touch it).
+	Probe *rtprobe.Sampler
+	// ServerTiming negotiates per-response server-timing trailers so
+	// flight-recorded request spans carry server-derived anatomy phases
+	// instead of one opaque wire+server span.
+	ServerTiming bool
 }
 
 // RunCell implements CellRunner.
@@ -124,6 +135,24 @@ func (r *TCPLoadRunner) RunCell(ctx context.Context, cell wire.Cell, progress Pr
 	var mu sync.Mutex
 	var requests uint64
 
+	// Flight recording is dispatch-driven: only cells that carry a
+	// Capture spec (a feature-negotiated coordinator with a recorder)
+	// pay for the ring buffer and per-request anatomy decomposition.
+	var capture *flightrec.Capture
+	var onVec func(op string, stamps anatomy.ClientStamps, total float64, vec anatomy.Vec)
+	if cell.Capture != nil {
+		cspec := *cell.Capture
+		// The online-quantile histogram inherits the load spec's agreed
+		// geometry unless the capture policy chose its own.
+		if cspec.HistLo == 0 && cspec.HistHi == 0 {
+			cspec.HistLo, cspec.HistHi = spec.HistLo, spec.HistHi
+		}
+		capture = flightrec.NewCapture(cspec, r.Probe)
+		onVec = func(op string, stamps anatomy.ClientStamps, total float64, vec anatomy.Vec) {
+			capture.Observe(op, stamps.ArrivalNs, stamps.CompleteNs, total, vec)
+		}
+	}
+
 	// Per-shard seed derivation mirrors core.TCPRunner's per-instance
 	// scheme, so a shard is seeded like the instance it replaces.
 	gen, err := loadgen.NewOpenLoop(spec.Addr, loadgen.Options{
@@ -134,6 +163,8 @@ func (r *TCPLoadRunner) RunCell(ctx context.Context, cell wire.Cell, progress Pr
 		Telemetry:     r.Telemetry,
 		Tracer:        r.Tracer,
 		SlippageAlert: r.SlippageAlert,
+		ServerTiming:  r.ServerTiming,
+		OnVec:         onVec,
 		OnResult: func(res *client.Result) {
 			if res.Err != nil {
 				return
@@ -176,7 +207,9 @@ func (r *TCPLoadRunner) RunCell(ctx context.Context, cell wire.Cell, progress Pr
 		}()
 	}
 
+	runStartNs := time.Now().UnixNano()
 	stats, err := gen.Run(ctx, time.Duration(spec.DurationNs))
+	runEndNs := time.Now().UnixNano()
 	close(snapStop)
 	snapWG.Wait()
 	if err != nil {
@@ -195,6 +228,7 @@ func (r *TCPLoadRunner) RunCell(ctx context.Context, cell wire.Cell, progress Pr
 	return wire.CellDone{
 		Hists:    []*hist.Snapshot{snap},
 		Requests: stats.Completed,
+		Flight:   capture.Finish(runStartNs, runEndNs),
 	}, nil
 }
 

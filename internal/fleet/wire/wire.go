@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"treadmill/internal/flightrec"
 	"treadmill/internal/hist"
 )
 
@@ -110,10 +111,34 @@ func (t Type) String() string {
 	}
 }
 
+// Feature names advertised in Hello/Welcome. Features extend the
+// protocol without bumping Version: they ride in omitempty JSON fields
+// that pre-feature peers never set and never read (Go's decoder ignores
+// unknown object keys), so a v1 agent and a feature-aware coordinator
+// interoperate — each side simply only uses features both advertised.
+const (
+	// FeatureFlightRec marks support for flight-recorder capture: the
+	// Cell.Capture dispatch field and the CellDone.Flight result field.
+	FeatureFlightRec = "flightrec"
+)
+
+// HasFeature reports whether name is in a peer's advertised feature set.
+func HasFeature(features []string, name string) bool {
+	for _, f := range features {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Hello opens a connection (agent → coordinator).
 type Hello struct {
 	Version int    `json:"version"`
 	Name    string `json:"name"`
+	// Features lists optional protocol extensions the agent supports
+	// (absent from v1 agents; see the Feature* constants).
+	Features []string `json:"features,omitempty"`
 }
 
 // Welcome accepts an agent into the fleet.
@@ -124,6 +149,9 @@ type Welcome struct {
 	Index int `json:"index"`
 	// ClockProbes is how many ClockPing exchanges follow immediately.
 	ClockProbes int `json:"clock_probes"`
+	// Features lists the extensions the coordinator supports; an agent
+	// only activates a feature both sides advertised.
+	Features []string `json:"features,omitempty"`
 }
 
 // Reject refuses a connection during handshake.
@@ -166,6 +194,14 @@ type Cell struct {
 	Barrier bool `json:"barrier,omitempty"`
 	// Payload is the kind-specific cell description.
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Capture, when non-nil, asks a FeatureFlightRec agent to flight-
+	// record the cell with this policy. Pre-feature agents ignore the
+	// field; the coordinator only sets it for agents that advertised the
+	// feature.
+	Capture *flightrec.CaptureSpec `json:"capture,omitempty"`
+	// Campaign names the recording the cell belongs to (span context for
+	// the flight recorder; informational to the agent).
+	Campaign string `json:"campaign,omitempty"`
 }
 
 // Ready reports a barrier cell is prepared (agent → coordinator).
@@ -215,6 +251,12 @@ type CellDone struct {
 	// the coordinator translates them with its offset estimate.
 	StartNs int64 `json:"start_ns,omitempty"`
 	EndNs   int64 `json:"end_ns,omitempty"`
+	// Flight is the cell's flight-recorder payload (sampled request
+	// spans + forensic bundles), present only when the dispatch carried
+	// a Capture spec and the agent supports FeatureFlightRec. All its
+	// timestamps are in the agent's clock until the coordinator corrects
+	// them.
+	Flight *flightrec.CellFlight `json:"flight,omitempty"`
 }
 
 // Heartbeat is the liveness beacon. Agent-side heartbeats double as

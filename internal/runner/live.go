@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -224,7 +225,14 @@ func (s *LiveStudy) Run(ctx context.Context) (*Result, error) {
 				cellAggs[key] = cellAgg
 			}
 		}
-		sample, err := s.runCell(ctx, knobs, levels, probe, cellAgg, s.Seed+uint64(idx)*7919+1)
+		// Label the cell's execution (server goroutines and load-generator
+		// connections inherit the labels at spawn) so a live campaign's CPU
+		// profile splits by factorial cell.
+		var sample Sample
+		var err error
+		pprof.Do(ctx, pprof.Labels("study_cell", LevelsKey(levels)), func(ctx context.Context) {
+			sample, err = s.runCell(ctx, knobs, levels, probe, cellAgg, s.Seed+uint64(idx)*7919+1)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("runner: live experiment %d (levels %v): %w", idx, levels, err)
 		}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -255,7 +256,14 @@ func (s *Study) Run(ctx context.Context) (*Result, error) {
 				if !s.CollectAnatomy {
 					record = nil
 				}
-				sample, err := s.runConfig(schedule[i], s.Seed+uint64(i)*7919+1, record)
+				// Tag the worker goroutine with the factorial cell for the
+				// duration of the experiment so CPU profiles of a campaign
+				// attribute samples to cells (pprof -tagfocus study_cell=...).
+				var sample Sample
+				var err error
+				pprof.Do(cctx, pprof.Labels("study_cell", LevelsKey(schedule[i])), func(context.Context) {
+					sample, err = s.runConfig(schedule[i], s.Seed+uint64(i)*7919+1, record)
+				})
 				inflightG.Add(-1)
 				outcomes <- runOutcome{idx: i, sample: sample, obs: buf, err: err}
 			}

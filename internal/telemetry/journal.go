@@ -31,20 +31,24 @@ type Event struct {
 	Config  *ConfigRecord  `json:"config,omitempty"`
 	Run     *RunRecord     `json:"run,omitempty"`
 	Final   *FinalRecord   `json:"final,omitempty"`
-	Anatomy *AnatomyRecord `json:"anatomy,omitempty"`
-	Fleet   *FleetRecord   `json:"fleet,omitempty"`
-	Note    string         `json:"note,omitempty"`
-	Fields  map[string]any `json:"fields,omitempty"`
+	Anatomy  *AnatomyRecord  `json:"anatomy,omitempty"`
+	Fleet    *FleetRecord    `json:"fleet,omitempty"`
+	Span     *SpanRecord     `json:"span,omitempty"`
+	Forensic *ForensicRecord `json:"forensic,omitempty"`
+	Note     string          `json:"note,omitempty"`
+	Fields   map[string]any  `json:"fields,omitempty"`
 }
 
 // Event kinds emitted by the core engine.
 const (
-	EventConfig  = "config"
-	EventRun     = "run"
-	EventFinal   = "final"
-	EventAnatomy = "anatomy"
-	EventFleet   = "fleet"
-	EventNote    = "note"
+	EventConfig   = "config"
+	EventRun      = "run"
+	EventFinal    = "final"
+	EventAnatomy  = "anatomy"
+	EventFleet    = "fleet"
+	EventSpan     = "span"
+	EventForensic = "forensic"
+	EventNote     = "note"
 )
 
 // ConfigRecord journals the measurement procedure's configuration.
@@ -125,6 +129,64 @@ type AnatomyCut struct {
 	Count      uint64    `json:"count"`
 	MeanTotal  float64   `json:"mean_total"`
 	PhaseMeans []float64 `json:"phase_means"`
+}
+
+// SpanRecord journals one flight-recorder timeline span (produced by
+// internal/flightrec, which owns the conversion — like AnatomyRecord, the
+// journal stores plain fields so telemetry does not depend on flightrec).
+// All timestamps are UnixNano in the coordinator's clock after per-agent
+// offset correction.
+type SpanRecord struct {
+	// Campaign names the recording; ID/Parent link spans into the
+	// campaign → cell → agent-run → request tree.
+	Campaign string `json:"campaign,omitempty"`
+	ID       uint64 `json:"id"`
+	Parent   uint64 `json:"parent,omitempty"`
+	// Kind is campaign|cell|agent_run|request (phase sub-spans are carried
+	// inline on their request span, not as separate lines).
+	Kind    string `json:"kind"`
+	Name    string `json:"name,omitempty"`
+	Agent   string `json:"agent,omitempty"`
+	Cell    string `json:"cell,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	// Sec is the exact float64 duration for request spans (the value the
+	// anatomy phases tile to 1ulp — integer nanoseconds would break that).
+	Sec float64 `json:"sec,omitempty"`
+	// Phases/PhaseSecs are a request span's anatomy sub-spans (parallel).
+	Phases    []string  `json:"phases,omitempty"`
+	PhaseSecs []float64 `json:"phase_secs,omitempty"`
+}
+
+// ForensicRecord journals one tail-trigger forensic bundle summary: what
+// fired, how bad it was, which anatomy phase dominated, and how much
+// evidence (neighbors, profile bytes) the bundle captured. The full
+// bundle (anatomy vectors, profile contents) travels in the trace
+// artifact; the journal line is the searchable index entry.
+type ForensicRecord struct {
+	Campaign string `json:"campaign,omitempty"`
+	Agent    string `json:"agent,omitempty"`
+	Cell     string `json:"cell,omitempty"`
+	// TriggerNs is the offending request's completion instant
+	// (coordinator clock).
+	TriggerNs int64 `json:"trigger_ns"`
+	// LatencySec crossed ThresholdSec; Trigger says which rule fired
+	// ("abs" or "quantile").
+	LatencySec   float64 `json:"latency_sec"`
+	ThresholdSec float64 `json:"threshold_sec"`
+	Trigger      string  `json:"trigger"`
+	// DominantPhase is the largest anatomy phase of the offender.
+	DominantPhase string  `json:"dominant_phase,omitempty"`
+	GCPauseSec    float64 `json:"gc_pause_sec,omitempty"`
+	SchedWaitSec  float64 `json:"sched_wait_sec,omitempty"`
+	// WindowGCSec/WindowSchedSec cover the wider window around the
+	// request (neighborhood disturbance vs. request-local).
+	WindowGCSec    float64 `json:"window_gc_sec,omitempty"`
+	WindowSchedSec float64 `json:"window_sched_sec,omitempty"`
+	Neighbors      int     `json:"neighbors,omitempty"`
+	// Profile sizes prove capture happened without bloating the journal.
+	GoroutineProfileBytes int `json:"goroutine_profile_bytes,omitempty"`
+	CPUProfileBytes       int `json:"cpu_profile_bytes,omitempty"`
 }
 
 // FleetRecord journals one distributed-fleet lifecycle event: an agent

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 )
 
@@ -24,6 +25,10 @@ type ObsFlags struct {
 	// Anatomy is the -anatomy export path: tail-vs-body phase breakdowns
 	// as JSONL (.jsonl/.json) or long-form CSV (anything else).
 	Anatomy string
+	// Flight is the -flight output path: record a campaign flight
+	// timeline (fleet coordinator runs and the tailbench timeline target)
+	// and write it as Chrome trace-event JSON, loadable in Perfetto.
+	Flight string
 }
 
 // registerCommon installs the flags every binary shares: the run journal
@@ -50,11 +55,20 @@ func (o *ObsFlags) registerAnatomy(fs *flag.FlagSet) {
 	fs.StringVar(&o.Anatomy, "anatomy", "", "collect tail-vs-body phase anatomy and export breakdowns to this file (JSONL or CSV by extension)")
 }
 
+// registerFlight installs the flight-recorder export flag (meaningful
+// where a campaign timeline is recorded: the fleet coordinator and the
+// tailbench timeline target, not fleet agents — their flights ship to the
+// coordinator over the wire).
+func (o *ObsFlags) registerFlight(fs *flag.FlagSet) {
+	fs.StringVar(&o.Flight, "flight", "", "record the campaign flight timeline and write Chrome trace-event JSON (Perfetto-loadable) to this file")
+}
+
 // RegisterSim installs the flags meaningful for simulated experiments
-// (-journal, -telemetry-addr, -anatomy) on fs.
+// (-journal, -telemetry-addr, -anatomy, -flight) on fs.
 func (o *ObsFlags) RegisterSim(fs *flag.FlagSet) {
 	o.registerCommon(fs)
 	o.registerAnatomy(fs)
+	o.registerFlight(fs)
 }
 
 // Register installs the full observability flag set on fs: everything
@@ -62,6 +76,7 @@ func (o *ObsFlags) RegisterSim(fs *flag.FlagSet) {
 func (o *ObsFlags) Register(fs *flag.FlagSet) {
 	o.registerCommon(fs)
 	o.registerAnatomy(fs)
+	o.registerFlight(fs)
 	o.registerTCP(fs)
 }
 
@@ -105,6 +120,7 @@ func (o *ObsFlags) Open(reg *Registry) (*Observability, error) {
 			obs.Close()
 			return nil, err
 		}
+		t.ExposeOn(reg)
 		obs.Tracer = t
 	}
 	if o.Addr != "" {
@@ -137,6 +153,29 @@ func (obs *Observability) Close() error {
 		}
 	}
 	return first
+}
+
+// WriteTraceFile flushes the sampled trace buffer to path and returns a
+// human-readable accounting line (including the drop count, so trace loss
+// is never silent). It is the shared export step every binary's shutdown
+// runs; a nil tracer or empty path is a no-op ("", nil).
+func (obs *Observability) WriteTraceFile(path string) (string, error) {
+	if obs == nil || obs.Tracer == nil || path == "" {
+		return "", nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := obs.Tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("traces: wrote %d sampled records to %s (%d dropped)",
+		obs.Tracer.Len(), path, obs.Tracer.Dropped()), nil
 }
 
 // ServingLine returns the human-readable exposition banner, or "" when no

@@ -267,7 +267,13 @@ func TestTracerBufferBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 25; i++ {
+	reg := New()
+	// Linked after 5 drops: ExposeOn must back-fill the ones it missed.
+	for i := 0; i < 15; i++ {
+		tr.Emit(Trace{ID: uint64(i)})
+	}
+	tr.ExposeOn(reg)
+	for i := 15; i < 25; i++ {
 		tr.Emit(Trace{ID: uint64(i)})
 	}
 	if tr.Len() != 10 {
@@ -275,6 +281,11 @@ func TestTracerBufferBound(t *testing.T) {
 	}
 	if tr.Dropped() != 15 {
 		t.Errorf("dropped = %d, want 15", tr.Dropped())
+	}
+	// Trace loss must not be silent: the registry counter on /metrics
+	// carries the same count.
+	if got := reg.Snapshot().Counters[TraceDroppedMetric]; got != 15 {
+		t.Errorf("%s metric = %d, want 15", TraceDroppedMetric, got)
 	}
 }
 

@@ -45,10 +45,30 @@ type Tracer struct {
 	n       atomic.Uint64
 	seq     atomic.Uint64
 	dropped atomic.Uint64
+	// dropMetric mirrors dropped onto a registry counter so buffer-full
+	// trace loss is visible on /metrics instead of only in the final
+	// export accounting.
+	dropMetric atomic.Pointer[Counter]
 
 	mu  sync.Mutex
 	buf []Trace
 	max int
+}
+
+// TraceDroppedMetric is the registry counter name ExposeOn publishes the
+// drop count under.
+const TraceDroppedMetric = "trace_dropped"
+
+// ExposeOn mirrors future drops onto reg's TraceDroppedMetric counter
+// (plus any drops that already happened), making silent trace loss
+// observable live on /metrics. Safe to call while Emit runs.
+func (t *Tracer) ExposeOn(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	c := reg.Counter(TraceDroppedMetric)
+	t.dropMetric.Store(c)
+	c.Add(t.dropped.Load())
 }
 
 // DefaultTraceBuffer bounds the in-memory trace buffer when maxRecords <= 0.
@@ -93,6 +113,7 @@ func (t *Tracer) Emit(tr Trace) {
 	if len(t.buf) >= t.max {
 		t.mu.Unlock()
 		t.dropped.Add(1)
+		t.dropMetric.Load().Inc()
 		return
 	}
 	t.buf = append(t.buf, tr)
