@@ -9,7 +9,7 @@
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
 //
 //	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution bench
-//	fleetbias chaos liveanatomy timeline all
+//	saturate fleetbias chaos liveanatomy timeline all
 //
 // "attribution" runs table4 + fig7/8/11/12 + anatomy (memcached) and
 // fig9/10 (mcrouter) off shared campaigns; "all" runs everything
@@ -51,7 +51,13 @@
 // experiments, regression fits, and tuning runs); every reported number is
 // bit-identical for any worker count, so the flag only changes wall-clock.
 // "bench" runs the perf baseline suite and writes BENCH_treadmill.json
-// (see -bench-out).
+// (see -bench-out). "saturate" is its load-plane companion (wall-clock,
+// excluded from "all"): it ramps open-loop sessions through the classic
+// goroutine-per-connection client and the sharded timer-wheel load plane
+// against an in-process allocation-free responder until each client's
+// send-slippage self-audit alerts, and merges the capacity contrast
+// (sessions/agent, rps/core, allocs/request, bytes/session) into the
+// same JSON baseline.
 //
 // Observability (shared flag set with treadmill, telemetry.ObsFlags):
 // -journal records one anatomy event per factorial cell; -anatomy exports
@@ -67,6 +73,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"syscall"
 	"time"
@@ -294,6 +301,27 @@ func main() {
 				rep.Campaign.Speedup, rep.Campaign.OutputIdentical,
 				rep.Engine.NsPerEvent, rep.Engine.AllocsPerEvent,
 				rep.Bootstrap.SecondsWorkers1, rep.Bootstrap.SecondsWorkersMax, *benchOut)
+		case "saturate":
+			fmt.Fprintln(os.Stderr, "ramping classic vs sharded-plane clients to slippage onset (real sockets, lean responder)...")
+			sat, err := experiments.RunSaturate(ctx, scale, func(line string) {
+				fmt.Fprintln(os.Stderr, "saturate: "+line)
+			})
+			if err != nil {
+				fatal(err)
+			}
+			rep := &experiments.BenchReport{
+				GOMAXPROCS: sat.Shards,
+				GoVersion:  runtime.Version(),
+				Scale:      scale.Name,
+				Loadplane:  sat,
+			}
+			if err := experiments.WriteBenchJSON(*benchOut, rep); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saturate: legacy %d sessions (%.0f rps, %.2f allocs/req) vs plane %d sessions (%.0f rps, %.2f allocs/req): %.1fx sessions/agent, %.1fx bytes/session; wrote %s\n",
+				sat.Legacy.Sessions, sat.Legacy.RPS, sat.Legacy.AllocsPerRequest,
+				sat.Plane.Sessions, sat.Plane.RPS, sat.Plane.AllocsPerRequest,
+				sat.SessionRatio, sat.Legacy.BytesPerSession/sat.Plane.BytesPerSession, *benchOut)
 		case "fleetbias":
 			fmt.Fprintln(os.Stderr, "running live fleet bias contrast (real sockets, in-process server)...")
 			bias, err := experiments.RunFleetBias(ctx, scale)

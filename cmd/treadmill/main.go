@@ -90,6 +90,7 @@ type options struct {
 	sloQuantile  float64
 	sloTarget    time.Duration
 	workers      int
+	shards       int
 	fleetAddr    string
 	fleetAgents  int
 	fleetLoss    string
@@ -116,6 +117,7 @@ func main() {
 	flag.Float64Var(&o.sloQuantile, "slo-quantile", 0.99, "SLO quantile for -find-capacity")
 	flag.DurationVar(&o.sloTarget, "slo-target", 2*time.Millisecond, "SLO latency bound for -find-capacity")
 	flag.IntVar(&o.workers, "workers", 0, "cap on process parallelism (GOMAXPROCS) for load generation and statistics (0 = all cores)")
+	flag.IntVar(&o.shards, "shards", 0, "route open-loop load through the sharded timer-wheel send plane: N send shards per instance/agent, -1 = one per core, 0 = classic goroutine-per-connection client")
 	flag.StringVar(&o.fleetAddr, "fleet", "", "run as a fleet coordinator: listen for treadmill-agent connections on this address and distribute the load")
 	flag.IntVar(&o.fleetAgents, "agents", 2, "with -fleet, number of agents to wait for before measuring")
 	flag.StringVar(&o.fleetLoss, "loss-policy", "abort", "with -fleet, agent-loss policy: abort or degrade")
@@ -302,7 +304,6 @@ func run(ctx context.Context, o options) (err error) {
 	return err
 }
 
-
 func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telemetry.Registry, journal *telemetry.Journal, tracer *telemetry.Tracer, co *fleet.Coordinator) error {
 	cfg := core.DefaultConfig()
 	cfg.Seed = o.seed
@@ -312,6 +313,13 @@ func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telem
 	cfg.Registry = reg
 	cfg.Progress = func(u core.ProgressUpdate) {
 		fmt.Println(report.ProgressLine(u.Run, u.Runs, u.Estimate, u.RunningMean, u.Converged))
+	}
+	// The load plane carries no per-request trace observers; -trace keeps
+	// the classic goroutine-per-connection client.
+	sendShards := o.shards
+	if sendShards != 0 && tracer != nil {
+		fmt.Println("note: request tracing forces the classic client; ignoring -shards")
+		sendShards = 0
 	}
 	var m *core.Measurement
 	var tcpRunner *core.TCPRunner
@@ -323,6 +331,7 @@ func runTreadmill(ctx context.Context, o options, wl workload.Config, reg *telem
 			Addr:      o.target,
 			Instances: o.instances,
 			PerInstance: loadgen.Options{
+				Shards:       sendShards,
 				Rate:         o.rate / float64(o.instances),
 				Conns:        o.conns,
 				Workload:     wl,
@@ -408,6 +417,7 @@ func measureFleet(ctx context.Context, o options, wl workload.Config, cfg core.C
 		HistHi:       fleetHistHi,
 		HistBins:     cfg.Hist.Bins,
 		SnapPeriodNs: int64(time.Second),
+		SendShards:   o.shards,
 	}
 	fmt.Printf("measuring %s: fleet of %d agents x %.0f rps (aggregate %.0f), %v per run, %d-%d runs\n",
 		o.target, o.fleetAgents, o.rate/float64(o.fleetAgents), o.rate, o.duration, o.minRuns, o.maxRuns)

@@ -52,6 +52,19 @@ func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// StreamSeed derives the n-th substream seed from seed by walking a
+// splitmix64 chain, so components that need many parallel reproducible
+// streams (one per load-plane shard, one per bootstrap replicate) can
+// derive them independently without sharing an RNG. n must be >= 0.
+func StreamSeed(seed uint64, n int) uint64 {
+	x := seed ^ 0xd1b54a32d192ed03
+	v := splitmix64(&x)
+	for i := 0; i < n; i++ {
+		v = splitmix64(&x)
+	}
+	return v
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -28,6 +28,10 @@ type BenchReport struct {
 	Campaign  CampaignBench  `json:"campaign"`
 	Engine    EngineBench    `json:"engine"`
 	Bootstrap BootstrapBench `json:"bootstrap"`
+
+	// Loadplane is the client-capacity contrast the `tailbench saturate`
+	// target merges in (nil until that target has run on this host).
+	Loadplane *SaturateBench `json:"loadplane,omitempty"`
 }
 
 // CampaignBench times the attribution smoke campaign (Replicates × 2⁴
@@ -190,11 +194,36 @@ func fitBench(res *runner.Result, resamples, workers int) (*quantreg.Result, err
 }
 
 // WriteBenchJSON writes the report to path, pretty-printed for diffable
-// commits.
+// commits. An existing report's saturate section survives a `bench` rerun
+// (and vice versa): the two targets own disjoint sections of the file.
 func WriteBenchJSON(path string, rep *BenchReport) error {
+	if prev, err := ReadBenchJSON(path); err == nil {
+		if rep.Loadplane == nil {
+			rep.Loadplane = prev.Loadplane
+		}
+		if rep.Campaign.Runs == 0 {
+			rep.Campaign = prev.Campaign
+			rep.Engine = prev.Engine
+			rep.Bootstrap = prev.Bootstrap
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON loads a previously written report (for merging partial
+// target reruns into the committed baseline).
+func ReadBenchJSON(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("experiments: parse %s: %w", path, err)
+	}
+	return &rep, nil
 }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLeanResponderServesBothClients drives one short sub-saturation step
+// through each client implementation against the lean responder: every
+// send must complete (the universal miss is a valid GET reply to both the
+// classic parser and the plane's frame reader) and the slippage audit
+// must stay quiet at a trivial load.
+func TestLeanResponderServesBothClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real load generation in -short mode")
+	}
+	sut, err := startLeanResponder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sut.Close()
+	for _, arm := range []struct {
+		name   string
+		shards int
+	}{{"legacy", 0}, {"plane", -1}} {
+		stats, alertRate, err := saturateStep(context.Background(), sut.Addr(), arm.shards, 8, 1, 400*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s: %v", arm.name, err)
+		}
+		if stats.Sent == 0 {
+			t.Fatalf("%s: no sends", arm.name)
+		}
+		if stats.Completed != stats.Sent {
+			t.Errorf("%s: sent %d != completed %d", arm.name, stats.Sent, stats.Completed)
+		}
+		if stats.Errors != 0 {
+			t.Errorf("%s: %d errors against the lean responder", arm.name, stats.Errors)
+		}
+		if alertRate > saturateAlertTolerance {
+			t.Errorf("%s: %.2f%% alerting sends at 8 sessions", arm.name, 100*alertRate)
+		}
+	}
+}
+
+// TestSaturateSessionCap pins the fd-derived ramp bound to the doubling
+// grid.
+func TestSaturateSessionCap(t *testing.T) {
+	cap := saturateSessionCap()
+	if cap < saturateStartSessions {
+		t.Fatalf("cap %d below the ramp start", cap)
+	}
+	for n := cap; n > saturateStartSessions; n /= 2 {
+		if n%2 != 0 {
+			t.Fatalf("cap %d is not on the doubling grid", cap)
+		}
+	}
+}

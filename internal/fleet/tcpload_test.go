@@ -13,6 +13,7 @@ import (
 	"treadmill/internal/hist"
 	"treadmill/internal/loadgen"
 	"treadmill/internal/server"
+	"treadmill/internal/telemetry"
 	"treadmill/internal/workload"
 )
 
@@ -106,6 +107,61 @@ func TestBroadcastLoadMeasure(t *testing.T) {
 	}
 	if snapsSeen.Load() == 0 {
 		t.Fatal("no mid-run snapshots streamed to the coordinator")
+	}
+}
+
+// TestTCPLoadSendShards routes a fleet load cell through the sharded
+// load plane and checks the shard still ships a full histogram; a second
+// cell with a tracer attached must silently fall back to the classic
+// client rather than fail.
+func TestTCPLoadSendShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real load generation in -short mode")
+	}
+	srv := startTestServer(t)
+	wl := tinyWorkload()
+	if err := loadgen.Preload(srv.Addr(), wl, 1); err != nil {
+		t.Fatal(err)
+	}
+	spec := TCPLoadSpec{
+		Addr:       srv.Addr(),
+		TotalRate:  2000,
+		Conns:      4,
+		DurationNs: (500 * time.Millisecond).Nanoseconds(),
+		Workload:   wl,
+		HistLo:     1e-6,
+		HistHi:     10,
+		HistBins:   64,
+		SendShards: 2,
+	}
+	cell, err := spec.Cell("plane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &TCPLoadRunner{}
+	done, err := r.RunCell(context.Background(), cell, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Requests < 500 {
+		t.Fatalf("plane-routed shard completed only %d requests", done.Requests)
+	}
+	if len(done.Hists) != 1 || done.Hists[0].Count() == 0 {
+		t.Fatal("plane-routed shard shipped no histogram samples")
+	}
+
+	// A tracer forces the classic client (the plane has no per-request
+	// observers); the same cell must still run.
+	tracer, err := telemetry.NewTracer(1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err = (&TCPLoadRunner{Tracer: tracer}).RunCell(context.Background(), cell, nil)
+	if err != nil {
+		t.Fatalf("tracer fallback failed: %v", err)
+	}
+	if done.Requests == 0 {
+		t.Fatal("tracer fallback completed no requests")
 	}
 }
 

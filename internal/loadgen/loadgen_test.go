@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"treadmill/internal/client"
+	"treadmill/internal/loadplane"
 	"treadmill/internal/server"
 	"treadmill/internal/workload"
 )
@@ -100,7 +101,7 @@ func TestOpenLoopPrecision(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spinWait {
+	if loadplane.SpinWaitNow() {
 		// With spare cores the generator spin-waits: fewer than 5% of
 		// sends more than one period late.
 		if frac := float64(stats.LateSends) / float64(stats.Sent); frac > 0.05 {
@@ -239,7 +240,7 @@ func TestDialFailure(t *testing.T) {
 func TestSleepUntilPrecision(t *testing.T) {
 	for _, d := range []time.Duration{50 * time.Microsecond, 500 * time.Microsecond, 3 * time.Millisecond} {
 		deadline := time.Now().Add(d)
-		sleepUntil(deadline)
+		loadplane.SleepUntil(deadline, loadplane.SpinWaitNow())
 		lag := time.Since(deadline)
 		if lag < 0 {
 			t.Errorf("woke before deadline by %v", -lag)

@@ -1,0 +1,289 @@
+package loadplane
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"treadmill/internal/anatomy"
+	"treadmill/internal/client"
+	"treadmill/internal/protocol"
+	"treadmill/internal/rtprobe"
+	"treadmill/internal/workload"
+)
+
+// pslot is one in-flight request's stamps, held in the connection's SPSC
+// pending ring. The shard (single producer) fills a slot before publishing
+// the tail; the reader (single consumer) copies it out before advancing
+// the head — responses arrive in request order on a pipelined connection,
+// so FIFO matching is exact.
+type pslot struct {
+	op        protocol.Op
+	arrivalNs int64 // scheduled (intended) send instant
+	startNs   int64 // actual fire instant
+	sendNs    int64 // write-buffer handoff instant (flush happens inside the wire span)
+}
+
+// pconn is a multiplexed load-plane connection: no per-request heap
+// allocations, no per-request goroutine handoff — a manual write buffer
+// the shard coalesces co-due requests into, and a fixed pending ring the
+// reader drains.
+type pconn struct {
+	nc    net.Conn
+	slots []pslot
+	mask  uint32
+	head  atomic.Uint32 // consumer (reader) position
+	tail  atomic.Uint32 // producer (shard) position
+
+	wbuf []byte // encode buffer; wlen bytes are pending flush
+	wlen int
+
+	dirty bool // queued in the shard's flush list this batch
+	timed bool // server-timing trailers negotiated on this conn
+
+	dead       atomic.Bool // no further sends; reader exiting
+	readerDone atomic.Bool
+	swept      bool // drain sweep already reclaimed this conn's ring
+
+	// Reader-owned reusable state: one ServerTiming and one Result per
+	// connection keep the completion path allocation-free.
+	st     protocol.ServerTiming
+	result client.Result
+}
+
+func (pc *pconn) inflight() uint32 { return pc.tail.Load() - pc.head.Load() }
+
+func (pc *pconn) full() bool { return pc.inflight() > pc.mask }
+
+// markDead stops future sends and unblocks the reader.
+func (pc *pconn) markDead() {
+	if pc.dead.CompareAndSwap(false, true) {
+		pc.nc.Close()
+	}
+}
+
+// flush writes the buffered requests. Called by the owning shard only.
+func (pc *pconn) flush() {
+	if pc.wlen == 0 {
+		return
+	}
+	if !pc.dead.Load() {
+		if _, err := pc.nc.Write(pc.wbuf[:pc.wlen]); err != nil {
+			pc.markDead()
+		}
+	}
+	pc.wlen = 0
+}
+
+// encode appends the wire form of r to the connection's write buffer,
+// flushing first if the buffer cannot hold it. The request's bytes never
+// reach the wire before its pending slot is published (the flush here only
+// ships previously published requests), so the reader always finds the
+// slot.
+func (pc *pconn) encode(g *workload.Generator, r *workload.Lean, maxKey int) {
+	// Conservative upper bound: verb + key + flags/exptime/len fields +
+	// CRLFs + value.
+	need := 32 + maxKey + r.ValueLen
+	if pc.wlen+need > cap(pc.wbuf) {
+		pc.flush()
+		if need > cap(pc.wbuf) {
+			// Oversized value (rare heavy-tail draw): grow once and keep
+			// the larger buffer.
+			pc.wbuf = make([]byte, 0, 2*need)
+		}
+	}
+	b := pc.wbuf[:pc.wlen]
+	switch r.Op {
+	case protocol.OpGet:
+		b = append(b, "get "...)
+		b = g.AppendKey(b, r.Rank)
+		b = append(b, '\r', '\n')
+	case protocol.OpDelete:
+		b = append(b, "delete "...)
+		b = g.AppendKey(b, r.Rank)
+		b = append(b, '\r', '\n')
+	case protocol.OpSet:
+		b = append(b, "set "...)
+		b = g.AppendKey(b, r.Rank)
+		b = append(b, " 0 0 "...)
+		b = appendUint(b, r.ValueLen)
+		b = append(b, '\r', '\n')
+		b = workload.AppendValue(b, r.ValueLen)
+		b = append(b, '\r', '\n')
+	}
+	pc.wlen = len(b)
+}
+
+// appendUint is strconv.AppendInt for the small non-negative ints the
+// encoder needs, kept local so the compiler can inline it.
+func appendUint(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+var errBadTrailer = errors.New("loadplane: malformed server-timing trailer")
+
+// readLoop consumes responses and completes pending slots in FIFO order.
+// It parses without allocating: ReadSlice views into the bufio buffer,
+// Discard for value bodies, an in-place ServerTiming parse. Any framing
+// error kills the connection; the drain sweep reclaims unanswered slots.
+func (p *Plane) readLoop(pc *pconn) {
+	defer p.readerWG.Done()
+	defer func() {
+		pc.markDead()
+		pc.readerDone.Store(true)
+	}()
+	br := bufio.NewReaderSize(pc.nc, p.cfg.ReadBuf)
+	for {
+		line, err := readCRLFLine(br)
+		if err != nil {
+			return
+		}
+		// Frame by response shape, not by sent op: a GET answers either
+		// "VALUE ... <len>" + body + "END" or a bare "END"; everything
+		// else the plane sends answers with one status line.
+		if len(line) > 6 && bytes.Equal(line[:6], []byte("VALUE ")) {
+			n, ok := trailingInt(line)
+			if !ok || n < 0 || n > protocol.MaxValueLen {
+				return
+			}
+			if _, err := br.Discard(n + 2); err != nil {
+				return
+			}
+			end, err := readCRLFLine(br)
+			if err != nil || !bytes.Equal(end, []byte("END")) {
+				return
+			}
+		}
+		var st *protocol.ServerTiming
+		if pc.timed {
+			tl, err := readCRLFLine(br)
+			if err != nil || parseTimingInto(tl, &pc.st) != nil {
+				return
+			}
+			st = &pc.st
+		}
+		if !p.complete(pc, st) {
+			return
+		}
+	}
+}
+
+// complete pops the head pending slot and feeds the observers. Returns
+// false on ring desync (a response with nothing in flight), which is a
+// protocol violation worth killing the connection over.
+func (p *Plane) complete(pc *pconn, st *protocol.ServerTiming) bool {
+	h := pc.head.Load()
+	if h == pc.tail.Load() {
+		p.desyncC.Inc()
+		return false
+	}
+	slot := pc.slots[h&pc.mask]
+	pc.head.Store(h + 1)
+	now := time.Now()
+	p.completed.Add(1)
+	p.compC.Inc()
+	if p.cfg.Anatomy != nil {
+		stamps := anatomy.ClientStamps{
+			ArrivalNs:   slot.arrivalNs,
+			SendNs:      slot.sendNs,
+			FirstByteNs: now.UnixNano(),
+			CompleteNs:  now.UnixNano(),
+		}
+		if v, total, ok, clamped := rtprobe.Correlate(stamps, st); ok {
+			p.cfg.Anatomy.Record(total, v)
+			if clamped {
+				p.clampC.Inc()
+			}
+		}
+	}
+	if p.cfg.OnResult != nil {
+		pc.result = client.Result{
+			Start: time.Unix(0, slot.startNs),
+			Done:  now,
+		}
+		p.cfg.OnResult(&pc.result)
+	}
+	return true
+}
+
+// readCRLFLine returns the next line without its CRLF, viewing into the
+// bufio buffer (valid until the next read call).
+func readCRLFLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("loadplane: line missing CRLF")
+	}
+	return line[:len(line)-2], nil
+}
+
+// trailingInt parses the final space-separated field of line as a
+// non-negative integer (the <bytes> field of a VALUE header).
+func trailingInt(line []byte) (int, bool) {
+	i := bytes.LastIndexByte(line, ' ')
+	if i < 0 || i+1 >= len(line) {
+		return 0, false
+	}
+	n := 0
+	for _, c := range line[i+1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > protocol.MaxValueLen {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// parseTimingInto decodes an "ST <parse> <store> <serialize> <write> <gc>
+// <sched>" trailer line in place — the allocation-free twin of
+// protocol.ParseServerTiming.
+func parseTimingInto(line []byte, t *protocol.ServerTiming) error {
+	if len(line) < 3 || line[0] != 'S' || line[1] != 'T' || line[2] != ' ' {
+		return errBadTrailer
+	}
+	rest := line[3:]
+	for i, dst := range [...]*int64{&t.ParseNs, &t.StoreNs, &t.SerializeNs, &t.WriteNs, &t.GCNs, &t.SchedNs} {
+		var v int64
+		j := 0
+		for j < len(rest) && rest[j] != ' ' {
+			c := rest[j]
+			if c < '0' || c > '9' {
+				return errBadTrailer
+			}
+			v = v*10 + int64(c-'0')
+			j++
+		}
+		if j == 0 {
+			return errBadTrailer
+		}
+		*dst = v
+		if i < 5 {
+			if j >= len(rest) {
+				return errBadTrailer
+			}
+			rest = rest[j+1:]
+		} else if j != len(rest) {
+			return errBadTrailer
+		}
+	}
+	return nil
+}

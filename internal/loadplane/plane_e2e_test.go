@@ -1,0 +1,227 @@
+package loadplane_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"treadmill/internal/anatomy"
+	"treadmill/internal/client"
+	"treadmill/internal/loadgen"
+	"treadmill/internal/loadplane"
+	"treadmill/internal/server"
+	"treadmill/internal/telemetry"
+	"treadmill/internal/workload"
+)
+
+func startServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func smallWorkload() workload.Config {
+	cfg := workload.Default()
+	cfg.Keys = 200
+	cfg.ValueSize = workload.SizeDist{Kind: "constant", Value: 64}
+	return cfg
+}
+
+func TestPlaneAgainstRealServer(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := loadgen.Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	var mu sync.Mutex
+	var rtts []float64
+	p, err := loadplane.New(loadplane.Config{
+		Addr:      srv.Addr(),
+		Rate:      4000,
+		Conns:     16,
+		Shards:    4,
+		Workload:  cfg,
+		Seed:      2,
+		Telemetry: reg,
+		OnResult: func(r *client.Result) {
+			if r.Err == nil {
+				mu.Lock()
+				rtts = append(rtts, r.RTT().Seconds())
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	stats, err := p.Run(context.Background(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if stats.Completed != stats.Sent || stats.Errors != 0 {
+		t.Fatalf("sent %d, completed %d, errors %d; want full completion",
+			stats.Sent, stats.Completed, stats.Errors)
+	}
+	// The offered rate self-corrects; allow a generous band.
+	if rate := stats.OfferedRate(); rate < 3000 || rate > 5000 {
+		t.Errorf("offered rate = %g, want ~4000", rate)
+	}
+	mu.Lock()
+	n := len(rtts)
+	mu.Unlock()
+	if uint64(n) != stats.Completed {
+		t.Errorf("OnResult fired %d times for %d completions", n, stats.Completed)
+	}
+	for _, r := range rtts[:min(10, n)] {
+		if r <= 0 || r > 1 {
+			t.Errorf("implausible RTT %g s", r)
+		}
+	}
+	// Slippage self-audit observed every send under the plane's prefix.
+	snap := reg.Snapshot()
+	if rec, ok := snap.Recorders["loadplane.send_slippage"]; !ok || rec.Count == 0 {
+		t.Error("no loadplane.send_slippage samples recorded")
+	}
+	if got := snap.Counters["loadplane.sent"]; got != stats.Sent {
+		t.Errorf("telemetry sent = %d, stats sent = %d", got, stats.Sent)
+	}
+}
+
+func TestPlaneServerTimingAnatomy(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := loadgen.Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	acfg := anatomy.DefaultConfig()
+	acfg.Source = anatomy.SourceLive
+	agg, err := anatomy.NewAggregator(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loadplane.New(loadplane.Config{
+		Addr:         srv.Addr(),
+		Rate:         2000,
+		Conns:        8,
+		Shards:       2,
+		Workload:     cfg,
+		Seed:         5,
+		ServerTiming: true,
+		Anatomy:      agg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	stats, err := p.Run(context.Background(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 || stats.Errors != 0 {
+		t.Fatalf("completed %d, errors %d", stats.Completed, stats.Errors)
+	}
+	if agg.Count() != stats.Completed {
+		t.Errorf("anatomy recorded %d of %d completions", agg.Count(), stats.Completed)
+	}
+	bd := agg.Finalize()
+	var srvPhases float64
+	for _, ph := range []anatomy.Phase{anatomy.SrvParse, anatomy.SrvStore, anatomy.SrvSerialize, anatomy.SrvWrite} {
+		srvPhases += bd.Overall.Mean[ph]
+	}
+	if srvPhases <= 0 {
+		t.Error("server-timing trailers produced no server-side phase mass")
+	}
+}
+
+// TestPlaneCancellationDrains: a cancelled context must not wedge the
+// drain — the classic waitOrAbandon contract.
+func TestPlaneCancellationDrains(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	p, err := loadplane.New(loadplane.Config{
+		Addr: srv.Addr(), Rate: 2000, Conns: 4, Shards: 2, Workload: cfg, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		_, _ = p.Run(ctx, 30*time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not drain")
+	}
+}
+
+// TestOpenLoopShardsRoute: loadgen.Options.Shards must route through the
+// plane while keeping the classic metric names and stats shape.
+func TestOpenLoopShardsRoute(t *testing.T) {
+	srv := startServer(t)
+	cfg := smallWorkload()
+	if err := loadgen.Preload(srv.Addr(), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	ol, err := loadgen.NewOpenLoop(srv.Addr(), loadgen.Options{
+		Rate: 3000, Conns: 8, Workload: cfg, Seed: 4,
+		Shards:    -1, // GOMAXPROCS
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	stats, err := ol.Run(context.Background(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != stats.Sent || stats.Errors != 0 || stats.Sent == 0 {
+		t.Fatalf("stats = %+v; want full completion", stats)
+	}
+	if ol.Slippage() == nil || ol.Slippage().Total() != stats.Sent {
+		t.Error("plane route lost the send-slippage self-audit")
+	}
+	// Existing consumers read the classic names (treadmill CLI reads
+	// loadgen.send_slippage).
+	snap := reg.Snapshot()
+	if rec, ok := snap.Recorders["loadgen.send_slippage"]; !ok || rec.Count != stats.Sent {
+		t.Error("plane route did not publish loadgen.send_slippage")
+	}
+	if snap.Counters["loadgen.sent"] != stats.Sent {
+		t.Error("plane route did not publish loadgen.sent")
+	}
+}
+
+// TestOpenLoopShardsRejectsTracers: the plane never materializes a
+// Response, so per-request observers must be rejected loudly, not
+// silently dropped.
+func TestOpenLoopShardsRejectsTracers(t *testing.T) {
+	srv := startServer(t)
+	_, err := loadgen.NewOpenLoop(srv.Addr(), loadgen.Options{
+		Rate: 100, Conns: 1, Workload: smallWorkload(),
+		Shards: 2,
+		OnVec:  func(string, anatomy.ClientStamps, float64, anatomy.Vec) {},
+	})
+	if err == nil {
+		t.Fatal("Shards + OnVec accepted; want an error")
+	}
+}

@@ -1,0 +1,41 @@
+package loadplane
+
+import (
+	"runtime"
+	"time"
+)
+
+// SpinWaitNow reports whether precise spin-waiting is affordable right
+// now: with a single schedulable CPU, a spinning generator crowds out
+// reader goroutines (and any co-located server), inflating the very
+// latencies being measured — the client-side bias the paper warns about,
+// produced in miniature. Evaluated at call time, not package init,
+// because harnesses (runner.LiveStudy) change GOMAXPROCS per cell.
+func SpinWaitNow() bool { return runtime.GOMAXPROCS(0) > 1 }
+
+// SleepUntil waits for the deadline with a coarse sleep followed, when
+// spin is set, by a short yielding spin — microsecond-scale issue
+// precision without starving the rest of the process.
+func SleepUntil(deadline time.Time, spin bool) {
+	for {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return
+		}
+		// time.Sleep can overshoot by hundreds of microseconds; only use
+		// it for coarse waits and spin the rest, as precision load
+		// generators do.
+		if !spin || d > 2*time.Millisecond {
+			sleepFor := d
+			if spin {
+				sleepFor = d - time.Millisecond
+			}
+			time.Sleep(sleepFor)
+			continue
+		}
+		for time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+		return
+	}
+}

@@ -1,0 +1,232 @@
+package loadplane
+
+// Hierarchical timer wheel for pre-materialized arrival schedules.
+//
+// Each shard owns one wheel. Entries live in a flat arena recycled through
+// an intrusive free list (the sim engine's allocation idiom), so the
+// steady-state insert/fire cycle never touches the heap. Three levels of
+// 256 slots cover ~18 minutes of future schedule at 65.5µs resolution;
+// later arrivals park in an overflow list that is re-examined on each
+// top-level cascade.
+//
+// The wheel tracks time as nanoseconds relative to the run start. Because
+// the dealer delivers arrivals in nondecreasing time order, every slot's
+// FIFO list is sorted, and advance fires arrivals in schedule order.
+
+const (
+	wheelSlotBits = 8
+	wheelSlots    = 1 << wheelSlotBits // 256 slots per level
+	wheelSlotMask = wheelSlots - 1
+	wheelLevels   = 3
+
+	// l0TickBits gives L0 a 65.536µs tick; each level's tick is the span
+	// of the level below, so L1 ticks every ~16.8ms and L2 every ~4.29s.
+	l0TickBits = 16
+	l1TickBits = l0TickBits + wheelSlotBits
+	l2TickBits = l1TickBits + wheelSlotBits
+
+	l0SpanNs = int64(1) << l1TickBits
+	l1SpanNs = int64(1) << l2TickBits
+	l2SpanNs = int64(1) << (l2TickBits + wheelSlotBits)
+)
+
+// tentry is one scheduled arrival. Links are arena indexes encoded as
+// index+1 so the zero value terminates a list (the free-list trick from
+// internal/sim).
+type tentry struct {
+	whenNs int64
+	conn   int32
+	next   int32
+}
+
+type wheel struct {
+	arena []tentry
+	free  int32 // head of free list, index+1; 0 = empty
+	live  int   // entries currently scheduled
+
+	// nowNs is the wheel's logical time: every entry with whenNs <= a past
+	// advance target has fired.
+	nowNs int64
+
+	head [wheelLevels][wheelSlots]int32
+	tail [wheelLevels][wheelSlots]int32
+
+	// liveHigh counts entries parked above L0 (L1, L2, overflow); when it
+	// is nonzero, nextDue must not sleep past the next cascade boundary.
+	liveHigh int
+
+	// overflow holds entries beyond L2's span, re-filed on L2 cascades.
+	overflowHead int32
+	overflowTail int32
+}
+
+func (w *wheel) init(startNs int64) {
+	w.nowNs = startNs
+	if w.arena == nil {
+		w.arena = make([]tentry, 0, 1024)
+	}
+}
+
+// alloc pops a recycled entry or grows the arena.
+func (w *wheel) alloc(whenNs int64, conn int32) int32 {
+	var idx int32
+	if w.free != 0 {
+		idx = w.free - 1
+		w.free = w.arena[idx].next
+	} else {
+		w.arena = append(w.arena, tentry{})
+		idx = int32(len(w.arena) - 1)
+	}
+	w.arena[idx] = tentry{whenNs: whenNs, conn: conn}
+	return idx
+}
+
+func (w *wheel) release(idx int32) {
+	w.arena[idx].next = w.free
+	w.free = idx + 1
+}
+
+// fifoAppend links entry idx at the tail of the list (head, tail).
+func fifoAppend(head, tail *int32, arena []tentry, idx int32) {
+	arena[idx].next = 0
+	if *tail == 0 {
+		*head = idx + 1
+	} else {
+		arena[*tail-1].next = idx + 1
+	}
+	*tail = idx + 1
+}
+
+// insert schedules (whenNs, conn). Entries already due are filed in the
+// current L0 slot and fire on the next advance.
+func (w *wheel) insert(whenNs int64, conn int32) {
+	idx := w.alloc(whenNs, conn)
+	w.live++
+	w.file(idx)
+}
+
+// file places an allocated entry into the level matching its delay.
+func (w *wheel) file(idx int32) {
+	whenNs := w.arena[idx].whenNs
+	delta := whenNs - w.nowNs
+	switch {
+	case delta < l0SpanNs:
+		tick := whenNs >> l0TickBits
+		if now := w.nowNs >> l0TickBits; tick < now {
+			tick = now // overdue: current slot, fires immediately
+		}
+		s := tick & wheelSlotMask
+		fifoAppend(&w.head[0][s], &w.tail[0][s], w.arena, idx)
+	case delta < l1SpanNs:
+		s := (whenNs >> l1TickBits) & wheelSlotMask
+		fifoAppend(&w.head[1][s], &w.tail[1][s], w.arena, idx)
+		w.liveHigh++
+	case delta < l2SpanNs:
+		s := (whenNs >> l2TickBits) & wheelSlotMask
+		fifoAppend(&w.head[2][s], &w.tail[2][s], w.arena, idx)
+		w.liveHigh++
+	default:
+		fifoAppend(&w.overflowHead, &w.overflowTail, w.arena, idx)
+		w.liveHigh++
+	}
+}
+
+// cascade refiles every entry of (level, slot) into lower levels.
+func (w *wheel) cascade(level int, slot int64) {
+	h := w.head[level][slot]
+	w.head[level][slot] = 0
+	w.tail[level][slot] = 0
+	for h != 0 {
+		idx := h - 1
+		h = w.arena[idx].next
+		w.liveHigh--
+		w.file(idx)
+	}
+}
+
+// cascadeOverflow refiles overflow entries that now fit in the wheel.
+func (w *wheel) cascadeOverflow() {
+	h := w.overflowHead
+	w.overflowHead, w.overflowTail = 0, 0
+	for h != 0 {
+		idx := h - 1
+		h = w.arena[idx].next
+		w.liveHigh--
+		w.file(idx)
+	}
+}
+
+// advance moves logical time to 'to', invoking fire for every entry with
+// whenNs <= to, in insertion (schedule) order.
+func (w *wheel) advance(to int64, fire func(whenNs int64, conn int32)) {
+	if to < w.nowNs {
+		return
+	}
+	for {
+		tick := w.nowNs >> l0TickBits
+		slot := tick & wheelSlotMask
+		// Fire the due prefix of the current slot's sorted list.
+		for w.head[0][slot] != 0 {
+			idx := w.head[0][slot] - 1
+			e := &w.arena[idx]
+			if e.whenNs > to {
+				break
+			}
+			w.head[0][slot] = e.next
+			if w.head[0][slot] == 0 {
+				w.tail[0][slot] = 0
+			}
+			whenNs, conn := e.whenNs, e.conn
+			w.live--
+			w.release(idx)
+			fire(whenNs, conn)
+		}
+		tickEnd := (tick + 1) << l0TickBits
+		if tickEnd > to {
+			w.nowNs = to
+			return
+		}
+		w.nowNs = tickEnd
+		nextTick := tick + 1
+		if nextTick&wheelSlotMask == 0 {
+			// L0 window exhausted: pull down the next L1 slot (and, at L1
+			// wrap, the next L2 slot plus any overflow).
+			l1Tick := nextTick >> wheelSlotBits
+			if l1Tick&wheelSlotMask == 0 {
+				w.cascade(2, (l1Tick>>wheelSlotBits)&wheelSlotMask)
+				w.cascadeOverflow()
+			}
+			w.cascade(1, l1Tick&wheelSlotMask)
+		}
+	}
+}
+
+// nextDue returns the earliest pending deadline, or a conservative wake
+// point (the next cascade boundary) when the earliest entry is parked in a
+// higher level. Returns -1 when the wheel is empty.
+func (w *wheel) nextDue() int64 {
+	if w.live == 0 {
+		return -1
+	}
+	boundary := ((w.nowNs >> l1TickBits) + 1) << l1TickBits
+	tick := w.nowNs >> l0TickBits
+	// Scan the remainder of the current L0 window.
+	for t := tick; t>>wheelSlotBits == tick>>wheelSlotBits; t++ {
+		if h := w.head[0][t&wheelSlotMask]; h != 0 {
+			when := w.arena[h-1].whenNs
+			// A higher level may hold an earlier arrival than a
+			// future-rotation entry parked in L0; never sleep past the
+			// cascade boundary while one exists.
+			if w.liveHigh > 0 && boundary < when {
+				return boundary
+			}
+			return when
+		}
+	}
+	// Pending entries live in L1/L2/overflow; wake at the next L1 boundary
+	// so advance can cascade them down.
+	return boundary
+}
+
+// pending returns the number of scheduled entries.
+func (w *wheel) pending() int { return w.live }

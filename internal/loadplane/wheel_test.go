@@ -1,0 +1,117 @@
+package loadplane
+
+import (
+	"testing"
+
+	"treadmill/internal/dist"
+)
+
+// collectFired drains the wheel up to 'to', returning fired arrivals.
+func collectFired(w *wheel, to int64) (whens []int64, conns []int32) {
+	w.advance(to, func(whenNs int64, conn int32) {
+		whens = append(whens, whenNs)
+		conns = append(conns, conn)
+	})
+	return
+}
+
+func TestWheelFiresInScheduleOrder(t *testing.T) {
+	var w wheel
+	w.init(0)
+	// A Poisson-ish schedule spanning all three levels: mean gap 50ms over
+	// 4000 arrivals reaches ~200s (L2 territory).
+	rng := dist.NewRNG(7)
+	exp := dist.Exponential{Rate: 20}
+	var whens []int64
+	var off int64
+	for i := 0; i < 4000; i++ {
+		off += int64(exp.Sample(rng) * 1e9)
+		whens = append(whens, off)
+		w.insert(off, int32(i%17))
+	}
+	if got := w.pending(); got != 4000 {
+		t.Fatalf("pending = %d, want 4000", got)
+	}
+	// Advance in uneven steps; every arrival must fire exactly once, in
+	// order, and never before its scheduled time.
+	var fired []int64
+	now := int64(0)
+	for w.pending() > 0 {
+		now += int64(exp.Sample(rng)*1e9) * 7
+		w.advance(now, func(whenNs int64, conn int32) {
+			if whenNs > now {
+				t.Fatalf("fired %d before logical time %d", whenNs, now)
+			}
+			fired = append(fired, whenNs)
+		})
+	}
+	if len(fired) != len(whens) {
+		t.Fatalf("fired %d of %d arrivals", len(fired), len(whens))
+	}
+	for i := range fired {
+		if fired[i] != whens[i] {
+			t.Fatalf("arrival %d fired out of order: got %d want %d", i, fired[i], whens[i])
+		}
+	}
+}
+
+func TestWheelNextDueNeverOversleeps(t *testing.T) {
+	var w wheel
+	w.init(0)
+	// One near arrival parked low, one far arrival parked high.
+	w.insert(100_000, 0)           // 100µs → L0
+	w.insert(30_000_000, 1)        // 30ms → L1
+	w.insert(10_000_000_000, 2)    // 10s → L2
+	w.insert(2_000_000_000_000, 3) // ~33min → overflow
+	prev := int64(0)
+	var fired []int64
+	for w.pending() > 0 {
+		due := w.nextDue()
+		if due < 0 {
+			t.Fatal("nextDue reported empty with entries pending")
+		}
+		if due < prev {
+			t.Fatalf("nextDue went backwards: %d after %d", due, prev)
+		}
+		prev = due
+		w.advance(due, func(whenNs int64, conn int32) {
+			if whenNs > due {
+				t.Fatalf("fired %d at wake point %d", whenNs, due)
+			}
+			fired = append(fired, whenNs)
+		})
+	}
+	want := []int64{100_000, 30_000_000, 10_000_000_000, 2_000_000_000_000}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestWheelArenaReuse(t *testing.T) {
+	var w wheel
+	w.init(0)
+	base := int64(0)
+	round := func() {
+		for i := 0; i < 512; i++ {
+			w.insert(base+int64(i)*1000, int32(i))
+		}
+		base += 1_000_000
+		w.advance(base, func(int64, int32) {})
+	}
+	round()
+	grown := len(w.arena)
+	for i := 0; i < 50; i++ {
+		round()
+	}
+	if len(w.arena) != grown {
+		t.Errorf("arena grew from %d to %d entries across steady-state rounds", grown, len(w.arena))
+	}
+	if w.pending() != 0 {
+		t.Errorf("pending = %d after draining", w.pending())
+	}
+}

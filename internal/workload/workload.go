@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 
 	"treadmill/internal/dist"
 	"treadmill/internal/protocol"
@@ -189,6 +190,79 @@ func (g *Generator) Next() *protocol.Request {
 		value[i] = 'a' + byte((i+n)%26)
 	}
 	return &protocol.Request{Op: protocol.OpSet, Key: key, Value: value}
+}
+
+// Lean is an allocation-free request description: the operation plus the
+// key rank and value length needed to encode it directly onto the wire.
+// The load plane's send path uses it to avoid the per-request heap
+// allocations Next incurs (key string, value slice, Request struct).
+type Lean struct {
+	Op       protocol.Op
+	Rank     int
+	ValueLen int // 0 unless Op == OpSet
+}
+
+// NextLean fills r with the next request in the mix. It consumes the RNG
+// stream in exactly the same order as Next, so a generator driven through
+// NextLean produces the same request sequence as one driven through Next
+// for the same seed.
+func (g *Generator) NextLean(r *Lean) {
+	r.Rank = g.zipf.Rank(g.rng)
+	r.ValueLen = 0
+	u := g.rng.Float64()
+	if u < g.cfg.GetFraction {
+		r.Op = protocol.OpGet
+		return
+	}
+	if u < g.cfg.GetFraction+g.cfg.DeleteFraction {
+		r.Op = protocol.OpDelete
+		return
+	}
+	r.Op = protocol.OpSet
+	n := int(g.values.Sample(g.rng))
+	if n < 1 {
+		n = 1
+	}
+	if n > protocol.MaxValueLen {
+		n = protocol.MaxValueLen
+	}
+	r.ValueLen = n
+}
+
+// AppendKey appends the key for rank to dst and returns the extended
+// slice. The result is byte-identical to Key(rank) without allocating
+// (when dst has capacity).
+func (g *Generator) AppendKey(dst []byte, rank int) []byte {
+	dst = append(dst, g.cfg.KeyPrefix...)
+	dst = append(dst, '-')
+	// Zero-padded %08d; wider ranks grow naturally like Sprintf.
+	digits := 1
+	for v := rank; v >= 10; v /= 10 {
+		digits++
+	}
+	for i := digits; i < 8; i++ {
+		dst = append(dst, '0')
+	}
+	return strconv.AppendInt(dst, int64(rank), 10)
+}
+
+// AppendValue appends the n-byte SET payload pattern to dst, matching the
+// bytes Next generates for a value of length n.
+func AppendValue(dst []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, 'a'+byte((i+n)%26))
+	}
+	return dst
+}
+
+// MaxKeyLen returns an upper bound on the encoded key length for this
+// generator, for sizing encode buffers.
+func (g *Generator) MaxKeyLen() int {
+	digits := 8
+	for v := g.cfg.Keys - 1; v >= 100000000; v /= 10 {
+		digits++
+	}
+	return len(g.cfg.KeyPrefix) + 1 + digits
 }
 
 // Preload returns SET requests covering the entire key space, used to warm
