@@ -4,6 +4,12 @@
 // Usage:
 //
 //	memcached [-addr 127.0.0.1:11211] [-shards 64] [-capacity-mb 256] [-rtprobe]
+//	          [-flush-delay 0] [-infer] [-infer-batch 8]
+//
+// -flush-delay batches response writes for up to the given duration (a
+// nagling knob; the cost lands in the write span of 'timing on' trailers).
+// -infer enables the two-phase LLM-inference op ("infer <in> <out>") backed
+// by the token-batching model at width -infer-batch.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"treadmill/internal/infersim"
 	"treadmill/internal/rtprobe"
 	"treadmill/internal/server"
 )
@@ -24,12 +31,21 @@ func main() {
 	shards := flag.Int("shards", 64, "store shard count")
 	capacityMB := flag.Int64("capacity-mb", 256, "store capacity in MiB")
 	probeOn := flag.Bool("rtprobe", true, "run the runtime probe so 'timing on' trailers attribute GC pauses and scheduler wait (off: those spans report zero)")
+	flushDelay := flag.Duration("flush-delay", 0, "batch response writes up to this long (0 = flush immediately)")
+	inferOn := flag.Bool("infer", false, "serve the two-phase inference op via the token-batching model")
+	inferBatch := flag.Int("infer-batch", 8, "inference iteration batch width (1 = serial)")
 	flag.Parse()
 
 	cfg := server.DefaultConfig()
 	cfg.Addr = *addr
 	cfg.Shards = *shards
 	cfg.CapacityBytes = *capacityMB << 20
+	cfg.FlushDelay = *flushDelay
+	if *inferOn {
+		model := infersim.DefaultConfig()
+		model.MaxBatch = *inferBatch
+		cfg.Inference = &model
+	}
 	cfg.Logger = log.New(os.Stderr, "memcached: ", log.LstdFlags)
 	if *probeOn {
 		probe := rtprobe.NewSampler(rtprobe.Config{})

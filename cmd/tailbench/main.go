@@ -9,7 +9,7 @@
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
 //
 //	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution bench
-//	saturate fleetbias chaos liveanatomy timeline all
+//	saturate fleetbias chaos liveanatomy timeline inferbench fanout all
 //
 // "attribution" runs table4 + fig7/8/11/12 + anatomy (memcached) and
 // fig9/10 (mcrouter) off shared campaigns; "all" runs everything
@@ -38,6 +38,19 @@
 // and writes the clock-corrected timeline as Chrome trace-event JSON
 // (-flight path, default timeline.trace.json; open it in Perfetto). The
 // written trace is schema-validated before the target exits.
+//
+// "inferbench" is the workload-library inference target: a simulated
+// batch × burstiness factorial over the two-phase (prefill/decode)
+// token-batching service, priced by quantile regression, plus a live
+// serial-vs-batched contrast over real TCP in which the server stamps
+// queue/prefill/decode/batch spans into the wire status. The live cells
+// are wall-clock, so the target is excluded from "all".
+//
+// "fanout" is the scatter-gather companion: a simulated fan-out degree
+// sweep (P99 vs N with the slowest-leg straggler phase called out), a
+// fan-out × leg-spread factorial with quantile-regression pricing, and
+// live multi-get cells through the real router over N loopback backends
+// with straggler telemetry. Also wall-clock, also excluded from "all".
 //
 // "chaos" is the other wall-clock target (also excluded from "all"): it
 // runs loopback fleet campaigns over the deterministic fault-injection
@@ -362,6 +375,28 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "flight: wrote %d spans, %d forensic bundles to %s (trace validates); open in https://ui.perfetto.dev\n",
 				len(tl.Spans), tl.Forensics, out)
+		case "inferbench":
+			fmt.Fprintln(os.Stderr, "running inference campaign (simulated batch x burst factorial + live serial-vs-batched contrast)...")
+			ib, err := experiments.RunInferBench(ctx, scale)
+			if err != nil {
+				fatal(err)
+			}
+			anat, err := experiments.InferAnatomyTable(ib)
+			if err != nil {
+				fatal(err)
+			}
+			p.table(anat)
+			p.table(experiments.InferAttributionTable(ib))
+			p.table(experiments.InferLiveTable(ib))
+		case "fanout":
+			fmt.Fprintln(os.Stderr, "running scatter-gather campaign (simulated degree sweep + factorial + live router multi-get)...")
+			fb, err := experiments.RunFanoutBench(ctx, scale)
+			if err != nil {
+				fatal(err)
+			}
+			p.table(experiments.FanoutSweepTable(fb))
+			p.table(experiments.FanoutAttributionTable(fb))
+			p.table(experiments.FanoutLiveTable(fb))
 		case "liveanatomy":
 			fmt.Fprintln(os.Stderr, "running live anatomy factorial (GOMAXPROCS x GOGC x conns x value size, real sockets, runtime probe)...")
 			la, err := experiments.RunLiveAnatomy(ctx, scale)

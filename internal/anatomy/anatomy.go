@@ -89,6 +89,31 @@ const (
 	// checkable in live mode.
 	Other
 
+	// The phases below belong to the workload-library scenarios: the
+	// two-phase inference service and scatter-gather fan-out. The sim
+	// stamps them mechanistically; the live inference path reconstructs
+	// them from the server's INFER span report.
+
+	// InferQueue is wait in the inference server's bounded admission queue
+	// before the request is admitted into a batch.
+	InferQueue
+	// InferPrefill is the request's own prefill compute: input tokens
+	// times the per-token prefill cost.
+	InferPrefill
+	// InferDecode is the request's own decode compute: output tokens
+	// times the per-token decode cost.
+	InferDecode
+	// InferBatch is batch co-scheduling excess: residence inside
+	// iterations beyond the request's own prefill+decode compute (other
+	// requests' tokens plus per-iteration overhead).
+	InferBatch
+	// FanStraggler is scatter-gather straggler wait: the slowest minus
+	// the fastest leg of a fan-out — the tail-at-scale inflation.
+	FanStraggler
+	// FanMerge is response merge/reassembly cost paid after the slowest
+	// leg returns.
+	FanMerge
+
 	// NumPhases is the phase count; Vec is indexed by Phase.
 	NumPhases int = iota
 )
@@ -98,6 +123,8 @@ var phaseNames = [NumPhases]string{
 	"pstate_ramp", "numa", "srv_queue", "service", "backend",
 	"client_recv", "wire_server",
 	"srv_parse", "srv_store", "srv_serialize", "srv_write", "srv_gc", "other",
+	"infer_queue", "infer_prefill", "infer_decode", "infer_batch",
+	"fan_straggler", "fan_merge",
 }
 
 // String returns the phase's stable snake_case name (used in metrics,

@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMPP2 is a 2-state Markov-modulated Poisson process generating
+// inter-arrival gaps. The process alternates between a base state (0) and a
+// burst state (1); while in state i arrivals are Poisson with rate Rate_i,
+// and the sojourn in state i is exponential with mean Stay_i seconds. The
+// superposition is bursty: gap CV exceeds 1 whenever the two rates differ,
+// which is exactly the diurnal/bursty traffic shape production services see
+// and Poisson load generators miss (paper pitfall 2).
+//
+// MMPP2 is stateful (it tracks the modulating chain across calls), so each
+// open-loop driver must own its instance. Like every sampler in this
+// package it is not safe for concurrent use.
+type MMPP2 struct {
+	Rate0, Rate1 float64 // arrival rate (1/s) in base and burst state
+	Stay0, Stay1 float64 // mean sojourn (s) in base and burst state
+
+	state int // current modulating state, 0 or 1
+}
+
+// NewMMPP2 validates the parameters and returns a sampler starting in the
+// base state.
+func NewMMPP2(rate0, rate1, stay0, stay1 float64) (*MMPP2, error) {
+	switch {
+	case !(rate0 >= 0) || !(rate1 >= 0) || rate0+rate1 <= 0:
+		return nil, fmt.Errorf("dist: MMPP2 rates must be >= 0 with at least one positive, got %g and %g", rate0, rate1)
+	case !(stay0 > 0) || !(stay1 > 0):
+		return nil, fmt.Errorf("dist: MMPP2 sojourns must be > 0, got %g and %g", stay0, stay1)
+	}
+	return &MMPP2{Rate0: rate0, Rate1: rate1, Stay0: stay0, Stay1: stay1}, nil
+}
+
+// NewMMPP2FromRate builds an MMPP2 whose long-run mean arrival rate equals
+// rate, so bursty and Poisson arrivals compare at identical offered load.
+// burst is the burst-to-base rate ratio (> 1), burstFrac the stationary
+// fraction of time spent in the burst state (in (0,1)), and cycle the mean
+// length of one base+burst cycle in seconds.
+func NewMMPP2FromRate(rate, burst, burstFrac, cycle float64) (*MMPP2, error) {
+	switch {
+	case !(rate > 0):
+		return nil, fmt.Errorf("dist: MMPP2 mean rate must be > 0, got %g", rate)
+	case !(burst > 1):
+		return nil, fmt.Errorf("dist: MMPP2 burst ratio must be > 1, got %g", burst)
+	case !(burstFrac > 0) || !(burstFrac < 1):
+		return nil, fmt.Errorf("dist: MMPP2 burst fraction must be in (0,1), got %g", burstFrac)
+	case !(cycle > 0):
+		return nil, fmt.Errorf("dist: MMPP2 cycle must be > 0, got %g", cycle)
+	}
+	// mean rate = r0*(1-f) + burst*r0*f  =>  r0 = rate / (1-f + burst*f)
+	r0 := rate / (1 - burstFrac + burst*burstFrac)
+	return NewMMPP2(r0, burst*r0, cycle*(1-burstFrac), cycle*burstFrac)
+}
+
+// Sample draws the next inter-arrival gap by racing the next arrival
+// against the next state switch (competing exponentials); a switch that
+// wins restarts the arrival clock at the new state's rate, which is exact
+// for Markov modulation.
+func (m *MMPP2) Sample(rng *RNG) float64 {
+	gap := 0.0
+	for {
+		rate, stay := m.Rate0, m.Stay0
+		if m.state == 1 {
+			rate, stay = m.Rate1, m.Stay1
+		}
+		toSwitch := Exponential{Rate: 1 / stay}.Sample(rng)
+		if rate <= 0 {
+			// No arrivals in this state: wait out the sojourn.
+			gap += toSwitch
+			m.state = 1 - m.state
+			continue
+		}
+		toArrival := Exponential{Rate: rate}.Sample(rng)
+		if toArrival <= toSwitch {
+			return gap + toArrival
+		}
+		gap += toSwitch
+		m.state = 1 - m.state
+	}
+}
+
+// Mean returns the long-run mean gap, 1 / (stationary mean rate).
+func (m *MMPP2) Mean() float64 { return 1 / m.MeanRate() }
+
+// MeanRate returns the stationary mean arrival rate.
+func (m *MMPP2) MeanRate() float64 {
+	pi1 := m.Stay1 / (m.Stay0 + m.Stay1)
+	return m.Rate0*(1-pi1) + m.Rate1*pi1
+}
+
+// State reports the modulating state at the instant of the last sampled
+// arrival (arrivals do not change state, so this is the state the arrival
+// occurred in). Exposed for occupancy tests.
+func (m *MMPP2) State() int { return m.state }
+
+// String returns a human-readable description.
+func (m *MMPP2) String() string {
+	return fmt.Sprintf("mmpp2(r0=%g,r1=%g,stay0=%g,stay1=%g)", m.Rate0, m.Rate1, m.Stay0, m.Stay1)
+}
+
+// FlashCrowd generates inter-arrival gaps for a Poisson process whose rate
+// steps from BaseRate to Mult×BaseRate during the window
+// [Start, Start+Duration) and back — the flash-crowd / breaking-news
+// traffic spike. Time is measured from the first Sample call; the sampler
+// keeps its own accumulated clock, so each open-loop driver must own its
+// instance.
+type FlashCrowd struct {
+	BaseRate float64 // rate (1/s) outside the crowd window
+	Mult     float64 // rate multiplier during the window (> 1)
+	Start    float64 // window start, seconds from the stream origin
+	Duration float64 // window length in seconds
+
+	t float64 // accumulated stream clock
+}
+
+// NewFlashCrowd validates the parameters.
+func NewFlashCrowd(baseRate, mult, start, duration float64) (*FlashCrowd, error) {
+	switch {
+	case !(baseRate > 0):
+		return nil, fmt.Errorf("dist: FlashCrowd base rate must be > 0, got %g", baseRate)
+	case !(mult > 1):
+		return nil, fmt.Errorf("dist: FlashCrowd multiplier must be > 1, got %g", mult)
+	case !(start >= 0):
+		return nil, fmt.Errorf("dist: FlashCrowd start must be >= 0, got %g", start)
+	case !(duration > 0):
+		return nil, fmt.Errorf("dist: FlashCrowd duration must be > 0, got %g", duration)
+	}
+	return &FlashCrowd{BaseRate: baseRate, Mult: mult, Start: start, Duration: duration}, nil
+}
+
+// Sample draws the next gap of the piecewise-constant-rate Poisson process.
+// A draw that crosses a rate boundary is restarted at the boundary, which
+// is exact by memorylessness.
+func (f *FlashCrowd) Sample(rng *RNG) float64 {
+	t0 := f.t
+	for {
+		rate := f.BaseRate
+		boundary := math.Inf(1)
+		switch {
+		case f.t < f.Start:
+			boundary = f.Start
+		case f.t < f.Start+f.Duration:
+			rate *= f.Mult
+			boundary = f.Start + f.Duration
+		}
+		gap := Exponential{Rate: rate}.Sample(rng)
+		if f.t+gap < boundary {
+			f.t += gap
+			return f.t - t0
+		}
+		f.t = boundary
+	}
+}
+
+// Mean returns the steady-state mean gap outside the crowd window. The
+// window deliberately raises offered load above the nominal rate — that
+// transient overload is the phenomenon under study, so it is not averaged
+// away here.
+func (f *FlashCrowd) Mean() float64 { return 1 / f.BaseRate }
+
+// Elapsed returns the sampler's accumulated stream clock, i.e. the arrival
+// time of the last sampled event relative to the stream origin.
+func (f *FlashCrowd) Elapsed() float64 { return f.t }
+
+// String returns a human-readable description.
+func (f *FlashCrowd) String() string {
+	return fmt.Sprintf("flash(base=%g,mult=%g,window=[%g,%g))", f.BaseRate, f.Mult, f.Start, f.Start+f.Duration)
+}

@@ -1,0 +1,290 @@
+package dist_test
+
+import (
+	"math"
+	"testing"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/oracle"
+)
+
+// sampleGaps draws n gaps from s.
+func sampleGaps(s dist.Sampler, n int, seed uint64) []float64 {
+	rng := dist.NewRNG(seed)
+	gaps := make([]float64, n)
+	for i := range gaps {
+		gaps[i] = s.Sample(rng)
+	}
+	return gaps
+}
+
+func TestMMPP2LongRunRateMatching(t *testing.T) {
+	const rate = 5000.0
+	for _, tc := range []struct {
+		name                    string
+		burst, burstFrac, cycle float64
+	}{
+		{"mild", 2, 0.5, 0.01},
+		{"spiky", 8, 0.1, 0.05},
+		{"heavy-burst", 4, 0.25, 0.02},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := dist.NewMMPP2FromRate(rate, tc.burst, tc.burstFrac, tc.cycle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.MeanRate(); math.Abs(got-rate) > 1e-9*rate {
+				t.Fatalf("analytic mean rate = %g, want %g", got, rate)
+			}
+			if got := m.Mean(); math.Abs(got-1/rate) > 1e-9/rate {
+				t.Fatalf("Mean() = %g, want %g", got, 1/rate)
+			}
+			// Empirical long-run rate: n arrivals over sum-of-gaps seconds.
+			const n = 400000
+			gaps := sampleGaps(m, n, 7)
+			elapsed := 0.0
+			for _, g := range gaps {
+				elapsed += g
+			}
+			emp := float64(n) / elapsed
+			if math.Abs(emp-rate)/rate > 0.02 {
+				t.Fatalf("empirical rate = %g, want %g within 2%%", emp, rate)
+			}
+		})
+	}
+}
+
+func TestMMPP2BurstOccupancy(t *testing.T) {
+	// The fraction of *arrivals* occurring in the burst state is
+	// r1·π1 / (r0·π0 + r1·π1), not the time-stationary π1 — bursts are
+	// exactly where arrivals concentrate.
+	m, err := dist.NewMMPP2FromRate(2000, 6, 0.2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi1 := m.Stay1 / (m.Stay0 + m.Stay1)
+	want := m.Rate1 * pi1 / (m.Rate0*(1-pi1) + m.Rate1*pi1)
+
+	rng := dist.NewRNG(11)
+	const n = 300000
+	inBurst := 0
+	for i := 0; i < n; i++ {
+		m.Sample(rng)
+		if m.State() == 1 {
+			inBurst++
+		}
+	}
+	got := float64(inBurst) / n
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("burst-state arrival share = %.4f, want %.4f ± 0.02", got, want)
+	}
+	if want <= pi1 {
+		t.Fatalf("sanity: arrival share in burst (%g) should exceed time share (%g)", want, pi1)
+	}
+}
+
+func TestMMPP2GapCVExceedsOne(t *testing.T) {
+	m, err := dist.NewMMPP2FromRate(3000, 8, 0.1, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := sampleGaps(m, 200000, 3)
+	cv, err := oracle.CV(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv <= 1.05 {
+		t.Fatalf("MMPP2 gap CV = %g, want clearly > 1", cv)
+	}
+}
+
+// TestArrivalCVCheckFlagsBursty pins the oracle's behavior on bursty
+// streams: the Poisson litmus must REJECT an MMPP2 stream (CV band
+// excludes 1, from above) while still accepting a true Poisson stream.
+func TestArrivalCVCheckFlagsBursty(t *testing.T) {
+	m, err := dist.NewMMPP2FromRate(3000, 8, 0.1, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty := sampleGaps(m, 60000, 5)
+	cv, band, ok, err := oracle.ArrivalCVCheck(bursty, 0.99, 400, dist.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("ArrivalCVCheck accepted a bursty stream: cv=%g band=%v", cv, band)
+	}
+	if band.Lo <= 1 {
+		t.Fatalf("bursty CV band %v should sit entirely above 1", band)
+	}
+
+	poisson := sampleGaps(dist.Exponential{Rate: 3000}, 60000, 5)
+	cv, band, ok, err = oracle.ArrivalCVCheck(poisson, 0.99, 400, dist.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("ArrivalCVCheck rejected a Poisson stream: cv=%g band=%v", cv, band)
+	}
+}
+
+func TestFlashCrowdRateStep(t *testing.T) {
+	const (
+		base  = 2000.0
+		mult  = 5.0
+		start = 1.0
+		dur   = 0.5
+	)
+	fc, err := dist.NewFlashCrowd(base, mult, start, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fc.Mean(); math.Abs(got-1/base) > 1e-12 {
+		t.Fatalf("Mean() = %g, want %g", got, 1/base)
+	}
+	rng := dist.NewRNG(23)
+	var before, during, after int
+	for fc.Elapsed() < start+dur+1.0 {
+		fc.Sample(rng)
+		at := fc.Elapsed()
+		switch {
+		case at < start:
+			before++
+		case at < start+dur:
+			during++
+		default:
+			after++
+		}
+	}
+	// Expected counts: base·start, mult·base·dur, base·1.0.
+	checks := []struct {
+		name string
+		got  int
+		want float64
+	}{
+		{"before", before, base * start},
+		{"during", during, mult * base * dur},
+		{"after", after, base * 1.0},
+	}
+	for _, c := range checks {
+		// 5-sigma Poisson band.
+		sigma := math.Sqrt(c.want)
+		if math.Abs(float64(c.got)-c.want) > 5*sigma {
+			t.Errorf("%s window: %d arrivals, want %.0f ± %.0f", c.name, c.got, c.want, 5*sigma)
+		}
+	}
+}
+
+func TestArrivalParamValidation(t *testing.T) {
+	nan := math.NaN()
+	if _, err := dist.NewMMPP2(-1, 5, 1, 1); err == nil {
+		t.Error("NewMMPP2 accepted negative rate")
+	}
+	if _, err := dist.NewMMPP2(0, 0, 1, 1); err == nil {
+		t.Error("NewMMPP2 accepted all-zero rates")
+	}
+	if _, err := dist.NewMMPP2(1, 1, 0, 1); err == nil {
+		t.Error("NewMMPP2 accepted zero sojourn")
+	}
+	if _, err := dist.NewMMPP2(1, 1, nan, 1); err == nil {
+		t.Error("NewMMPP2 accepted NaN sojourn")
+	}
+	if _, err := dist.NewMMPP2FromRate(nan, 2, 0.5, 1); err == nil {
+		t.Error("NewMMPP2FromRate accepted NaN rate")
+	}
+	if _, err := dist.NewMMPP2FromRate(100, 1, 0.5, 1); err == nil {
+		t.Error("NewMMPP2FromRate accepted burst ratio 1")
+	}
+	if _, err := dist.NewMMPP2FromRate(100, 2, 1, 1); err == nil {
+		t.Error("NewMMPP2FromRate accepted burstFrac 1")
+	}
+	if _, err := dist.NewFlashCrowd(0, 2, 0, 1); err == nil {
+		t.Error("NewFlashCrowd accepted zero base rate")
+	}
+	if _, err := dist.NewFlashCrowd(100, 1, 0, 1); err == nil {
+		t.Error("NewFlashCrowd accepted multiplier 1")
+	}
+	if _, err := dist.NewFlashCrowd(100, 2, -1, 1); err == nil {
+		t.Error("NewFlashCrowd accepted negative start")
+	}
+	if _, err := dist.NewFlashCrowd(100, 2, 0, nan); err == nil {
+		t.Error("NewFlashCrowd accepted NaN duration")
+	}
+}
+
+func TestZipfChiSquareGoF(t *testing.T) {
+	const n = 64
+	z, err := dist.NewZipf(n, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = z.Prob(i)
+	}
+	counts := make([]uint64, n)
+	rng := dist.NewRNG(31)
+	for i := 0; i < 200000; i++ {
+		counts[z.Rank(rng)]++
+	}
+	stat, dof, p, err := dist.ChiSquareGoF(counts, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof < 10 {
+		t.Fatalf("pooling collapsed to dof=%d; expected a rich table", dof)
+	}
+	if p < 0.001 {
+		t.Fatalf("Zipf sampler fails its own GoF: stat=%g dof=%d p=%g", stat, dof, p)
+	}
+
+	// A deliberately wrong hypothesis (uniform) must be crushed.
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1.0 / n
+	}
+	_, _, p, err = dist.ChiSquareGoF(counts, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("chi-square failed to reject uniform for Zipf data: p=%g", p)
+	}
+}
+
+func TestZipfSamplerZeroAlloc(t *testing.T) {
+	z, err := dist.NewZipf(100000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(41)
+	var s dist.Sampler = z
+	if allocs := testing.AllocsPerRun(1000, func() { _ = s.Sample(rng) }); allocs != 0 {
+		t.Fatalf("Zipf.Sample allocates %g per call, want 0", allocs)
+	}
+	if z.Mean() <= 0 || z.Mean() >= float64(z.N()) {
+		t.Fatalf("Zipf mean rank %g out of range", z.Mean())
+	}
+}
+
+func TestMMPP2SampleZeroAlloc(t *testing.T) {
+	m, err := dist.NewMMPP2FromRate(1000, 4, 0.2, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(43)
+	if allocs := testing.AllocsPerRun(1000, func() { _ = m.Sample(rng) }); allocs != 0 {
+		t.Fatalf("MMPP2.Sample allocates %g per call, want 0", allocs)
+	}
+}
+
+func TestFlashCrowdZeroAlloc(t *testing.T) {
+	fc, err := dist.NewFlashCrowd(1000, 4, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(47)
+	if allocs := testing.AllocsPerRun(1000, func() { _ = fc.Sample(rng) }); allocs != 0 {
+		t.Fatalf("FlashCrowd.Sample allocates %g per call, want 0", allocs)
+	}
+}

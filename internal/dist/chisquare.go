@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareGoF runs Pearson's chi-square goodness-of-fit test of observed
+// category counts against expected category probabilities. Categories whose
+// expected count falls below 5 are pooled (in order) into the preceding
+// cell, the standard validity fix for sparse tails such as high Zipf ranks.
+// It returns the test statistic, the degrees of freedom after pooling, and
+// an approximate p-value (Wilson–Hilferty normal approximation to the
+// chi-square CDF, accurate to ~1e-3 for dof >= 3).
+func ChiSquareGoF(observed []uint64, probs []float64) (stat float64, dof int, p float64, err error) {
+	if len(observed) != len(probs) || len(observed) < 2 {
+		return 0, 0, 0, fmt.Errorf("dist: chi-square needs matching observed (%d) and probs (%d) with >= 2 cells", len(observed), len(probs))
+	}
+	var n float64
+	var psum float64
+	for i, o := range observed {
+		if !(probs[i] >= 0) {
+			return 0, 0, 0, fmt.Errorf("dist: chi-square prob[%d] = %g invalid: want >= 0", i, probs[i])
+		}
+		n += float64(o)
+		psum += probs[i]
+	}
+	if n == 0 {
+		return 0, 0, 0, fmt.Errorf("dist: chi-square needs observations, got none")
+	}
+	if math.Abs(psum-1) > 1e-6 {
+		return 0, 0, 0, fmt.Errorf("dist: chi-square probs sum to %g, want 1", psum)
+	}
+
+	// Pool cells until every pooled cell expects >= 5 observations.
+	var obs, exp []float64
+	accO, accE := 0.0, 0.0
+	for i := range observed {
+		accO += float64(observed[i])
+		accE += n * probs[i]
+		if accE >= 5 {
+			obs = append(obs, accO)
+			exp = append(exp, accE)
+			accO, accE = 0, 0
+		}
+	}
+	if accE > 0 || accO > 0 {
+		if len(exp) == 0 {
+			return 0, 0, 0, fmt.Errorf("dist: chi-square has too few observations (%g) for any cell to expect >= 5", n)
+		}
+		obs[len(obs)-1] += accO
+		exp[len(exp)-1] += accE
+	}
+	if len(obs) < 2 {
+		return 0, 0, 0, fmt.Errorf("dist: chi-square pooled to a single cell; need more observations")
+	}
+
+	for i := range obs {
+		d := obs[i] - exp[i]
+		stat += d * d / exp[i]
+	}
+	dof = len(obs) - 1
+	return stat, dof, chiSquareSF(stat, float64(dof)), nil
+}
+
+// chiSquareSF approximates P(X >= x) for X ~ chi-square(k) via the
+// Wilson–Hilferty cube-root normalization.
+func chiSquareSF(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	z := (math.Cbrt(x/k) - (1 - 2/(9*k))) / math.Sqrt(2/(9*k))
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

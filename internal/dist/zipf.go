@@ -15,8 +15,9 @@ import (
 // which is exact and needs no rejection loop. Building is O(N); sampling is
 // O(log N).
 type Zipf struct {
-	cdf []float64
-	s   float64
+	cdf  []float64
+	s    float64
+	mean float64
 }
 
 // NewZipf builds a Zipf sampler over n ranks with exponent s. It returns an
@@ -38,6 +39,11 @@ func NewZipf(n int, s float64) (*Zipf, error) {
 		z.cdf[i] /= acc
 	}
 	z.cdf[n-1] = 1
+	prev := 0.0
+	for i, c := range z.cdf {
+		z.mean += float64(i) * (c - prev)
+		prev = c
+	}
 	return z, nil
 }
 
@@ -49,6 +55,17 @@ func (z *Zipf) Rank(rng *RNG) int {
 	u := rng.Float64()
 	return sort.SearchFloat64s(z.cdf, u)
 }
+
+// Sample implements Sampler, returning the drawn rank as a float64 so Zipf
+// composes with sampler-typed knobs (token counts, size classes). The path
+// allocates nothing: one binary search over the precomputed CDF.
+func (z *Zipf) Sample(rng *RNG) float64 { return float64(z.Rank(rng)) }
+
+// Mean implements Sampler: the expected rank, Σ rank·P(rank).
+func (z *Zipf) Mean() float64 { return z.mean }
+
+// String returns a human-readable description.
+func (z *Zipf) String() string { return fmt.Sprintf("zipf(n=%d,s=%g)", len(z.cdf), z.s) }
 
 // Prob returns the probability of drawing the given rank.
 func (z *Zipf) Prob(rank int) float64 {

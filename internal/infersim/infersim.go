@@ -1,0 +1,333 @@
+// Package infersim models an LLM-style two-phase inference service:
+// requests carry an input (prompt) token count and an output (generation)
+// token count; the server runs fixed iterations over a batch of admitted
+// requests, where a request's first iteration is its prefill (cost linear
+// in input tokens) and each later iteration decodes one output token (cost
+// linear per token). Admission is a bounded FIFO queue, so queueing-vs-
+// service attribution is non-trivial: a request's latency decomposes into
+// admission-queue wait, its own prefill compute, its own decode compute,
+// and batch co-scheduling excess — the time spent inside iterations paying
+// for other requests' tokens and per-iteration overhead.
+//
+// The same Batcher drives both modes: the discrete-event simulator hands
+// it a virtual clock, the real TCP server a wall clock, so sim and live
+// attributions are produced by identical batching mechanics.
+package infersim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config parameterizes the service model. Costs are in seconds.
+type Config struct {
+	// PrefillTokenCost is the compute cost per input token, paid once in
+	// the request's first (prefill) iteration.
+	PrefillTokenCost float64
+	// DecodeTokenCost is the compute cost per generated output token, paid
+	// one token per iteration after prefill.
+	DecodeTokenCost float64
+	// IterOverhead is the fixed per-iteration cost (scheduling, KV-cache
+	// bookkeeping, kernel launch). Batching amortizes it; serial admission
+	// pays it once per token.
+	IterOverhead float64
+	// MaxBatch caps how many requests run concurrently in one iteration.
+	MaxBatch int
+	// QueueCap bounds the admission queue; Submit fails with ErrQueueFull
+	// beyond it. 0 means unbounded.
+	QueueCap int
+}
+
+// DefaultConfig sizes the model so a typical request (≈256 in, ≈64 out
+// tokens) costs ≈100µs of its own compute — in range of the repo's other
+// simulated services, so existing rates and oracles stay meaningful.
+func DefaultConfig() Config {
+	return Config{
+		PrefillTokenCost: 0.2e-6,
+		DecodeTokenCost:  0.75e-6,
+		IterOverhead:     2e-6,
+		MaxBatch:         8,
+		QueueCap:         512,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case !(c.PrefillTokenCost > 0):
+		return fmt.Errorf("infersim: PrefillTokenCost %g invalid: want > 0", c.PrefillTokenCost)
+	case !(c.DecodeTokenCost > 0):
+		return fmt.Errorf("infersim: DecodeTokenCost %g invalid: want > 0", c.DecodeTokenCost)
+	case !(c.IterOverhead >= 0):
+		return fmt.Errorf("infersim: IterOverhead %g invalid: want >= 0", c.IterOverhead)
+	case c.MaxBatch < 1:
+		return fmt.Errorf("infersim: MaxBatch %d invalid: want >= 1", c.MaxBatch)
+	case c.QueueCap < 0:
+		return fmt.Errorf("infersim: QueueCap %d invalid: want >= 0", c.QueueCap)
+	}
+	return nil
+}
+
+// PrefillTime is the request's own prefill compute for in input tokens.
+func (c Config) PrefillTime(in int) float64 { return float64(in) * c.PrefillTokenCost }
+
+// DecodeTime is the request's own decode compute for out output tokens.
+func (c Config) DecodeTime(out int) float64 { return float64(out) * c.DecodeTokenCost }
+
+// ServiceDemand estimates the per-request accelerator occupancy at the
+// given mean token counts, including the request's amortized share of
+// iteration overhead at full batch — the utilization-math service time.
+func (c Config) ServiceDemand(meanIn, meanOut float64) float64 {
+	iters := 1 + meanOut // one prefill iteration plus one per output token
+	return meanIn*c.PrefillTokenCost + meanOut*c.DecodeTokenCost +
+		iters*c.IterOverhead/float64(c.MaxBatch)
+}
+
+// Clock abstracts time so one Batcher serves both the discrete-event
+// simulator (virtual time) and the real TCP server (wall time). Now is in
+// seconds from an arbitrary origin; After schedules fn after delay seconds.
+type Clock interface {
+	Now() float64
+	After(delay float64, fn func())
+}
+
+// realClock is wall time measured from construction. Iteration delays are
+// microseconds, but time.AfterFunc resolution on an idle machine is around
+// a millisecond — a 100-1000x distortion that turns the model's ~100µs
+// service demand into multi-millisecond requests and wrecks the live
+// capacity math. Sub-millisecond delays therefore spin-wait in a dedicated
+// goroutine: one core burned while the iteration engine is busy, in
+// exchange for timer fidelity at the model's native scale. Longer delays
+// still go through time.AfterFunc.
+type realClock struct{ start time.Time }
+
+// spinCutoff is the delay below which realClock busy-waits instead of
+// trusting the runtime timer wheel.
+const spinCutoff = time.Millisecond
+
+// NewRealClock returns a wall Clock for the real TCP server.
+func NewRealClock() Clock { return &realClock{start: time.Now()} }
+
+func (c *realClock) Now() float64 { return time.Since(c.start).Seconds() }
+
+func (c *realClock) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	d := time.Duration(delay * float64(time.Second))
+	if d < spinCutoff {
+		deadline := time.Now().Add(d)
+		go func() {
+			for time.Now().Before(deadline) {
+			}
+			fn()
+		}()
+		return
+	}
+	time.AfterFunc(d, fn)
+}
+
+// ErrQueueFull is returned by Submit when the bounded admission queue is
+// at capacity; the caller sheds the request (BUSY on the wire).
+var ErrQueueFull = errors.New("infersim: admission queue full")
+
+// Report is the per-request span decomposition delivered on completion.
+// QueueWait + Prefill + Decode + BatchExtra tiles Residence exactly (up to
+// float rounding), which is what lets the anatomy ledger keep its
+// phase-sum invariant in both sim and live mode.
+type Report struct {
+	InTokens, OutTokens int
+	// QueueWait is time in the admission queue before joining a batch.
+	QueueWait float64
+	// Prefill is the request's own prefill compute, InTokens × cost.
+	Prefill float64
+	// Decode is the request's own decode compute, OutTokens × cost.
+	Decode float64
+	// BatchExtra is everything else between admission and completion:
+	// other requests' tokens in shared iterations plus iteration overhead.
+	BatchExtra float64
+	// Residence is total time from Submit to completion.
+	Residence float64
+}
+
+type inflight struct {
+	in, out   int
+	arrive    float64 // Submit time
+	admit     float64 // admission into the running set
+	decoded   int
+	prefilled bool
+	done      func(Report)
+}
+
+// Batcher runs the iteration loop: admit up to MaxBatch requests, run one
+// iteration (prefill for the newly admitted, one decode token for the
+// rest), complete requests that reach their output length, repeat. It is
+// safe for concurrent Submit; completion callbacks run outside the lock on
+// the Clock's scheduling context (the event goroutine in sim, a timer
+// goroutine in real mode).
+type Batcher struct {
+	cfg Config
+	clk Clock
+
+	mu        sync.Mutex
+	waiting   []*inflight
+	running   []*inflight
+	iterating bool
+
+	completed  uint64
+	rejected   uint64
+	iterations uint64
+	busy       float64
+}
+
+// NewBatcher validates cfg and returns a Batcher on the given clock.
+func NewBatcher(cfg Config, clk Clock) (*Batcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clk == nil {
+		return nil, fmt.Errorf("infersim: nil clock")
+	}
+	return &Batcher{cfg: cfg, clk: clk}, nil
+}
+
+// Config returns the batcher's configuration.
+func (b *Batcher) Config() Config { return b.cfg }
+
+// Submit enqueues a request with the given token counts; done is invoked
+// with the span report when the request completes. Returns ErrQueueFull
+// when the bounded admission queue is at capacity.
+func (b *Batcher) Submit(in, out int, done func(Report)) error {
+	if in < 1 || out < 1 {
+		return fmt.Errorf("infersim: token counts must be >= 1, got in=%d out=%d", in, out)
+	}
+	b.mu.Lock()
+	if b.cfg.QueueCap > 0 && len(b.waiting) >= b.cfg.QueueCap {
+		b.rejected++
+		b.mu.Unlock()
+		return ErrQueueFull
+	}
+	b.waiting = append(b.waiting, &inflight{in: in, out: out, arrive: b.clk.Now(), done: done})
+	b.startIteration()
+	b.mu.Unlock()
+	return nil
+}
+
+// startIteration admits queued work and schedules the next iteration end.
+// Caller holds b.mu.
+func (b *Batcher) startIteration() {
+	if b.iterating {
+		return
+	}
+	now := b.clk.Now()
+	for len(b.running) < b.cfg.MaxBatch && len(b.waiting) > 0 {
+		r := b.waiting[0]
+		copy(b.waiting, b.waiting[1:])
+		b.waiting = b.waiting[:len(b.waiting)-1]
+		r.admit = now
+		b.running = append(b.running, r)
+	}
+	if len(b.running) == 0 {
+		return
+	}
+	dur := b.cfg.IterOverhead
+	for _, r := range b.running {
+		if !r.prefilled {
+			dur += b.cfg.PrefillTime(r.in)
+		} else {
+			dur += b.cfg.DecodeTokenCost
+		}
+	}
+	b.iterating = true
+	b.iterations++
+	b.busy += dur
+	b.clk.After(dur, b.endIteration)
+}
+
+// endIteration advances every running request by one iteration, completes
+// the finished ones, and starts the next iteration if work remains.
+func (b *Batcher) endIteration() {
+	b.mu.Lock()
+	now := b.clk.Now()
+	var finished []*inflight
+	keep := b.running[:0]
+	for _, r := range b.running {
+		if !r.prefilled {
+			r.prefilled = true
+		} else {
+			r.decoded++
+		}
+		if r.decoded >= r.out {
+			finished = append(finished, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	for i := len(keep); i < len(b.running); i++ {
+		b.running[i] = nil
+	}
+	b.running = keep
+	b.completed += uint64(len(finished))
+	b.iterating = false
+	b.startIteration()
+	b.mu.Unlock()
+
+	for _, r := range finished {
+		rep := Report{
+			InTokens:  r.in,
+			OutTokens: r.out,
+			QueueWait: r.admit - r.arrive,
+			Prefill:   b.cfg.PrefillTime(r.in),
+			Decode:    b.cfg.DecodeTime(r.out),
+			Residence: now - r.arrive,
+		}
+		// A request is present in every iteration between admission and
+		// completion, and each such iteration lasts at least its own
+		// contribution, so the remainder is non-negative up to rounding.
+		rep.BatchExtra = rep.Residence - rep.QueueWait - rep.Prefill - rep.Decode
+		if rep.BatchExtra < 0 {
+			rep.BatchExtra = 0
+		}
+		if r.done != nil {
+			r.done(rep)
+		}
+	}
+}
+
+// Completed returns the number of completed requests.
+func (b *Batcher) Completed() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.completed
+}
+
+// Rejected returns the number of requests shed at the admission queue.
+func (b *Batcher) Rejected() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rejected
+}
+
+// Iterations returns the number of iterations run.
+func (b *Batcher) Iterations() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.iterations
+}
+
+// BusySeconds returns accumulated iteration time, the accelerator's busy
+// clock for utilization accounting.
+func (b *Batcher) BusySeconds() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.busy
+}
+
+// QueueLen returns the current admission-queue depth.
+func (b *Batcher) QueueLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.waiting)
+}

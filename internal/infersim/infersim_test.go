@@ -1,0 +1,284 @@
+package infersim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic event-queue clock for unit tests.
+type fakeClock struct {
+	now    float64
+	seq    int
+	events []fakeEvent
+}
+
+type fakeEvent struct {
+	at  float64
+	seq int
+	fn  func()
+}
+
+func (c *fakeClock) Now() float64 { return c.now }
+
+func (c *fakeClock) After(delay float64, fn func()) {
+	c.seq++
+	c.events = append(c.events, fakeEvent{at: c.now + delay, seq: c.seq, fn: fn})
+}
+
+// run drains the event queue in time order.
+func (c *fakeClock) run() {
+	for len(c.events) > 0 {
+		sort.Slice(c.events, func(i, j int) bool {
+			if c.events[i].at != c.events[j].at {
+				return c.events[i].at < c.events[j].at
+			}
+			return c.events[i].seq < c.events[j].seq
+		})
+		ev := c.events[0]
+		c.events = c.events[1:]
+		c.now = ev.at
+		ev.fn()
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		PrefillTokenCost: 1e-6,
+		DecodeTokenCost:  2e-6,
+		IterOverhead:     0.5e-6,
+		MaxBatch:         4,
+		QueueCap:         8,
+	}
+}
+
+func TestSerialRequestTiling(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 1
+	clk := &fakeClock{}
+	b, err := NewBatcher(cfg, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	gotDone := false
+	if err := b.Submit(100, 10, func(r Report) { rep = r; gotDone = true }); err != nil {
+		t.Fatal(err)
+	}
+	clk.run()
+	if !gotDone {
+		t.Fatal("request never completed")
+	}
+	// Alone in the batcher: no queue wait, 11 iterations (1 prefill + 10
+	// decode), BatchExtra is exactly the iteration overhead.
+	if rep.QueueWait != 0 {
+		t.Errorf("QueueWait = %g, want 0", rep.QueueWait)
+	}
+	if want := cfg.PrefillTime(100); rep.Prefill != want {
+		t.Errorf("Prefill = %g, want %g", rep.Prefill, want)
+	}
+	if want := cfg.DecodeTime(10); rep.Decode != want {
+		t.Errorf("Decode = %g, want %g", rep.Decode, want)
+	}
+	if want := 11 * cfg.IterOverhead; math.Abs(rep.BatchExtra-want) > 1e-12 {
+		t.Errorf("BatchExtra = %g, want %g", rep.BatchExtra, want)
+	}
+	sum := rep.QueueWait + rep.Prefill + rep.Decode + rep.BatchExtra
+	if math.Abs(sum-rep.Residence) > 1e-12 {
+		t.Errorf("spans sum %g != residence %g", sum, rep.Residence)
+	}
+	if b.Iterations() != 11 || b.Completed() != 1 {
+		t.Errorf("iterations=%d completed=%d, want 11 and 1", b.Iterations(), b.Completed())
+	}
+}
+
+func TestBatchingAmortizesOverheadAndTiles(t *testing.T) {
+	cfg := testConfig()
+	clkB := &fakeClock{}
+	batched, err := NewBatcher(cfg, clkB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCfg := cfg
+	serialCfg.MaxBatch = 1
+	clkS := &fakeClock{}
+	serial, err := NewBatcher(serialCfg, clkS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 4
+	var batchedReps, serialReps []Report
+	for i := 0; i < n; i++ {
+		if err := batched.Submit(50, 8, func(r Report) { batchedReps = append(batchedReps, r) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.Submit(50, 8, func(r Report) { serialReps = append(serialReps, r) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clkB.run()
+	clkS.run()
+	if len(batchedReps) != n || len(serialReps) != n {
+		t.Fatalf("completions: batched %d, serial %d, want %d each", len(batchedReps), len(serialReps), n)
+	}
+	for _, r := range append(append([]Report{}, batchedReps...), serialReps...) {
+		sum := r.QueueWait + r.Prefill + r.Decode + r.BatchExtra
+		if math.Abs(sum-r.Residence) > 1e-12 {
+			t.Fatalf("spans sum %g != residence %g", sum, r.Residence)
+		}
+		if r.QueueWait < 0 || r.BatchExtra < 0 {
+			t.Fatalf("negative span in %+v", r)
+		}
+	}
+	// Makespan: batched co-schedules all four, serial runs them one after
+	// another; the same offered work must finish sooner with batching.
+	if clkB.now >= clkS.now {
+		t.Fatalf("batched makespan %g >= serial %g", clkB.now, clkS.now)
+	}
+	// Under serial admission the later requests' latency is queue wait;
+	// under batching most of it converts to co-scheduling excess. (Arrivals
+	// during the first in-flight iteration still queue until it ends, so
+	// batched queue wait is small but not zero.)
+	maxWait := func(reps []Report) float64 {
+		m := 0.0
+		for _, r := range reps {
+			if r.QueueWait > m {
+				m = r.QueueWait
+			}
+		}
+		return m
+	}
+	if mb, ms := maxWait(batchedReps), maxWait(serialReps); mb >= ms/2 {
+		t.Errorf("batched max queue wait %g should be well below serial %g", mb, ms)
+	}
+	for _, r := range batchedReps {
+		if r.BatchExtra <= 0 {
+			t.Errorf("batched: expected co-scheduling excess, got %g", r.BatchExtra)
+		}
+	}
+}
+
+func TestFIFOAdmission(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 1
+	clk := &fakeClock{}
+	b, err := NewBatcher(cfg, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := b.Submit(10, 1, func(Report) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestQueueCapRejects(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 1
+	cfg.QueueCap = 2
+	clk := &fakeClock{}
+	b, err := NewBatcher(cfg, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First submit starts iterating immediately (not queued); the next two
+	// fill the queue; the fourth must shed.
+	for i := 0; i < 3; i++ {
+		if err := b.Submit(10, 2, nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := b.Submit(10, 2, nil); err != ErrQueueFull {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	if b.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", b.Rejected())
+	}
+	clk.run()
+	if b.Completed() != 3 {
+		t.Fatalf("Completed = %d, want 3", b.Completed())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	b, err := NewBatcher(testConfig(), &fakeClock{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(0, 5, nil); err == nil {
+		t.Error("accepted zero input tokens")
+	}
+	if err := b.Submit(5, 0, nil); err == nil {
+		t.Error("accepted zero output tokens")
+	}
+	if _, err := NewBatcher(Config{}, &fakeClock{}); err == nil {
+		t.Error("accepted zero config")
+	}
+	bad := testConfig()
+	bad.PrefillTokenCost = math.NaN()
+	if _, err := NewBatcher(bad, &fakeClock{}); err == nil {
+		t.Error("accepted NaN prefill cost")
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	cfg := Config{
+		PrefillTokenCost: 100e-9,
+		DecodeTokenCost:  100e-9,
+		IterOverhead:     10e-6,
+		MaxBatch:         4,
+		QueueCap:         32,
+	}
+	b, err := NewBatcher(cfg, NewRealClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Report, 8)
+	for i := 0; i < 8; i++ {
+		if err := b.Submit(32, 4, func(r Report) { done <- r }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		select {
+		case r := <-done:
+			sum := r.QueueWait + r.Prefill + r.Decode + r.BatchExtra
+			if math.Abs(sum-r.Residence) > 1e-9 {
+				t.Fatalf("spans sum %g != residence %g", sum, r.Residence)
+			}
+			if r.Residence <= 0 {
+				t.Fatalf("non-positive residence %g", r.Residence)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for completions")
+		}
+	}
+	if b.Completed() != 8 {
+		t.Fatalf("Completed = %d, want 8", b.Completed())
+	}
+}
+
+func TestServiceDemand(t *testing.T) {
+	cfg := DefaultConfig()
+	d := cfg.ServiceDemand(256, 64)
+	own := cfg.PrefillTime(256) + cfg.DecodeTime(64)
+	if d <= own {
+		t.Fatalf("ServiceDemand %g should exceed own compute %g (overhead share)", d, own)
+	}
+	serial := cfg
+	serial.MaxBatch = 1
+	if serial.ServiceDemand(256, 64) <= d {
+		t.Fatal("serial demand should exceed batched demand")
+	}
+}

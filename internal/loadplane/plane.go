@@ -167,6 +167,15 @@ func New(cfg Config) (*Plane, error) {
 	if cfg.Conns < 1 {
 		return nil, fmt.Errorf("loadplane: need >= 1 connection, got %d", cfg.Conns)
 	}
+	// The shard hot path encodes requests through workload.NextLean and a
+	// merged pre-materialized Poisson schedule; multi-get, inference, and
+	// stateful arrival processes all need the classic per-request path.
+	if !cfg.Workload.LeanCompatible() {
+		return nil, fmt.Errorf("loadplane: workload %q is not lean-compatible (multi-get or inference)", cfg.Workload.Name)
+	}
+	if !cfg.Workload.Arrival.Poisson() {
+		return nil, fmt.Errorf("loadplane: non-poisson arrival %q not supported by the sharded plane", cfg.Workload.Arrival.Kind)
+	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 64
 	}

@@ -1,0 +1,117 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTripInfer(t *testing.T) {
+	got := roundTripRequest(t, &Request{Op: OpInfer, InTokens: 256, OutTokens: 64})
+	if got.Op != OpInfer || got.InTokens != 256 || got.OutTokens != 64 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestWriteRequestRejectsBadTokens(t *testing.T) {
+	w := bufio.NewWriter(&bytes.Buffer{})
+	for _, req := range []*Request{
+		{Op: OpInfer, InTokens: 0, OutTokens: 4},
+		{Op: OpInfer, InTokens: 4, OutTokens: 0},
+		{Op: OpInfer, InTokens: MaxInferTokens + 1, OutTokens: 4},
+		{Op: OpInfer, InTokens: -3, OutTokens: 4},
+	} {
+		if err := WriteRequest(w, req); !errors.Is(err, ErrProtocol) {
+			t.Errorf("WriteRequest(%+v) err = %v, want ErrProtocol", req, err)
+		}
+	}
+}
+
+func TestParseRequestInferMalformed(t *testing.T) {
+	for _, line := range []string{
+		"infer\r\n",
+		"infer 10\r\n",
+		"infer 10 20 30\r\n",
+		"infer x 20\r\n",
+		"infer 10 y\r\n",
+		"infer 0 20\r\n",
+		"infer 10 0\r\n",
+		"infer 10 65537\r\n",
+		"infer -1 20\r\n",
+	} {
+		_, err := ParseRequest(bufio.NewReader(strings.NewReader(line)))
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("ParseRequest(%q) err = %v, want ErrProtocol", line, err)
+		}
+	}
+}
+
+func TestInferStatusRoundTrip(t *testing.T) {
+	in := &InferTiming{OutTokens: 64, QueueNs: 12345, PrefillNs: 51200, DecodeNs: 48000, BatchNs: 9876}
+	got, err := ParseInferStatus(FormatInferStatus(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *in {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
+	}
+	if want := in.QueueNs + in.PrefillNs + in.DecodeNs + in.BatchNs; got.ResidenceNs() != want {
+		t.Fatalf("ResidenceNs = %d, want %d", got.ResidenceNs(), want)
+	}
+}
+
+func TestParseInferStatusRejectsNonInfer(t *testing.T) {
+	for _, status := range []string{
+		"BUSY",
+		"ERROR",
+		"INFER",
+		"INFER 1 2 3 4",
+		"INFER 1 2 3 4 5 6",
+		"INFER -1 2 3 4 5",
+		"INFER 1 -2 3 4 5",
+		"INFER x 2 3 4 5",
+	} {
+		if _, err := ParseInferStatus(status); !errors.Is(err, ErrProtocol) {
+			t.Errorf("ParseInferStatus(%q) err = %v, want ErrProtocol", status, err)
+		}
+	}
+}
+
+// TestInferResponseOverWire exercises the full client-visible path: the
+// server answers an infer with a bare status line, which ParseResponse
+// must surface for both the report and the shed cases.
+func TestInferResponseOverWire(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	rep := &InferTiming{OutTokens: 8, QueueNs: 1, PrefillNs: 2, DecodeNs: 3, BatchNs: 4}
+	if err := WriteStatusResponse(w, FormatInferStatus(rep)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStatusResponse(w, "BUSY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	resp, err := ParseResponse(r, OpInfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseInferStatus(resp.Status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *rep {
+		t.Fatalf("wire report = %+v, want %+v", got, rep)
+	}
+	resp, err = ParseResponse(r, OpInfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "BUSY" {
+		t.Fatalf("shed status = %q, want BUSY", resp.Status)
+	}
+}

@@ -34,6 +34,13 @@ const (
 	// connection; "timing off" stops it. Servers that predate the
 	// extension answer ERROR, which clients treat as "not supported".
 	OpTiming
+	// OpInfer submits a two-phase inference request (a treadmill
+	// extension): "infer <in_tokens> <out_tokens>". The server runs it
+	// through its iteration batcher and answers with an INFER status line
+	// carrying the server-side span report (see InferTiming), BUSY when
+	// the admission queue sheds it, or ERROR when inference is not
+	// configured (which clients treat as "not supported").
+	OpInfer
 )
 
 // String returns the wire verb.
@@ -51,6 +58,8 @@ func (o Op) String() string {
 		return "stats"
 	case OpTiming:
 		return "timing"
+	case OpInfer:
+		return "infer"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -62,6 +71,11 @@ const MaxKeyLen = 250
 // MaxValueLen bounds value sizes accepted by this implementation (1 MiB,
 // memcached's default item limit).
 const MaxValueLen = 1 << 20
+
+// MaxInferTokens bounds the per-request input and output token counts of
+// an infer request (a 64k-token context comfortably covers the workloads
+// modeled here while keeping hostile length fields harmless).
+const MaxInferTokens = 1 << 16
 
 // ErrProtocol reports malformed input from the peer.
 var ErrProtocol = errors.New("protocol error")
@@ -83,6 +97,9 @@ type Request struct {
 	// TimingOn selects the level of an OpTiming request ("timing on" when
 	// true, "timing off" when false).
 	TimingOn bool
+	// InTokens and OutTokens are the prompt and generation lengths of an
+	// OpInfer request, both in [1, MaxInferTokens].
+	InTokens, OutTokens int
 }
 
 // AllKeys returns the request's key set: Keys when present, else [Key].
@@ -115,6 +132,8 @@ type Response struct {
 	Hit bool
 }
 
+func validTokens(n int) bool { return n >= 1 && n <= MaxInferTokens }
+
 func validKey(key string) bool {
 	if len(key) == 0 || len(key) > MaxKeyLen {
 		return false
@@ -131,8 +150,8 @@ func validKey(key string) bool {
 // WriteRequest encodes req to w.
 func WriteRequest(w *bufio.Writer, req *Request) error {
 	// OpGet validates its (possibly multiple) keys below; version, stats,
-	// and timing carry no key.
-	if req.Op != OpGet && req.Op != OpVersion && req.Op != OpStats && req.Op != OpTiming && !validKey(req.Key) {
+	// timing, and infer carry no key.
+	if req.Op != OpGet && req.Op != OpVersion && req.Op != OpStats && req.Op != OpTiming && req.Op != OpInfer && !validKey(req.Key) {
 		return fmt.Errorf("%w: invalid key %q", ErrProtocol, req.Key)
 	}
 	switch req.Op {
@@ -193,6 +212,14 @@ func WriteRequest(w *bufio.Writer, req *Request) error {
 			level = "on"
 		}
 		if _, err := w.WriteString("timing " + level + "\r\n"); err != nil {
+			return err
+		}
+	case OpInfer:
+		if !validTokens(req.InTokens) || !validTokens(req.OutTokens) {
+			return fmt.Errorf("%w: infer tokens out of [1,%d]: in=%d out=%d",
+				ErrProtocol, MaxInferTokens, req.InTokens, req.OutTokens)
+		}
+		if _, err := fmt.Fprintf(w, "infer %d %d\r\n", req.InTokens, req.OutTokens); err != nil {
 			return err
 		}
 	default:
@@ -327,6 +354,19 @@ func ParseRequest(r *bufio.Reader) (*Request, error) {
 		default:
 			return nil, fmt.Errorf("%w: timing wants on|off, got %q", ErrProtocol, fields[1])
 		}
+	case "infer":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: infer wants <in_tokens> <out_tokens>", ErrProtocol)
+		}
+		in, err := strconv.Atoi(string(fields[1]))
+		if err != nil || !validTokens(in) {
+			return nil, fmt.Errorf("%w: bad infer in_tokens %q", ErrProtocol, fields[1])
+		}
+		out, err := strconv.Atoi(string(fields[2]))
+		if err != nil || !validTokens(out) {
+			return nil, fmt.Errorf("%w: bad infer out_tokens %q", ErrProtocol, fields[2])
+		}
+		return &Request{Op: OpInfer, InTokens: in, OutTokens: out}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown command %q", ErrProtocol, fields[0])
 	}
@@ -419,7 +459,7 @@ func ParseResponse(r *bufio.Reader, op Op) (*Response, error) {
 			Items:  items,
 			Hit:    true,
 		}, nil
-	case OpSet, OpDelete, OpVersion, OpTiming:
+	case OpSet, OpDelete, OpVersion, OpTiming, OpInfer:
 		line, err := readLine(r)
 		if err != nil {
 			return nil, err
@@ -481,6 +521,60 @@ func WriteServerTiming(w *bufio.Writer, t *ServerTiming) error {
 	_, err := fmt.Fprintf(w, "ST %d %d %d %d %d %d\r\n",
 		t.ParseNs, t.StoreNs, t.SerializeNs, t.WriteNs, t.GCNs, t.SchedNs)
 	return err
+}
+
+// InferTiming is the server-side span report an infer response carries in
+// its status line: "INFER <out_tokens> <queue> <prefill> <decode> <batch>",
+// spans in base-10 nanoseconds. queue+prefill+decode+batch is the server
+// residence inside the batcher, so the client can rebuild an exact anatomy
+// decomposition (the remainder up to RTT is wire+client time).
+type InferTiming struct {
+	// OutTokens is the number of generated tokens.
+	OutTokens int
+	// QueueNs is admission-queue wait before joining a batch.
+	QueueNs int64
+	// PrefillNs is the request's own prefill compute.
+	PrefillNs int64
+	// DecodeNs is the request's own decode compute.
+	DecodeNs int64
+	// BatchNs is batch co-scheduling excess (other requests' tokens plus
+	// iteration overhead in shared iterations).
+	BatchNs int64
+}
+
+// ResidenceNs is the request's total residence in the inference batcher.
+func (t *InferTiming) ResidenceNs() int64 {
+	return t.QueueNs + t.PrefillNs + t.DecodeNs + t.BatchNs
+}
+
+// FormatInferStatus renders the INFER status line (without CRLF).
+func FormatInferStatus(t *InferTiming) string {
+	return fmt.Sprintf("INFER %d %d %d %d %d", t.OutTokens, t.QueueNs, t.PrefillNs, t.DecodeNs, t.BatchNs)
+}
+
+// ParseInferStatus decodes an INFER status line produced by
+// FormatInferStatus. Status lines that are not INFER (BUSY, ERROR) return
+// an ErrProtocol-wrapped error; callers distinguish shed/unsupported by
+// inspecting the status themselves.
+func ParseInferStatus(status string) (*InferTiming, error) {
+	fields := splitFields([]byte(status))
+	if len(fields) != 6 || !bytes.Equal(fields[0], []byte("INFER")) {
+		return nil, fmt.Errorf("%w: bad infer status %q", ErrProtocol, status)
+	}
+	var t InferTiming
+	tokens, err := strconv.Atoi(string(fields[1]))
+	if err != nil || tokens < 0 {
+		return nil, fmt.Errorf("%w: bad infer token count %q", ErrProtocol, fields[1])
+	}
+	t.OutTokens = tokens
+	for i, dst := range []*int64{&t.QueueNs, &t.PrefillNs, &t.DecodeNs, &t.BatchNs} {
+		v, err := strconv.ParseInt(string(fields[i+2]), 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("%w: bad infer span %q", ErrProtocol, fields[i+2])
+		}
+		*dst = v
+	}
+	return &t, nil
 }
 
 // ParseServerTiming reads one ST trailer line.

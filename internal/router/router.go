@@ -16,9 +16,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"treadmill/internal/client"
 	"treadmill/internal/protocol"
+	"treadmill/internal/telemetry"
 )
 
 // hashRing is a consistent-hash ring with virtual nodes, the standard
@@ -83,6 +85,12 @@ type Config struct {
 	VirtualNodes int
 	// Logger receives connection errors; nil discards.
 	Logger *log.Logger
+	// Telemetry, when non-nil, receives fan-out metrics: counters
+	// router.multigets and router.fanout_legs, and the
+	// router.straggler_seconds recorder — the spread between a multi-get's
+	// fastest and slowest backend leg, the quantity that gates the merged
+	// response's latency.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig routes on an ephemeral localhost port.
@@ -102,6 +110,10 @@ type Router struct {
 	closed   bool
 	wg       sync.WaitGroup
 	requests atomic.Uint64
+
+	multigetsC *telemetry.Counter
+	legsC      *telemetry.Counter
+	stragglerR *telemetry.Recorder
 }
 
 // New validates the configuration and connects the backend pools.
@@ -119,6 +131,11 @@ func New(cfg Config) (*Router, error) {
 		cfg:   cfg,
 		ring:  newHashRing(cfg.Backends, cfg.VirtualNodes),
 		conns: make(map[net.Conn]struct{}),
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		r.multigetsC = reg.Counter("router.multigets")
+		r.legsC = reg.Counter("router.fanout_legs")
+		r.stragglerR = reg.Recorder("router.straggler_seconds")
 	}
 	for _, b := range cfg.Backends {
 		p, err := client.DialPool(b, cfg.ConnsPerBackend, client.DefaultConnConfig())
@@ -328,17 +345,36 @@ func (r *Router) dispatchMultiGet(req *protocol.Request, order chan *reply) bool
 	}
 	rep := &reply{ready: make(chan struct{})}
 	order <- rep
+	r.multigetsC.Inc()
+	r.legsC.Add(uint64(len(groups)))
 
 	var mu sync.Mutex
 	found := make(map[string]protocol.Item, len(req.Keys))
 	var firstErr error
 	remaining := len(groups)
 	keysInOrder := append([]string(nil), req.Keys...)
+	start := time.Now()
+	fastLeg, slowLeg := time.Duration(-1), time.Duration(0)
 	finish := func() {
 		// mu held.
+		el := time.Since(start)
+		if fastLeg < 0 || el < fastLeg {
+			fastLeg = el
+		}
+		if el > slowLeg {
+			slowLeg = el
+		}
 		remaining--
 		if remaining != 0 {
 			return
+		}
+		// The merged response is gated on the slowest leg; the straggler
+		// spread (slowest minus fastest) is the tail cost fan-out added on
+		// top of a single lookup.
+		if slowLeg > fastLeg {
+			r.stragglerR.Record((slowLeg - fastLeg).Seconds())
+		} else {
+			r.stragglerR.Record(0)
 		}
 		if firstErr != nil {
 			rep.fail = firstErr

@@ -9,6 +9,7 @@ import (
 	"treadmill/internal/client"
 	"treadmill/internal/protocol"
 	"treadmill/internal/server"
+	"treadmill/internal/telemetry"
 )
 
 // startBackends launches n kv servers and returns their addresses.
@@ -378,5 +379,62 @@ func TestRouterMultiGetWithMisses(t *testing.T) {
 	v, err := c.Version()
 	if err != nil || v == "" {
 		t.Fatalf("version after multiget: %q %v", v, err)
+	}
+}
+
+// TestRouterFanoutTelemetry checks the fan-out instrumentation: multi-gets
+// increment the multiget and leg counters and record one straggler-spread
+// sample per merged response.
+func TestRouterFanoutTelemetry(t *testing.T) {
+	_, addrs := startBackends(t, 4)
+	reg := telemetry.New()
+	cfg := DefaultConfig(addrs)
+	cfg.Telemetry = reg
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	conn, err := client.Dial(r.Addr(), client.DefaultConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	do := func(req *protocol.Request) *client.Result {
+		t.Helper()
+		done := make(chan *client.Result, 1)
+		if err := conn.Do(req, func(res *client.Result) { done <- res }); err != nil {
+			t.Fatal(err)
+		}
+		res := <-done
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res
+	}
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fan-%03d", i)
+		do(&protocol.Request{Op: protocol.OpSet, Key: keys[i], Value: []byte("v")})
+	}
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		res := do(&protocol.Request{Op: protocol.OpGet, Key: keys[0], Keys: keys})
+		if len(res.Resp.Items) != len(keys) {
+			t.Fatalf("round %d: %d items, want %d", i, len(res.Resp.Items), len(keys))
+		}
+	}
+	if got := reg.Counter("router.multigets").Value(); got != rounds {
+		t.Errorf("multigets = %d, want %d", got, rounds)
+	}
+	if got := reg.Counter("router.fanout_legs").Value(); got < rounds || got > rounds*uint64(len(addrs)) {
+		t.Errorf("fanout_legs = %d, want in [%d,%d]", got, rounds, rounds*len(addrs))
+	}
+	if got := reg.Recorder("router.straggler_seconds").Count(); got != rounds {
+		t.Errorf("straggler samples = %d, want %d", got, rounds)
 	}
 }

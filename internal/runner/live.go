@@ -31,6 +31,11 @@ type LiveKnobs struct {
 	GOGC       int
 	Conns      int
 	ValueSize  int
+	// SrvBatch is the server's response flush-coalescing delay
+	// (server.Config.FlushDelay): 0 flushes eagerly, > 0 holds idle
+	// connections briefly hoping to batch responses. The cost lands in the
+	// server's write span, so live quantreg prices the batching trade.
+	SrvBatch time.Duration
 }
 
 // DefaultLiveKnobs returns the baseline configuration factors mutate.
@@ -53,9 +58,10 @@ type LiveFactor struct {
 
 // LiveFactors returns the default live factorial: the two Go runtime knobs
 // that move GC and scheduling mechanisms (GOMAXPROCS, GOGC) crossed with two
-// load-shape knobs (connection count, value size). GOGC's high level is the
-// aggressive setting (GC runs 16x as often as the relaxed low level), so a
-// positive high-level coefficient reads "more GC hurts".
+// load-shape knobs (connection count, value size) and one server deployment
+// knob (response flush batching). GOGC's high level is the aggressive
+// setting (GC runs 16x as often as the relaxed low level), so a positive
+// high-level coefficient reads "more GC hurts".
 func LiveFactors() []LiveFactor {
 	procs := runtime.NumCPU()
 	if procs < 2 {
@@ -99,6 +105,16 @@ func LiveFactors() []LiveFactor {
 					k.ValueSize = 64
 				} else {
 					k.ValueSize = 4096
+				}
+			},
+		},
+		{
+			Name: "srvbatch", Low: "off", High: "200µs",
+			Apply: func(k *LiveKnobs, level int) {
+				if level == 0 {
+					k.SrvBatch = 0
+				} else {
+					k.SrvBatch = 200 * time.Microsecond
 				}
 			},
 		},
@@ -276,6 +292,7 @@ func (s *LiveStudy) runCell(ctx context.Context, knobs LiveKnobs, levels []int, 
 	scfg := server.DefaultConfig()
 	scfg.Telemetry = s.Telemetry
 	scfg.Probe = probe
+	scfg.FlushDelay = knobs.SrvBatch
 	srv, err := server.New(scfg)
 	if err != nil {
 		return Sample{}, err

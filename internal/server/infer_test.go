@@ -1,0 +1,175 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"treadmill/internal/infersim"
+	"treadmill/internal/protocol"
+)
+
+// inferConfig returns a server config with a fast inference model so tests
+// complete in milliseconds of wall clock.
+func inferConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Inference = &infersim.Config{
+		PrefillTokenCost: 50e-9,
+		DecodeTokenCost:  100e-9,
+		IterOverhead:     1e-6,
+		MaxBatch:         4,
+		QueueCap:         64,
+	}
+	return cfg
+}
+
+func TestServerInfer(t *testing.T) {
+	srv, err := New(inferConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	_, r, w := dial(t, srv)
+
+	for i := 0; i < 8; i++ {
+		if err := protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpInfer, InTokens: 128, OutTokens: 16}); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		resp, err := protocol.ParseResponse(r, protocol.OpInfer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := protocol.ParseInferStatus(resp.Status)
+		if err != nil {
+			t.Fatalf("infer %d: %v (status %q)", i, err, resp.Status)
+		}
+		if it.OutTokens != 16 {
+			t.Fatalf("infer %d: out tokens = %d, want 16", i, it.OutTokens)
+		}
+		if it.PrefillNs <= 0 || it.DecodeNs <= 0 {
+			t.Fatalf("infer %d: non-positive compute spans: %+v", i, it)
+		}
+		if it.QueueNs < 0 || it.BatchNs < 0 {
+			t.Fatalf("infer %d: negative wait spans: %+v", i, it)
+		}
+		if it.ResidenceNs() <= 0 {
+			t.Fatalf("infer %d: residence %d not positive", i, it.ResidenceNs())
+		}
+	}
+	if got := srv.InferBatcher().Completed(); got != 8 {
+		t.Fatalf("batcher completed = %d, want 8", got)
+	}
+}
+
+// TestServerInferConcurrent drives parallel connections so several requests
+// share batcher iterations, and checks every report still parses and tiles.
+func TestServerInferConcurrent(t *testing.T) {
+	srv, err := New(inferConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	const conns, per = 4, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, r, w := dial(t, srv)
+			for i := 0; i < per; i++ {
+				if err := protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpInfer, InTokens: 64, OutTokens: 8}); err != nil {
+					errs <- err
+					return
+				}
+				w.Flush()
+				resp, err := protocol.ParseResponse(r, protocol.OpInfer)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := protocol.ParseInferStatus(resp.Status); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := srv.InferBatcher().Completed(); got != conns*per {
+		t.Fatalf("batcher completed = %d, want %d", got, conns*per)
+	}
+}
+
+func TestServerInferUnconfigured(t *testing.T) {
+	srv := startServer(t)
+	_, r, w := dial(t, srv)
+	if err := protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpInfer, InTokens: 10, OutTokens: 10}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	resp, err := protocol.ParseResponse(r, protocol.OpInfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ERROR" {
+		t.Fatalf("status = %q, want ERROR", resp.Status)
+	}
+}
+
+// TestServerFlushDelayServes checks the batching knob stays functionally
+// transparent: responses are merely delayed, never lost or reordered.
+func TestServerFlushDelayServes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlushDelay = 200 * time.Microsecond
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	_, r, w := dial(t, srv)
+
+	if err := protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpSet, Key: "k", Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	resp, err := protocol.ParseResponse(r, protocol.OpSet)
+	if err != nil || resp.Status != "STORED" {
+		t.Fatalf("set: %v %+v", err, resp)
+	}
+	// Pipelined gets exercise the "only delay when idle" branch: a full read
+	// buffer must flush immediately.
+	for i := 0; i < 4; i++ {
+		protocol.WriteRequest(w, &protocol.Request{Op: protocol.OpGet, Key: "k"})
+	}
+	w.Flush()
+	for i := 0; i < 4; i++ {
+		resp, err := protocol.ParseResponse(r, protocol.OpGet)
+		if err != nil || !resp.Hit || string(resp.Value) != "v" {
+			t.Fatalf("get %d: %v %+v", i, err, resp)
+		}
+	}
+}
+
+func TestServerRejectsNegativeFlushDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlushDelay = -time.Microsecond
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for negative FlushDelay")
+	}
+}

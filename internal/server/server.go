@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"treadmill/internal/infersim"
 	"treadmill/internal/protocol"
 	"treadmill/internal/rtprobe"
 	"treadmill/internal/telemetry"
@@ -40,6 +41,18 @@ type Config struct {
 	// the caller starts and stops it. A nil probe reports zero GC/sched in
 	// trailers, which remain otherwise functional.
 	Probe *rtprobe.Sampler
+	// Inference, when non-nil, enables the infer op: requests run through
+	// a wall-clock iteration batcher with these cost/batching parameters
+	// and answer with an INFER span report (see protocol.OpInfer). Nil
+	// servers answer infer with ERROR.
+	Inference *infersim.Config
+	// FlushDelay, when positive, makes the server wait this long before
+	// flushing a response when no further pipelined request is buffered —
+	// a server-side batching knob: it coalesces responses that arrive
+	// within the window at the cost of per-response latency. On the timed
+	// path the wait lands between serialize and flush, so the cost is
+	// measured in the trailer's WriteNs and attributed to srv_write.
+	FlushDelay time.Duration
 }
 
 // DefaultConfig returns a production-shaped configuration listening on an
@@ -69,9 +82,12 @@ type Server struct {
 	wg       sync.WaitGroup
 	requests atomic.Uint64
 
+	infer *infersim.Batcher
+
 	connsC  *telemetry.Counter
 	activeG *telemetry.Gauge
 	reqsC   *telemetry.Counter
+	shedC   *telemetry.Counter
 }
 
 // New creates a Server (not yet listening).
@@ -93,13 +109,26 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, store: st, conns: make(map[net.Conn]struct{})}
+	if cfg.Inference != nil {
+		s.infer, err = infersim.NewBatcher(*cfg.Inference, infersim.NewRealClock())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.FlushDelay < 0 {
+		return nil, fmt.Errorf("server: FlushDelay %v invalid: want >= 0", cfg.FlushDelay)
+	}
 	if reg := cfg.Telemetry; reg != nil {
 		s.connsC = reg.Counter("server.connections")
 		s.activeG = reg.Gauge("server.active_conns")
 		s.reqsC = reg.Counter("server.requests")
+		s.shedC = reg.Counter("server.infer_shed")
 	}
 	return s, nil
 }
+
+// InferBatcher exposes the inference batcher (nil when not configured).
+func (s *Server) InferBatcher() *infersim.Batcher { return s.infer }
 
 // Store exposes the underlying store (examples preload data through it).
 func (s *Server) Store() *Store { return s.store }
@@ -216,6 +245,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Flush when no further pipelined request is buffered, batching
 			// responses under pipelining without adding latency otherwise.
 			if r.Buffered() == 0 {
+				s.flushDelay()
 				if err := w.Flush(); err != nil {
 					return
 				}
@@ -240,6 +270,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		tm.serializedNs = time.Now().UnixNano()
+		if r.Buffered() == 0 {
+			// The batching wait sits between the serialize stamp and the
+			// flush stamp, so the trailer prices it as WriteNs (srv_write).
+			s.flushDelay()
+		}
 		if err := w.Flush(); err != nil {
 			return
 		}
@@ -262,6 +297,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+	}
+}
+
+// flushDelay applies the server-side batching knob before a flush.
+func (s *Server) flushDelay() {
+	if d := s.cfg.FlushDelay; d > 0 {
+		time.Sleep(d)
 	}
 }
 
@@ -342,6 +384,30 @@ func (s *Server) handle(w *bufio.Writer, req *protocol.Request, tm *reqTiming) e
 	case protocol.OpVersion:
 		tm.stampStored()
 		return protocol.WriteStatusResponse(w, "VERSION "+Version)
+	case protocol.OpInfer:
+		if s.infer == nil {
+			tm.stampStored()
+			return protocol.WriteStatusResponse(w, "ERROR")
+		}
+		// The connection goroutine blocks until the batcher completes the
+		// request — inference responses are inherently unpipelined from
+		// this connection's perspective, exactly like the modeled service.
+		done := make(chan infersim.Report, 1)
+		if err := s.infer.Submit(req.InTokens, req.OutTokens, func(rep infersim.Report) { done <- rep }); err != nil {
+			s.shedC.Inc()
+			tm.stampStored()
+			return protocol.WriteStatusResponse(w, "BUSY")
+		}
+		rep := <-done
+		tm.stampStored()
+		it := protocol.InferTiming{
+			OutTokens: rep.OutTokens,
+			QueueNs:   clampNs(int64(rep.QueueWait * 1e9)),
+			PrefillNs: clampNs(int64(rep.Prefill * 1e9)),
+			DecodeNs:  clampNs(int64(rep.Decode * 1e9)),
+			BatchNs:   clampNs(int64(rep.BatchExtra * 1e9)),
+		}
+		return protocol.WriteStatusResponse(w, protocol.FormatInferStatus(&it))
 	case protocol.OpStats:
 		st := s.store.Stats()
 		tm.stampStored()

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"treadmill/internal/anatomy"
+	"treadmill/internal/dist"
 )
 
 // collectRequests drives a cluster and returns every post-warmup completed
@@ -41,40 +42,68 @@ func collectRequests(t *testing.T, mutate func(*ClusterConfig), totalRate, warmu
 // span was double-counted or dropped as mechanisms evolved.
 func TestPhaseSumInvariant(t *testing.T) {
 	configs := []struct {
-		name   string
-		mutate func(*ClusterConfig)
-		rate   float64
+		name    string
+		mutate  func(*ClusterConfig)
+		rate    float64
+		dur     float64 // 0 = default 0.06s; inference runs at ~1000x lower rates and needs longer
+		minReqs int     // 0 = default 1000
 	}{
-		{"default-ondemand", func(c *ClusterConfig) {}, 150000},
+		{"default-ondemand", func(c *ClusterConfig) {}, 150000, 0, 0},
 		{"performance-turbo", func(c *ClusterConfig) {
 			c.Server.CPU.Governor = Performance
 			c.Server.CPU.TurboEnabled = true
-		}, 150000},
+		}, 150000, 0, 0},
 		{"high-load", func(c *ClusterConfig) {
 			c.Server.CPU.Governor = Performance
-		}, 600000},
+		}, 600000, 0, 0},
 		{"numa-interleave-spread", func(c *ClusterConfig) {
 			c.Server.NUMA = NUMAInterleave
 			c.Server.NICAffinity = NICAllNodes
 			c.Server.RandomPlacement = true
-		}, 150000},
+		}, 150000, 0, 0},
 		{"mcrouter-backend", func(c *ClusterConfig) {
 			c.Server = McrouterServerConfig()
-		}, 120000},
+		}, 120000, 0, 0},
 		{"batched-callback", func(c *ClusterConfig) {
 			for i := range c.Clients {
 				c.Clients[i].Config.Callback = BatchedCallback
 				c.Clients[i].Config.PollPeriod = 50e-6
 			}
-		}, 100000},
+		}, 100000, 0, 0},
+		{"fanout-8", func(c *ClusterConfig) {
+			c.Server = FanoutServerConfig(8)
+		}, 120000, 0, 0},
+		{"inference-batched", func(c *ClusterConfig) {
+			c.Server = InferenceServerConfig()
+		}, 3200, 0.5, 1000},
+		{"inference-serial-bursty", func(c *ClusterConfig) {
+			c.Server = InferenceServerConfig()
+			c.Server.Inference.Model.MaxBatch = 1
+			for i := range c.Clients {
+				c.Clients[i].Config.Arrival = func(rate float64) dist.Sampler {
+					m, err := dist.NewMMPP2FromRate(rate, 4, 0.2, 0.02)
+					if err != nil {
+						panic(err)
+					}
+					return m
+				}
+			}
+		}, 2400, 0.5, 800},
 	}
 	for _, tc := range configs {
+		dur, minReqs := tc.dur, tc.minReqs
+		if dur == 0 {
+			dur = 0.06
+		}
+		if minReqs == 0 {
+			minReqs = 1000
+		}
 		for _, seed := range []uint64{1, 7} {
 			reqs := collectRequests(t, func(c *ClusterConfig) {
 				tc.mutate(c)
 				c.Seed = seed
-			}, tc.rate, 0.02, 0.06)
-			if len(reqs) < 1000 {
+			}, tc.rate, 0.02, dur)
+			if len(reqs) < minReqs {
 				t.Fatalf("%s seed %d: only %d requests", tc.name, seed, len(reqs))
 			}
 			for _, r := range reqs {

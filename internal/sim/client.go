@@ -90,6 +90,11 @@ type ClientConfig struct {
 	PollPeriod float64
 	// ReqBytes / RespBytes are wire sizes.
 	ReqBytes, RespBytes int
+	// Arrival, when non-nil, builds the inter-arrival gap process for the
+	// requested open-loop rate instead of the default Poisson stream —
+	// bursty MMPP or flash-crowd arrivals at matched long-run load. Called
+	// once per StartOpenLoop, so stateful samplers are per-client.
+	Arrival func(rate float64) dist.Sampler
 	// ConnSkew is the Zipf exponent of per-connection load (0 = uniform).
 	// Real multiplexed connections never carry identical traffic; this
 	// mild inequality is what makes connection-to-core placement matter
@@ -217,7 +222,12 @@ func (c *Client) StartOpenLoop(rate float64, conns int) error {
 		return err
 	}
 	order := c.rng.Perm(conns)
-	inter := dist.Exponential{Rate: rate}
+	var inter dist.Sampler = dist.Exponential{Rate: rate}
+	if c.cfg.Arrival != nil {
+		if inter = c.cfg.Arrival(rate); inter == nil {
+			return fmt.Errorf("sim: Arrival factory returned nil sampler")
+		}
+	}
 	var arrive func()
 	arrive = func() {
 		if c.stopped {

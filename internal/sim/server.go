@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"treadmill/internal/anatomy"
 	"treadmill/internal/dist"
+	"treadmill/internal/infersim"
 )
 
 // NUMAPolicy is the memory-placement policy for connection buffers (paper
@@ -74,6 +76,21 @@ type ServerConfig struct {
 	// proxy: after user-space work (parse + route) the request waits a
 	// backend round trip sampled from Forward before the response departs.
 	Forward dist.Sampler
+	// Inference, when non-nil, replaces the user-space service stage with
+	// the two-phase LLM-inference model: after interrupt handling the
+	// request enters an iteration batcher (bounded admission queue,
+	// prefill linear in input tokens, decode linear in output tokens).
+	// Latency then decomposes into the Infer* anatomy phases instead of
+	// Service, and UserCycles is unused.
+	Inference *InferenceConfig
+	// FanDegree, when > 1 with Forward set, scatter-gathers each request
+	// over this many backend legs sampled independently from Forward; the
+	// response departs when the slowest leg returns. The fastest leg is
+	// accounted as Backend, the slowest-minus-fastest gap as FanStraggler.
+	FanDegree int
+	// FanMergeCost is fixed response-reassembly time paid after the
+	// slowest leg of a fan-out (FanMerge phase).
+	FanMergeCost float64
 	// RandomPlacement assigns connections round-robin over a randomly
 	// shuffled core order instead of core-ID order. Per-core connection
 	// counts stay balanced (as memcached's round-robin guarantees), but
@@ -114,9 +131,59 @@ func McrouterServerConfig() ServerConfig {
 	return cfg
 }
 
+// InferenceConfig attaches the two-phase inference service to a simulated
+// server. Token counts are sampled server-side (they are properties of the
+// request body the client sends; sampling here keeps client hot paths
+// untouched).
+type InferenceConfig struct {
+	// Model is the batching/cost model shared with the real TCP server.
+	Model infersim.Config
+	// InTokens and OutTokens sample per-request prompt and generation
+	// lengths. Samples are rounded and clamped to >= 1 token.
+	InTokens, OutTokens dist.Sampler
+}
+
+// InferenceServerConfig models a single-accelerator LLM inference server:
+// the default infersim cost model with lognormal prompt (~256 tokens) and
+// generation (~64 tokens) lengths, ≈100µs own compute per request.
+func InferenceServerConfig() ServerConfig {
+	cfg := DefaultServerConfig()
+	cfg.Inference = &InferenceConfig{
+		Model:     infersim.DefaultConfig(),
+		InTokens:  dist.LognormalFromMoments(256, 0.5),
+		OutTokens: dist.LognormalFromMoments(64, 0.3),
+	}
+	return cfg
+}
+
+// FanoutServerConfig models a scatter-gather root over n shard backends:
+// mcrouter-style parse/route work, then n independent backend legs with a
+// wider per-leg spread so the slowest of n visibly inflates the tail.
+func FanoutServerConfig(n int) ServerConfig {
+	cfg := McrouterServerConfig()
+	cfg.FanDegree = n
+	cfg.FanMergeCost = 6e-6
+	cfg.Forward = dist.LognormalFromMoments(45e-6, 0.5)
+	return cfg
+}
+
 func (c ServerConfig) validate() error {
 	if err := c.CPU.validate(); err != nil {
 		return err
+	}
+	if c.Inference != nil {
+		if err := c.Inference.Model.Validate(); err != nil {
+			return err
+		}
+		if c.Inference.InTokens == nil || c.Inference.OutTokens == nil {
+			return fmt.Errorf("sim: inference token samplers required")
+		}
+	}
+	if c.FanDegree > 1 && c.Forward == nil {
+		return fmt.Errorf("sim: FanDegree %d needs a Forward sampler", c.FanDegree)
+	}
+	if c.FanMergeCost < 0 || math.IsNaN(c.FanMergeCost) {
+		return fmt.Errorf("sim: FanMergeCost %g invalid: want >= 0", c.FanMergeCost)
 	}
 	if c.RSSQueues < 1 {
 		return fmt.Errorf("sim: need >= 1 RSS queue, got %d", c.RSSQueues)
@@ -146,9 +213,19 @@ type Server struct {
 	placement  []int       // core assignment order (shuffled when RandomPlacement)
 	workerOf   map[int]int // connID -> worker core ID
 
+	infer *infersim.Batcher
+
 	inflight  int
 	completed uint64
+	shed      uint64
 }
+
+// engineClock adapts the discrete-event engine to infersim.Clock, so the
+// same batcher mechanics run in virtual time.
+type engineClock struct{ eng *Engine }
+
+func (c engineClock) Now() float64                    { return c.eng.Now() }
+func (c engineClock) After(delay float64, fn func()) { c.eng.Schedule(delay, fn) }
 
 // NewServer builds a server on the engine. rng drives service-time draws.
 func NewServer(eng *Engine, cfg ServerConfig, rng *dist.RNG) (*Server, error) {
@@ -160,6 +237,12 @@ func NewServer(eng *Engine, cfg ServerConfig, rng *dist.RNG) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, eng: eng, cpu: cpu, rng: rng, workerOf: make(map[int]int)}
+	if cfg.Inference != nil {
+		s.infer, err = infersim.NewBatcher(cfg.Inference.Model, engineClock{eng})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s.rssMap = make([]int, cfg.RSSQueues)
 	perSocket := cfg.CPU.Cores / cfg.CPU.Sockets
 	for q := range s.rssMap {
@@ -181,6 +264,14 @@ func (s *Server) Inflight() int { return s.inflight }
 
 // Completed returns the number of requests fully served.
 func (s *Server) Completed() uint64 { return s.completed }
+
+// Shed returns the number of requests rejected at the inference admission
+// queue (they still receive an immediate error response).
+func (s *Server) Shed() uint64 { return s.shed }
+
+// InferBatcher exposes the inference batcher for occupancy probes; nil
+// when the server is not an inference server.
+func (s *Server) InferBatcher() *infersim.Batcher { return s.infer }
 
 // Connect registers a connection: it is assigned a worker core round-robin
 // (as memcached distributes connections over its threads) and its buffer
@@ -251,6 +342,10 @@ func (s *Server) Arrive(req *Request, respond func()) {
 	// wait, C-state exit, ramp deficit, NUMA penalty, pure service.
 	irqCore.SubmitProfiled(s.cfg.IRQCycles, nil, func(irqProf ExecProfile) {
 		s.account(req, irqProf, s.cfg.IRQCycles, 0, anatomy.RSSQueue)
+		if s.infer != nil {
+			s.arriveInference(req, respond)
+			return
+		}
 		userCycles := s.cfg.UserCycles.Sample(s.rng)
 		numaCycles := s.numaPenalty(workerCore)
 		worker.SubmitProfiled(userCycles+numaCycles,
@@ -258,6 +353,10 @@ func (s *Server) Arrive(req *Request, respond func()) {
 			func(p ExecProfile) {
 				s.account(req, p, userCycles, numaCycles, anatomy.ServerQueue)
 				if s.cfg.Forward != nil {
+					if s.cfg.FanDegree > 1 {
+						s.fanout(req, respond)
+						return
+					}
 					// mcrouter: wait for the backend round trip.
 					backend := s.cfg.Forward.Sample(s.rng)
 					req.Phases.Add(anatomy.Backend, backend)
@@ -268,6 +367,63 @@ func (s *Server) Arrive(req *Request, respond func()) {
 				}
 				s.finish(req, respond)
 			})
+	})
+}
+
+// arriveInference hands the request to the iteration batcher. The span
+// report tiles the batcher residence exactly, so together with the
+// interrupt-stage accounting the phase-sum invariant holds unchanged.
+func (s *Server) arriveInference(req *Request, respond func()) {
+	in := tokenRound(s.cfg.Inference.InTokens.Sample(s.rng))
+	out := tokenRound(s.cfg.Inference.OutTokens.Sample(s.rng))
+	submitAt := s.eng.Now()
+	err := s.infer.Submit(in, out, func(rep infersim.Report) {
+		req.ServiceStart = submitAt + rep.QueueWait
+		req.Phases.Add(anatomy.InferQueue, rep.QueueWait)
+		req.Phases.Add(anatomy.InferPrefill, rep.Prefill)
+		req.Phases.Add(anatomy.InferDecode, rep.Decode)
+		req.Phases.Add(anatomy.InferBatch, rep.BatchExtra)
+		s.finish(req, respond)
+	})
+	if err != nil {
+		// Admission queue full: shed with an immediate error response.
+		s.shed++
+		req.ServiceStart = submitAt
+		s.finish(req, respond)
+	}
+}
+
+// tokenRound converts a sampled token count to a valid integer length.
+func tokenRound(v float64) int {
+	n := int(v + 0.5)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// fanout scatter-gathers over FanDegree backend legs: the response can
+// only leave when the slowest leg is back, then pays the merge cost. The
+// fastest leg is the unavoidable backend time; the rest of the wait is
+// pure straggler inflation (the tail-at-scale effect).
+func (s *Server) fanout(req *Request, respond func()) {
+	fastest, slowest := math.Inf(1), 0.0
+	for i := 0; i < s.cfg.FanDegree; i++ {
+		leg := s.cfg.Forward.Sample(s.rng)
+		if leg < fastest {
+			fastest = leg
+		}
+		if leg > slowest {
+			slowest = leg
+		}
+	}
+	req.Phases.Add(anatomy.Backend, fastest)
+	req.Phases.Add(anatomy.FanStraggler, slowest-fastest)
+	if s.cfg.FanMergeCost > 0 {
+		req.Phases.Add(anatomy.FanMerge, s.cfg.FanMergeCost)
+	}
+	s.eng.Schedule(slowest+s.cfg.FanMergeCost, func() {
+		s.finish(req, respond)
 	})
 }
 

@@ -33,33 +33,111 @@ type SizeDist struct {
 	Alpha float64 `json:"alpha,omitempty"`
 }
 
-// Build converts the JSON form into a Sampler.
+// bad formats a uniform Build error that always names the distribution
+// kind, the offending field, and its value, so a rejected JSON workload
+// points straight at the line to fix.
+func (s SizeDist) bad(field string, v float64, want string) error {
+	return fmt.Errorf("workload: %s %s %g invalid: want %s", s.Kind, field, v, want)
+}
+
+// Build converts the JSON form into a Sampler. Comparisons are written in
+// the negated form (!(x > 0) rather than x <= 0) so NaN parameters — which
+// fail every ordering — are rejected instead of slipping through.
 func (s SizeDist) Build() (dist.Sampler, error) {
 	switch s.Kind {
 	case "constant":
-		if s.Value <= 0 {
-			return nil, fmt.Errorf("workload: constant needs positive value, got %g", s.Value)
+		if !(s.Value > 0) {
+			return nil, s.bad("value", s.Value, "> 0")
 		}
 		return dist.Constant{V: s.Value}, nil
 	case "uniform":
-		if s.Hi <= s.Lo || s.Lo < 0 {
-			return nil, fmt.Errorf("workload: uniform needs 0 <= lo < hi, got [%g,%g)", s.Lo, s.Hi)
+		if !(s.Lo >= 0) {
+			return nil, s.bad("lo", s.Lo, ">= 0")
+		}
+		if !(s.Hi > s.Lo) {
+			return nil, s.bad("hi", s.Hi, "> lo")
 		}
 		return dist.Uniform{Lo: s.Lo, Hi: s.Hi}, nil
 	case "lognormal":
-		if s.Mean <= 0 || s.CV2 < 0 {
-			return nil, fmt.Errorf("workload: lognormal needs positive mean and cv2 >= 0")
+		if !(s.Mean > 0) {
+			return nil, s.bad("mean", s.Mean, "> 0")
+		}
+		if !(s.CV2 >= 0) {
+			return nil, s.bad("cv2", s.CV2, ">= 0")
 		}
 		return dist.LognormalFromMoments(s.Mean, s.CV2), nil
 	case "pareto":
-		if s.Xm <= 0 || s.Alpha <= 0 {
-			return nil, fmt.Errorf("workload: pareto needs positive xm and alpha")
+		if !(s.Xm > 0) {
+			return nil, s.bad("xm", s.Xm, "> 0")
+		}
+		if !(s.Alpha > 0) {
+			return nil, s.bad("alpha", s.Alpha, "> 0")
 		}
 		return dist.Pareto{Xm: s.Xm, Alpha: s.Alpha}, nil
 	default:
 		return nil, fmt.Errorf("workload: unknown distribution kind %q", s.Kind)
 	}
 }
+
+// ArrivalSpec selects the open-loop inter-arrival process. The zero value
+// (or kind "poisson") is the classic memoryless stream; "mmpp2" is a
+// two-state Markov-modulated Poisson process whose long-run rate matches
+// the requested load but arrives in bursts; "flash" is a flash-crowd step
+// that multiplies the base rate for a window mid-run. All three plug into
+// the same open-loop controller, so burstiness becomes a workload knob
+// rather than a separate code path.
+type ArrivalSpec struct {
+	// Kind is "", "poisson", "mmpp2", or "flash".
+	Kind string `json:"kind,omitempty"`
+	// Burst is the mmpp2 burst-state rate multiplier (> 1).
+	Burst float64 `json:"burst,omitempty"`
+	// BurstFrac is the long-run fraction of time spent bursting (0,1).
+	BurstFrac float64 `json:"burst_frac,omitempty"`
+	// Cycle is the mean mmpp2 calm+burst cycle length in seconds.
+	Cycle float64 `json:"cycle,omitempty"`
+	// FlashAt / FlashDur bound the flash-crowd window in seconds from run
+	// start; FlashMult is the rate multiplier inside it.
+	FlashAt   float64 `json:"flash_at,omitempty"`
+	FlashDur  float64 `json:"flash_dur,omitempty"`
+	FlashMult float64 `json:"flash_mult,omitempty"`
+}
+
+// Poisson reports whether the spec is the default memoryless stream.
+func (a ArrivalSpec) Poisson() bool {
+	return a.Kind == "" || a.Kind == "poisson"
+}
+
+// Build returns the inter-arrival sampler for the given request rate.
+// MMPP2 and FlashCrowd samplers are stateful: build one per generating
+// loop, never share across goroutines.
+func (a ArrivalSpec) Build(rate float64) (dist.Sampler, error) {
+	if !(rate > 0) {
+		return nil, fmt.Errorf("workload: arrival rate %g invalid: want > 0", rate)
+	}
+	switch a.Kind {
+	case "", "poisson":
+		return dist.Exponential{Rate: rate}, nil
+	case "mmpp2":
+		return dist.NewMMPP2FromRate(rate, a.Burst, a.BurstFrac, a.Cycle)
+	case "flash":
+		return dist.NewFlashCrowd(rate, a.FlashMult, a.FlashAt, a.FlashDur)
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival kind %q", a.Kind)
+	}
+}
+
+// InferenceSpec turns the workload into 100% two-phase inference requests:
+// every request is an `infer <in> <out>` op with token counts drawn from
+// the given distributions (clamped to [1, protocol.MaxInferTokens]). The
+// key-space fields of the enclosing Config are ignored.
+type InferenceSpec struct {
+	InTokens  SizeDist `json:"in_tokens"`
+	OutTokens SizeDist `json:"out_tokens"`
+}
+
+// MaxMultiGet caps the multi-get fan-out width; wider requests stop
+// resembling cache traffic and start stressing the parser instead.
+const MaxMultiGet = 64
 
 // Config is the JSON workload description Treadmill consumes.
 type Config struct {
@@ -79,6 +157,23 @@ type Config struct {
 	ValueSize SizeDist `json:"value_size"`
 	// KeyPrefix namespaces keys so concurrent workloads don't collide.
 	KeyPrefix string `json:"key_prefix,omitempty"`
+	// MultiGet, when > 1, widens every GET into a multi-key get over that
+	// many distinct ranks (the scatter-gather fan-out shape: one request,
+	// N shard lookups, response gated on the slowest leg).
+	MultiGet int `json:"multi_get,omitempty"`
+	// Arrival selects the inter-arrival process for open-loop controllers
+	// that honor it (zero value = Poisson).
+	Arrival ArrivalSpec `json:"arrival,omitempty"`
+	// Inference, when non-nil, replaces the GET/SET mix with two-phase
+	// inference requests.
+	Inference *InferenceSpec `json:"inference,omitempty"`
+}
+
+// LeanCompatible reports whether the workload can ride the zero-alloc
+// NextLean encode path: plain single-key GET/SET/DELETE traffic. Multi-get
+// and inference requests carry per-request structure Lean cannot express.
+func (c Config) LeanCompatible() bool {
+	return c.MultiGet <= 1 && c.Inference == nil
 }
 
 // Default returns the GET-dominated mixed workload used across the
@@ -92,6 +187,39 @@ func Default() Config {
 		KeySkew:     0.99,
 		ValueSize:   SizeDist{Kind: "lognormal", Mean: 1024, CV2: 1.0},
 		KeyPrefix:   "tm",
+	}
+}
+
+// Inference returns the LLM-style inference workload: every request is a
+// two-phase `infer` op with lognormal token counts (mean 256-token prompts,
+// mean 64-token completions), matching the simulator's
+// sim.InferenceServerConfig so the same scenario runs in both planes.
+func Inference() Config {
+	return Config{
+		Name:        "llm-inference",
+		GetFraction: 1,
+		Keys:        1,
+		ValueSize:   SizeDist{Kind: "constant", Value: 64},
+		KeyPrefix:   "inf",
+		Inference: &InferenceSpec{
+			InTokens:  SizeDist{Kind: "lognormal", Mean: 256, CV2: 0.5},
+			OutTokens: SizeDist{Kind: "lognormal", Mean: 64, CV2: 0.3},
+		},
+	}
+}
+
+// FanoutMultiGet returns a scatter-gather workload: GET-only multi-gets of
+// width k over a small hot key space with 128-byte values, the shape that
+// makes the slowest-leg effect visible at modest rates.
+func FanoutMultiGet(k int) Config {
+	return Config{
+		Name:        fmt.Sprintf("fanout-multiget-%d", k),
+		GetFraction: 1,
+		Keys:        1024,
+		KeySkew:     0.99,
+		ValueSize:   SizeDist{Kind: "constant", Value: 128},
+		KeyPrefix:   "fan",
+		MultiGet:    k,
 	}
 }
 
@@ -133,6 +261,25 @@ func (c Config) validate() error {
 	if _, err := c.ValueSize.Build(); err != nil {
 		return err
 	}
+	if c.MultiGet < 0 || c.MultiGet > MaxMultiGet {
+		return fmt.Errorf("workload: multi_get %d out of [0,%d]", c.MultiGet, MaxMultiGet)
+	}
+	if c.MultiGet > c.Keys {
+		return fmt.Errorf("workload: multi_get %d needs keys >= %d for distinct ranks, got %d",
+			c.MultiGet, c.MultiGet, c.Keys)
+	}
+	// Arrival params are rate-independent; validate with a placeholder rate.
+	if _, err := c.Arrival.Build(1); err != nil {
+		return err
+	}
+	if c.Inference != nil {
+		if _, err := c.Inference.InTokens.Build(); err != nil {
+			return fmt.Errorf("workload: inference in_tokens: %w", err)
+		}
+		if _, err := c.Inference.OutTokens.Build(); err != nil {
+			return fmt.Errorf("workload: inference out_tokens: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -144,6 +291,11 @@ type Generator struct {
 	rng    *dist.RNG
 	zipf   *dist.Zipf
 	values dist.Sampler
+
+	// inTok/outTok are non-nil iff cfg.Inference is set.
+	inTok, outTok dist.Sampler
+	// rankScratch backs multi-get distinct-rank draws between calls.
+	rankScratch []int
 }
 
 // NewGenerator builds a Generator for cfg driven by rng.
@@ -159,7 +311,16 @@ func NewGenerator(cfg Config, rng *dist.RNG) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Generator{cfg: cfg, rng: rng, zipf: z, values: v}, nil
+	g := &Generator{cfg: cfg, rng: rng, zipf: z, values: v}
+	if cfg.Inference != nil {
+		if g.inTok, err = cfg.Inference.InTokens.Build(); err != nil {
+			return nil, err
+		}
+		if g.outTok, err = cfg.Inference.OutTokens.Build(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
 }
 
 // Key returns the key for a rank, stable across generators for the same
@@ -168,11 +329,66 @@ func (g *Generator) Key(rank int) string {
 	return fmt.Sprintf("%s-%08d", g.cfg.KeyPrefix, rank)
 }
 
+// tokenCount draws a token count from s clamped to the protocol's bounds.
+func tokenCount(s dist.Sampler, rng *dist.RNG) int {
+	n := int(s.Sample(rng) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > protocol.MaxInferTokens {
+		n = protocol.MaxInferTokens
+	}
+	return n
+}
+
+// multiRanks draws k distinct key ranks (first one Zipf-popular, the rest
+// rejection-sampled against duplicates) into the generator's scratch
+// slice. k is capped well below Keys by validation, so the rejection loop
+// terminates quickly.
+func (g *Generator) multiRanks(first, k int) []int {
+	if cap(g.rankScratch) < k {
+		g.rankScratch = make([]int, 0, k)
+	}
+	ranks := g.rankScratch[:0]
+	ranks = append(ranks, first)
+draw:
+	for len(ranks) < k {
+		r := g.zipf.Rank(g.rng)
+		for _, seen := range ranks {
+			if r == seen {
+				continue draw
+			}
+		}
+		ranks = append(ranks, r)
+	}
+	g.rankScratch = ranks
+	return ranks
+}
+
 // Next returns the next request in the workload's mix.
+//
+// The RNG draw order for plain workloads (no MultiGet, no Inference) is
+// frozen — rank, then mix uniform, then value size — so adding scenario
+// features never perturbs existing seeded request sequences.
 func (g *Generator) Next() *protocol.Request {
-	key := g.Key(g.zipf.Rank(g.rng))
+	if g.inTok != nil {
+		return &protocol.Request{
+			Op:        protocol.OpInfer,
+			InTokens:  tokenCount(g.inTok, g.rng),
+			OutTokens: tokenCount(g.outTok, g.rng),
+		}
+	}
+	rank := g.zipf.Rank(g.rng)
+	key := g.Key(rank)
 	u := g.rng.Float64()
 	if u < g.cfg.GetFraction {
+		if k := g.cfg.MultiGet; k > 1 {
+			keys := make([]string, k)
+			for i, r := range g.multiRanks(rank, k) {
+				keys[i] = g.Key(r)
+			}
+			return &protocol.Request{Op: protocol.OpGet, Key: keys[0], Keys: keys}
+		}
 		return &protocol.Request{Op: protocol.OpGet, Key: key}
 	}
 	if u < g.cfg.GetFraction+g.cfg.DeleteFraction {
@@ -205,7 +421,8 @@ type Lean struct {
 // NextLean fills r with the next request in the mix. It consumes the RNG
 // stream in exactly the same order as Next, so a generator driven through
 // NextLean produces the same request sequence as one driven through Next
-// for the same seed.
+// for the same seed. It requires a LeanCompatible config (the sharded load
+// plane validates this at construction).
 func (g *Generator) NextLean(r *Lean) {
 	r.Rank = g.zipf.Rank(g.rng)
 	r.ValueLen = 0
