@@ -9,7 +9,8 @@
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 findings
 //
 //	table4 fig7 fig8 fig9 fig10 fig11 fig12 anatomy attribution bench
-//	saturate fleetbias chaos liveanatomy timeline inferbench fanout all
+//	saturate fleetbias chaos liveanatomy timeline inferbench fanout
+//	baseline gate all
 //
 // "attribution" runs table4 + fig7/8/11/12 + anatomy (memcached) and
 // fig9/10 (mcrouter) off shared campaigns; "all" runs everything
@@ -72,6 +73,21 @@
 // (sessions/agent, rps/core, allocs/request, bytes/session) into the
 // same JSON baseline.
 //
+// "baseline" and "gate" are the statistical SLO release gate (excluded
+// from "all" because they read and write repo files). "baseline" captures
+// the gate scenario's raw per-cell P50/P99 quantile samples — doubling
+// replicates until the paper's convergence stopping rule fires, refusing
+// to commit unconverged estimates — and writes GATE_baseline.json (see
+// -baseline). "gate" re-runs the identical scenario, compares candidate
+// samples against the committed baseline with Holm-corrected two-sided
+// permutation tests plus practical-significance floors (-gate-alpha,
+// -gate-rel, -gate-abs), journals the verdict, writes GATE_verdict.json
+// (see -verdict-out), renders the verdict table, and exits non-zero on
+// regression so CI can block the merge. Both targets append the gated
+// metrics to BENCH_history.jsonl (see -history) and render the sparkline
+// trend. -gate-inflate injects a deliberate service-demand regression into
+// the capture — CI's negative arm proves the gate trips.
+//
 // Observability (shared flag set with treadmill, telemetry.ObsFlags):
 // -journal records one anatomy event per factorial cell; -anatomy exports
 // every cell's tail-vs-body breakdown to CSV or JSONL; -telemetry-addr
@@ -94,6 +110,7 @@ import (
 	"treadmill/internal/anatomy"
 	"treadmill/internal/experiments"
 	"treadmill/internal/flightrec"
+	"treadmill/internal/gate"
 	"treadmill/internal/report"
 	"treadmill/internal/telemetry"
 )
@@ -124,6 +141,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent experiments per campaign (0 = GOMAXPROCS); results are identical for any value")
 	benchOut := flag.String("bench-out", "BENCH_treadmill.json", "output path for the bench target's JSON report")
+	baselinePath := flag.String("baseline", "GATE_baseline.json", "committed release-gate baseline (written by baseline, read by gate)")
+	verdictOut := flag.String("verdict-out", "GATE_verdict.json", "output path for the gate target's verdict JSON")
+	historyPath := flag.String("history", "BENCH_history.jsonl", "append-only JSONL ledger of gated metrics (empty disables)")
+	gateAlpha := flag.Float64("gate-alpha", 0.05, "family-wise error rate for the gate's Holm-corrected permutation tests")
+	gateRel := flag.Float64("gate-rel", 0.05, "practical-significance floor as a fraction of the baseline mean")
+	gateAbs := flag.Duration("gate-abs", 200*time.Microsecond, "practical-significance floor as an absolute latency delta")
+	gatePerms := flag.Int("gate-permutations", 2000, "permutations per gate comparison")
+	gateInflate := flag.Float64("gate-inflate", 0, "inflate per-request service demand by this factor during gate/baseline capture (0 or 1 = none; CI's negative arm proves the gate trips)")
 	var obsFlags telemetry.ObsFlags
 	obsFlags.RegisterSim(flag.CommandLine)
 	flag.Parse()
@@ -193,6 +218,24 @@ func main() {
 			}
 		}
 		return mcrouter
+	}
+
+	// appendGateHistory stamps and appends one gated-metric record, then
+	// renders the accumulated trend. The stamp lives only in the ledger —
+	// baselines and verdicts stay byte-reproducible.
+	appendGateHistory := func(rec gate.HistoryRecord) {
+		if *historyPath == "" {
+			return
+		}
+		rec.Time = time.Now().UTC().Format(time.RFC3339)
+		if err := gate.AppendHistory(*historyPath, rec); err != nil {
+			fatal(err)
+		}
+		recs, err := gate.ReadHistory(*historyPath)
+		if err != nil {
+			fatal(err)
+		}
+		p.table(gate.HistoryTable(recs))
 	}
 
 	expand := func(names []string) []string {
@@ -300,6 +343,81 @@ func main() {
 				fatal(err)
 			}
 			p.table(tab)
+		case "baseline":
+			sc := experiments.GateScenario(scale)
+			fmt.Fprintf(os.Stderr, "capturing release-gate baseline (%d cells, convergence-checked, scenario %s)...\n",
+				1<<len(sc.Factors), sc.Fingerprint())
+			b, err := gate.Capture(ctx, sc, gate.CaptureOptions{
+				Inflate: *gateInflate,
+				Workers: *workers,
+				Progress: func(line string) { fmt.Fprintln(os.Stderr, "baseline: "+line) },
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if err := gate.WriteBaseline(*baselinePath, b); err != nil {
+				fatal(err)
+			}
+			p.table(gate.BaselineTable(b))
+			appendGateHistory(gate.HistoryRecord{
+				Kind: "baseline", Scale: scale.Name, Seed: scale.Seed,
+				Fingerprint: b.Fingerprint, Metrics: gate.BaselineMetrics(b),
+			})
+			fmt.Fprintf(os.Stderr, "baseline: wrote %s\n", *baselinePath)
+		case "gate":
+			base, err := gate.ReadBaseline(*baselinePath)
+			if err != nil {
+				fatal(fmt.Errorf("gate: load baseline: %w — capture one with `tailbench baseline`", err))
+			}
+			sc := experiments.GateScenario(scale)
+			fmt.Fprintf(os.Stderr, "gating against %s (scenario %s)...\n", *baselinePath, sc.Fingerprint())
+			// The candidate mirrors the baseline's convergence-chosen
+			// replicate count: equal-sized groups for the permutation test,
+			// and a verdict even when a regression destabilizes the
+			// stopping rule.
+			reps := 0
+			for _, c := range base.Cells {
+				if c.Runs > reps {
+					reps = c.Runs
+				}
+			}
+			cand, err := gate.CaptureReplicates(ctx, sc, reps, gate.CaptureOptions{
+				Inflate: *gateInflate,
+				Workers: *workers,
+				Progress: func(line string) { fmt.Fprintln(os.Stderr, "gate: "+line) },
+			})
+			if err != nil {
+				fatal(err)
+			}
+			v, err := gate.Compare(base, cand, gate.Options{
+				Alpha:        *gateAlpha,
+				RelThreshold: *gateRel,
+				AbsThreshold: gateAbs.Seconds(),
+				Permutations: *gatePerms,
+				Seed:         scale.Seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if err := gate.WriteVerdict(*verdictOut, v); err != nil {
+				fatal(err)
+			}
+			if err := obs.Journal.Emit(telemetry.Event{Kind: telemetry.EventGate, Gate: v.Record()}); err != nil {
+				fatal(err)
+			}
+			p.table(gate.VerdictTable(v))
+			appendGateHistory(gate.HistoryRecord{
+				Kind: "gate", Scale: scale.Name, Seed: scale.Seed,
+				Fingerprint: v.Fingerprint, Pass: &v.Pass, Regressions: v.Regressions,
+				Metrics: gate.VerdictMetrics(v),
+			})
+			fmt.Fprintf(os.Stderr, "gate: %s — wrote %s\n", v.Decision(), *verdictOut)
+			if !v.Pass {
+				// os.Exit skips defers; close the journal so the gate event
+				// is flushed before CI sees the non-zero status.
+				obs.Close()
+				os.Exit(1)
+			}
 		case "bench":
 			fmt.Fprintln(os.Stderr, "running perf baseline (campaign 1 vs max workers, engine, bootstrap)...")
 			rep, err := experiments.RunBench(ctx, scale)

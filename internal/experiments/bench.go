@@ -195,9 +195,14 @@ func fitBench(res *runner.Result, resamples, workers int) (*quantreg.Result, err
 
 // WriteBenchJSON writes the report to path, pretty-printed for diffable
 // commits. An existing report's saturate section survives a `bench` rerun
-// (and vice versa): the two targets own disjoint sections of the file.
+// (and vice versa): the two targets own disjoint sections of the file. An
+// existing file that fails to parse is an error, not an overwrite — a
+// truncated or hand-mangled committed baseline should be inspected (and
+// deleted deliberately), not silently replaced.
 func WriteBenchJSON(path string, rep *BenchReport) error {
-	if prev, err := ReadBenchJSON(path); err == nil {
+	prev, err := ReadBenchJSON(path)
+	switch {
+	case err == nil:
 		if rep.Loadplane == nil {
 			rep.Loadplane = prev.Loadplane
 		}
@@ -206,6 +211,10 @@ func WriteBenchJSON(path string, rep *BenchReport) error {
 			rep.Engine = prev.Engine
 			rep.Bootstrap = prev.Bootstrap
 		}
+	case os.IsNotExist(err):
+		// No previous report: nothing to merge.
+	default:
+		return fmt.Errorf("experiments: refusing to overwrite unreadable %s (delete it to start fresh): %w", path, err)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,22 @@
+package experiments
+
+import "treadmill/internal/gate"
+
+// GateScenario returns the release-gate scenario at scale s: the
+// attribution campaign's high-load operating point (70% utilization, the
+// paper's 8-client fleet) over the turbo × numa factors — the two knobs
+// Table IV found to matter most — gating P50 and P99. Everything else
+// (quantiles, replicate doubling, stopping rule) uses the gate defaults so
+// the committed baseline's fingerprint stays stable across PRs that don't
+// intend to change the scenario.
+func GateScenario(s Scale) gate.Scenario {
+	return gate.Scenario{
+		Seed:           s.Seed,
+		Clients:        clientFleet,
+		TotalRate:      highRate,
+		ConnsPerClient: 8,
+		Duration:       s.Duration,
+		Warmup:         s.Warmup,
+		Factors:        []string{"turbo", "numa"},
+	}
+}

@@ -1,0 +1,138 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"treadmill/internal/report"
+	"treadmill/internal/stats"
+)
+
+// BaselineSchemaVersion is the current baseline file schema. Decoding
+// treats an absent (zero) version as 1 — the first committed schema — so
+// older files keep parsing as the format grows.
+const BaselineSchemaVersion = 1
+
+// Baseline is the committed reference the gate compares against: the raw
+// per-cell quantile samples of a converged capture, plus the scenario
+// identity they were measured under. Committing raw samples (not summary
+// statistics) is the point — the permutation test needs the samples.
+type Baseline struct {
+	SchemaVersion int `json:"schema_version"`
+	// Fingerprint is Scenario.Fingerprint() at capture time.
+	Fingerprint string `json:"fingerprint"`
+	// Inflate records the capture's injected service inflation (0 or 1
+	// means none); a perturbed capture is self-labelled, never silent.
+	Inflate float64 `json:"inflate,omitempty"`
+	// Scenario is the full capture configuration, embedded so a baseline
+	// file is self-describing and the gate can re-run the identical cells.
+	Scenario Scenario `json:"scenario"`
+	// Quantiles are the gated quantiles, in the order of every cell's
+	// Samples rows.
+	Quantiles []float64 `json:"quantiles"`
+	// Cells holds one entry per factorial cell, sorted by cell key.
+	Cells []CellSamples `json:"cells"`
+}
+
+// CellSamples is one factorial cell's raw quantile samples.
+type CellSamples struct {
+	// Cell is the runner.LevelsKey of the factorial cell (e.g. "01").
+	Cell string `json:"cell"`
+	// Runs is the replicate count the samples were captured at.
+	Runs int `json:"runs"`
+	// ConvergedAt is the replicate count at which the last gated
+	// quantile's running mean stabilized (<= Runs).
+	ConvergedAt int `json:"converged_at"`
+	// Samples[qi][rep] is the qi-th gated quantile's estimate (seconds)
+	// from replicate rep, in schedule order.
+	Samples [][]float64 `json:"samples"`
+}
+
+// validate checks structural invariants shared by freshly captured and
+// decoded baselines; decoded files get the stricter checks because they
+// cross a trust boundary (hand-edited or truncated commits).
+func (b *Baseline) validate() error {
+	if len(b.Quantiles) == 0 {
+		return fmt.Errorf("gate: baseline has no quantiles")
+	}
+	if len(b.Cells) == 0 {
+		return fmt.Errorf("gate: baseline has no cells")
+	}
+	for _, c := range b.Cells {
+		if len(c.Samples) != len(b.Quantiles) {
+			return fmt.Errorf("gate: baseline cell %s has %d sample rows for %d quantiles",
+				c.Cell, len(c.Samples), len(b.Quantiles))
+		}
+		for qi, row := range c.Samples {
+			if len(row) == 0 {
+				return fmt.Errorf("gate: baseline cell %s p%g has no samples", c.Cell, b.Quantiles[qi]*100)
+			}
+			for i, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("gate: baseline cell %s p%g sample %d = %g invalid: want finite",
+						c.Cell, b.Quantiles[qi]*100, i, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteBaseline writes the baseline to path, pretty-printed for diffable
+// commits.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads and validates a committed baseline. Files written
+// before SchemaVersion existed decode with version 1.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("gate: parse baseline %s: %w", path, err)
+	}
+	if b.SchemaVersion == 0 {
+		b.SchemaVersion = 1
+	}
+	if b.SchemaVersion > BaselineSchemaVersion {
+		return nil, fmt.Errorf("gate: baseline %s schema %d newer than supported %d",
+			path, b.SchemaVersion, BaselineSchemaVersion)
+	}
+	if err := b.validate(); err != nil {
+		return nil, fmt.Errorf("gate: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// BaselineTable renders the captured baseline for the `tailbench baseline`
+// target: per cell per quantile, the sample mean, spread, and the
+// replicate count at which the stopping rule fired.
+func BaselineTable(b *Baseline) *report.Table {
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Release-gate baseline (fingerprint %s, %d cells)", b.Fingerprint, len(b.Cells)),
+		Headers: []string{"cell", "quantile", "mean", "stddev", "runs", "converged at"},
+	}
+	for _, c := range b.Cells {
+		for qi, q := range b.Quantiles {
+			tab.AddRow(
+				c.Cell,
+				fmt.Sprintf("p%g", q*100),
+				report.Micros(stats.Mean(c.Samples[qi])),
+				report.Micros(stats.StdDev(c.Samples[qi])),
+				fmt.Sprintf("%d", c.Runs),
+				fmt.Sprintf("%d", c.ConvergedAt),
+			)
+		}
+	}
+	return tab
+}

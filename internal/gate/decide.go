@@ -1,0 +1,182 @@
+package gate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/stats"
+)
+
+// Options configure the gate decision.
+type Options struct {
+	// Alpha is the family-wise error rate for the Holm-corrected
+	// permutation tests (default 0.05).
+	Alpha float64
+	// RelThreshold / AbsThreshold are the practical-significance floors: a
+	// statistically detected shift only blocks (or counts as an
+	// improvement) when |delta| exceeds RelThreshold of the baseline mean
+	// OR AbsThreshold seconds. Defaults 5% and 200µs.
+	RelThreshold float64
+	AbsThreshold float64
+	// Permutations per comparison (default 2000).
+	Permutations int
+	// Seed derives each comparison's RNG stream, making the verdict
+	// byte-reproducible (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.RelThreshold == 0 {
+		o.RelThreshold = 0.05
+	}
+	if o.AbsThreshold == 0 {
+		o.AbsThreshold = 200e-6
+	}
+	if o.Permutations == 0 {
+		o.Permutations = 2000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Comparison statuses.
+const (
+	StatusPass        = "pass"
+	StatusRegression  = "regression"
+	StatusImprovement = "improvement"
+)
+
+// compareSeed derives a comparison's RNG stream from the gate seed and
+// the comparison identity — not from argument order, which is what makes
+// the verdict's p-values invariant under swapping baseline and candidate.
+func compareSeed(seed uint64, cell string, qi int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", seed, cell, qi)
+	s := h.Sum64()
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Compare decides ship/block: for every cell × gated quantile it runs a
+// two-sided permutation test of candidate vs baseline samples, corrects
+// the whole family with Holm's step-down at opt.Alpha, and classifies
+// each comparison — a regression needs statistical significance AND a
+// practically large adverse delta; an improvement is the mirror image.
+// The verdict passes iff no comparison regressed.
+func Compare(base, cand *Baseline, opt Options) (*Verdict, error) {
+	opt = opt.withDefaults()
+	if err := base.validate(); err != nil {
+		return nil, fmt.Errorf("gate: baseline side: %w", err)
+	}
+	if err := cand.validate(); err != nil {
+		return nil, fmt.Errorf("gate: candidate side: %w", err)
+	}
+	if base.Fingerprint != cand.Fingerprint {
+		return nil, fmt.Errorf("gate: scenario fingerprint mismatch: baseline %s vs candidate %s — recapture the baseline with `tailbench baseline`",
+			base.Fingerprint, cand.Fingerprint)
+	}
+	if len(base.Quantiles) != len(cand.Quantiles) {
+		return nil, fmt.Errorf("gate: quantile sets differ: %v vs %v", base.Quantiles, cand.Quantiles)
+	}
+	for i := range base.Quantiles {
+		if base.Quantiles[i] != cand.Quantiles[i] {
+			return nil, fmt.Errorf("gate: quantile sets differ: %v vs %v", base.Quantiles, cand.Quantiles)
+		}
+	}
+	candByCell := make(map[string]CellSamples, len(cand.Cells))
+	for _, c := range cand.Cells {
+		candByCell[c.Cell] = c
+	}
+
+	v := &Verdict{
+		SchemaVersion: VerdictSchemaVersion,
+		Fingerprint:   base.Fingerprint,
+		Alpha:         opt.Alpha,
+		RelThreshold:  opt.RelThreshold,
+		AbsThreshold:  opt.AbsThreshold,
+		Permutations:  opt.Permutations,
+		Seed:          opt.Seed,
+	}
+	var ps []float64
+	for _, bc := range base.Cells {
+		cc, ok := candByCell[bc.Cell]
+		if !ok {
+			return nil, fmt.Errorf("gate: candidate is missing cell %s", bc.Cell)
+		}
+		for qi, q := range base.Quantiles {
+			delta, p, err := stats.MeanDiffPermutation(
+				bc.Samples[qi], cc.Samples[qi], opt.Permutations,
+				dist.NewRNG(compareSeed(opt.Seed, bc.Cell, qi)))
+			if err != nil {
+				return nil, fmt.Errorf("gate: cell %s p%g: %w", bc.Cell, q*100, err)
+			}
+			baseMean := stats.Mean(bc.Samples[qi])
+			rel := 0.0
+			if baseMean != 0 {
+				rel = delta / baseMean
+			}
+			v.Cells = append(v.Cells, CellVerdict{
+				Cell:          bc.Cell,
+				Quantile:      q,
+				BaselineN:     len(bc.Samples[qi]),
+				CandidateN:    len(cc.Samples[qi]),
+				BaselineMean:  baseMean,
+				CandidateMean: stats.Mean(cc.Samples[qi]),
+				Delta:         delta,
+				RelDelta:      rel,
+				P:             p,
+			})
+			ps = append(ps, p)
+		}
+	}
+	if len(cand.Cells) != len(base.Cells) {
+		return nil, fmt.Errorf("gate: cell sets differ: baseline %d cells, candidate %d", len(base.Cells), len(cand.Cells))
+	}
+
+	reject, err := stats.HolmBonferroni(ps, opt.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	// Report the step-down cut each comparison faced (by ascending-p rank)
+	// so the verdict table shows what "significant" meant for that row.
+	order := make([]int, len(ps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return ps[order[i]] < ps[order[j]] })
+	for rank, idx := range order {
+		v.Cells[idx].HolmAlpha = stats.HolmThreshold(opt.Alpha, len(ps), rank)
+	}
+
+	for i := range v.Cells {
+		c := &v.Cells[i]
+		c.Significant = reject[i]
+		c.Practical = math.Abs(c.Delta) >= opt.AbsThreshold ||
+			math.Abs(c.RelDelta) >= opt.RelThreshold
+		switch {
+		case c.Significant && c.Practical && c.Delta > 0:
+			c.Status = StatusRegression
+			v.Regressions++
+		case c.Significant && c.Practical && c.Delta < 0:
+			c.Status = StatusImprovement
+			v.Improvements++
+		default:
+			c.Status = StatusPass
+		}
+		if c.Delta > 0 && (v.WorstCell == "" || c.Delta > v.WorstDelta) {
+			v.WorstCell, v.WorstQuantile, v.WorstDelta, v.WorstP = c.Cell, c.Quantile, c.Delta, c.P
+		}
+	}
+	v.Pass = v.Regressions == 0
+	return v, nil
+}

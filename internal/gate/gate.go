@@ -1,0 +1,362 @@
+// Package gate composes the repo's statistical pipeline — bootstrap-backed
+// quantile samples, permutation tests, convergence detection — into a
+// pass/fail release decision (the "SLO release gate"). A committed
+// Baseline holds raw per-cell P50/P99 quantile samples captured only after
+// the convergence detector declared them stable; `tailbench gate` re-runs
+// the identical scenario, compares candidate samples cell by cell with a
+// two-sided permutation test under a Holm multiple-comparison correction,
+// demands practical significance on top of statistical (a regression must
+// be both detected at the configured α and larger than the relative or
+// absolute floor), and emits a machine-readable verdict, a journaled gate
+// event, a rendered table, and a non-zero exit for CI.
+//
+// The design follows the paper's core claim (§IV): a tail-latency
+// measurement is only actionable when the statistics behind it are sound.
+// DiPerF (PAPERS.md) supplies the framing that a performance test's output
+// should be a decision, not a table.
+package gate
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"treadmill/internal/dist"
+	"treadmill/internal/runner"
+	"treadmill/internal/sim"
+	"treadmill/internal/stats"
+)
+
+// Scenario pins the workload cells the gate measures. Every field below
+// is part of the scenario's identity fingerprint: a baseline captured
+// under one scenario refuses to gate a run under another, because the
+// permutation test is only meaningful when the two sample sets came from
+// the same experiment.
+type Scenario struct {
+	// Seed drives the whole capture (cluster, schedule shuffle, per-run
+	// seeds); same seed → bit-identical samples.
+	Seed uint64 `json:"seed"`
+	// Clients is the simulated load-generating fleet size.
+	Clients int `json:"clients"`
+	// TotalRate is the offered load (requests/s) split over the clients.
+	TotalRate float64 `json:"total_rate"`
+	// ConnsPerClient is each client's connection count.
+	ConnsPerClient int `json:"conns_per_client"`
+	// Duration / Warmup are simulated seconds per experiment run.
+	Duration float64 `json:"duration"`
+	Warmup   float64 `json:"warmup"`
+	// Factors names the runner.PaperFactors the cells cross (2^len cells).
+	Factors []string `json:"factors"`
+	// Quantiles are the gated latency quantiles (default P50 and P99).
+	Quantiles []float64 `json:"quantiles"`
+
+	// MinReplicates is the starting per-cell replicate count; capture
+	// doubles it until every cell's every gated quantile converges, up to
+	// MaxReplicates — past that the capture refuses to commit.
+	MinReplicates int `json:"min_replicates"`
+	MaxReplicates int `json:"max_replicates"`
+	// MinRuns / Window / Tolerance configure the per-cell
+	// stats.ConvergenceDetector over the running mean of the quantile
+	// samples (paper §III-B's stopping rule).
+	MinRuns   int     `json:"min_runs"`
+	Window    int     `json:"window"`
+	Tolerance float64 `json:"tolerance"`
+}
+
+// withDefaults fills zero fields with the gate defaults.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Clients == 0 {
+		sc.Clients = 8
+	}
+	if sc.ConnsPerClient == 0 {
+		sc.ConnsPerClient = 8
+	}
+	if len(sc.Quantiles) == 0 {
+		sc.Quantiles = []float64{0.5, 0.99}
+	}
+	if sc.MinReplicates == 0 {
+		sc.MinReplicates = 8
+	}
+	if sc.MaxReplicates == 0 {
+		sc.MaxReplicates = 32
+	}
+	if sc.MinRuns == 0 {
+		sc.MinRuns = 5
+	}
+	if sc.Window == 0 {
+		sc.Window = 3
+	}
+	if sc.Tolerance == 0 {
+		sc.Tolerance = 0.02
+	}
+	return sc
+}
+
+// bad formats a uniform validation error that names the offending field
+// and its value (mirroring workload.SizeDist.Build's style).
+func (sc Scenario) bad(field string, v float64, want string) error {
+	return fmt.Errorf("gate: scenario %s %g invalid: want %s", field, v, want)
+}
+
+func (sc Scenario) validate() error {
+	if !(sc.TotalRate > 0) {
+		return sc.bad("total_rate", sc.TotalRate, "> 0")
+	}
+	if !(sc.Duration > 0) {
+		return sc.bad("duration", sc.Duration, "> 0")
+	}
+	if !(sc.Warmup >= 0) {
+		return sc.bad("warmup", sc.Warmup, ">= 0")
+	}
+	if !(sc.Tolerance > 0) {
+		return sc.bad("tolerance", sc.Tolerance, "> 0")
+	}
+	if sc.MinReplicates < sc.MinRuns {
+		return sc.bad("min_replicates", float64(sc.MinReplicates), fmt.Sprintf(">= min_runs %d", sc.MinRuns))
+	}
+	if sc.MaxReplicates < sc.MinReplicates {
+		return sc.bad("max_replicates", float64(sc.MaxReplicates), fmt.Sprintf(">= min_replicates %d", sc.MinReplicates))
+	}
+	if len(sc.Factors) == 0 {
+		return fmt.Errorf("gate: scenario needs at least one factor")
+	}
+	for _, q := range sc.Quantiles {
+		if !(q > 0 && q < 1) {
+			return sc.bad("quantile", q, "in (0,1)")
+		}
+	}
+	if _, err := sc.resolveFactors(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// resolveFactors maps the scenario's factor names onto runner.PaperFactors.
+func (sc Scenario) resolveFactors() ([]runner.Factor, error) {
+	byName := make(map[string]runner.Factor)
+	for _, f := range runner.PaperFactors() {
+		byName[f.Name] = f
+	}
+	out := make([]runner.Factor, 0, len(sc.Factors))
+	for _, name := range sc.Factors {
+		f, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("gate: unknown factor %q (have: numa turbo dvfs nic)", name)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Fingerprint hashes the scenario's identity fields. Baselines record it;
+// Compare and gate capture refuse mismatches, so a stale committed
+// baseline cannot silently gate a different experiment.
+func (sc Scenario) Fingerprint() string {
+	sc = sc.withDefaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v1|seed=%d|clients=%d|rate=%g|conns=%d|dur=%g|warm=%g|factors=%s|q=%v|reps=%d..%d|conv=%d/%d/%g",
+		sc.Seed, sc.Clients, sc.TotalRate, sc.ConnsPerClient, sc.Duration, sc.Warmup,
+		strings.Join(sc.Factors, ","), sc.Quantiles, sc.MinReplicates, sc.MaxReplicates,
+		sc.MinRuns, sc.Window, sc.Tolerance)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CaptureOptions tune one capture run without changing the scenario's
+// identity.
+type CaptureOptions struct {
+	// Inflate multiplies the simulated server's per-request service demand
+	// (user cycles and interrupt cycles). 0 or 1 means unperturbed. It
+	// models a code regression for self-tests and the CI negative arm —
+	// the candidate runs the same scenario, only slower.
+	Inflate float64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS); samples are
+	// bit-identical for any value.
+	Workers int
+	// Progress, when non-nil, receives one line per capture attempt.
+	Progress func(line string)
+}
+
+// scaledSampler inflates a service-demand distribution by a constant
+// factor (the injected-regression knob).
+type scaledSampler struct {
+	s dist.Sampler
+	k float64
+}
+
+func (s scaledSampler) Sample(rng *dist.RNG) float64 { return s.s.Sample(rng) * s.k }
+func (s scaledSampler) Mean() float64                { return s.s.Mean() * s.k }
+
+// study builds the runner campaign for one capture attempt.
+func (sc Scenario) study(replicates int, opt CaptureOptions) (*runner.Study, error) {
+	factors, err := sc.resolveFactors()
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultClusterConfig(sc.Clients)
+	cfg.Server.RandomPlacement = true
+	cfg.Seed = sc.Seed
+	if opt.Inflate != 0 && opt.Inflate != 1 {
+		if !(opt.Inflate > 0) || math.IsInf(opt.Inflate, 0) {
+			return nil, fmt.Errorf("gate: inflate %g invalid: want finite > 0", opt.Inflate)
+		}
+		cfg.Server.UserCycles = scaledSampler{cfg.Server.UserCycles, opt.Inflate}
+		cfg.Server.IRQCycles *= opt.Inflate
+	}
+	return &runner.Study{
+		Base:           cfg,
+		Factors:        factors,
+		TotalRate:      sc.TotalRate,
+		ConnsPerClient: sc.ConnsPerClient,
+		Duration:       sc.Duration,
+		Warmup:         sc.Warmup,
+		Replicates:     replicates,
+		Quantiles:      append([]float64(nil), sc.Quantiles...),
+		Seed:           sc.Seed,
+		Workers:        opt.Workers,
+	}, nil
+}
+
+// Capture runs the scenario and returns a Baseline of raw per-cell
+// quantile samples — but only once every cell's every gated quantile has
+// a converged running mean (stats.ConvergenceDetector, paper §III-B).
+// Capture starts at MinReplicates per cell and doubles until convergence;
+// if MaxReplicates is still unconverged it returns an error rather than
+// commit an unstable baseline.
+func Capture(ctx context.Context, sc Scenario, opt CaptureOptions) (*Baseline, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	var lastUnconverged []string
+	for reps := sc.MinReplicates; reps <= sc.MaxReplicates; reps *= 2 {
+		cells, unconverged, err := sc.captureOnce(ctx, reps, opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(unconverged) == 0 {
+			return sc.baseline(cells, opt), nil
+		}
+		lastUnconverged = unconverged
+	}
+	return nil, fmt.Errorf("gate: quantile estimates still unconverged after %d replicates/cell (%s) — refusing to commit an unstable baseline; lengthen the runs or loosen tolerance %g",
+		sc.MaxReplicates, strings.Join(lastUnconverged, ", "), sc.Tolerance)
+}
+
+// CaptureReplicates runs the scenario once at exactly reps replicates per
+// cell, without enforcing the stopping rule. This is the gate's candidate
+// arm: the baseline's replicate count was chosen by convergence at capture
+// time, and the candidate mirrors it so the permutation test compares
+// equal-sized groups — and so a genuinely regressed candidate, whose extra
+// noise the stopping rule might never accept, still produces a verdict
+// instead of an abort.
+func CaptureReplicates(ctx context.Context, sc Scenario, reps int, opt CaptureOptions) (*Baseline, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if reps < sc.MinRuns {
+		return nil, sc.bad("replicates", float64(reps), fmt.Sprintf(">= min_runs %d", sc.MinRuns))
+	}
+	cells, _, err := sc.captureOnce(ctx, reps, opt)
+	if err != nil {
+		return nil, err
+	}
+	return sc.baseline(cells, opt), nil
+}
+
+// captureOnce runs one capture attempt at the given replicate count.
+func (sc Scenario) captureOnce(ctx context.Context, reps int, opt CaptureOptions) ([]CellSamples, []string, error) {
+	if opt.Progress != nil {
+		opt.Progress(fmt.Sprintf("capturing %d cells x %d replicates...", 1<<len(sc.Factors), reps))
+	}
+	st, err := sc.study(reps, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := st.Run(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gate: capture campaign: %w", err)
+	}
+	return sc.collect(res)
+}
+
+func (sc Scenario) baseline(cells []CellSamples, opt CaptureOptions) *Baseline {
+	return &Baseline{
+		SchemaVersion: BaselineSchemaVersion,
+		Fingerprint:   sc.Fingerprint(),
+		Inflate:       opt.Inflate,
+		Scenario:      sc,
+		Quantiles:     append([]float64(nil), sc.Quantiles...),
+		Cells:         cells,
+	}
+}
+
+// collect groups the campaign's samples by factorial cell (in schedule
+// order, which is how the convergence trajectory accrued) and runs the
+// stopping rule per cell per quantile. It returns the per-cell sample
+// sets and the list of "cell/quantile" pairs that have not converged.
+func (sc Scenario) collect(res *runner.Result) ([]CellSamples, []string, error) {
+	type cellAcc struct {
+		samples   [][]float64 // [quantile][replicate]
+		detectors []*stats.ConvergenceDetector
+		converged []int // replicate count at first convergence, per quantile
+	}
+	acc := make(map[string]*cellAcc)
+	for _, s := range res.Samples {
+		key := runner.LevelsKey(s.Levels)
+		a := acc[key]
+		if a == nil {
+			a = &cellAcc{
+				samples:   make([][]float64, len(sc.Quantiles)),
+				detectors: make([]*stats.ConvergenceDetector, len(sc.Quantiles)),
+				converged: make([]int, len(sc.Quantiles)),
+			}
+			for i := range a.detectors {
+				a.detectors[i] = &stats.ConvergenceDetector{
+					MinRuns: sc.MinRuns, Window: sc.Window, Tolerance: sc.Tolerance,
+				}
+			}
+			acc[key] = a
+		}
+		for qi, q := range sc.Quantiles {
+			v, ok := s.Quantiles[q]
+			if !ok {
+				return nil, nil, fmt.Errorf("gate: cell %s missing quantile %g", key, q)
+			}
+			done, err := a.detectors[qi].ObserveChecked(v)
+			if err != nil {
+				return nil, nil, fmt.Errorf("gate: cell %s p%g replicate %d: %w", key, q*100, len(a.samples[qi]), err)
+			}
+			a.samples[qi] = append(a.samples[qi], v)
+			if done && a.converged[qi] == 0 {
+				a.converged[qi] = a.detectors[qi].N()
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var cells []CellSamples
+	var unconverged []string
+	for _, key := range keys {
+		a := acc[key]
+		cell := CellSamples{Cell: key, Runs: len(a.samples[0]), Samples: a.samples}
+		for qi, q := range sc.Quantiles {
+			if !a.detectors[qi].Converged() {
+				unconverged = append(unconverged, fmt.Sprintf("%s/p%g", key, q*100))
+				continue
+			}
+			if a.converged[qi] > cell.ConvergedAt {
+				cell.ConvergedAt = a.converged[qi]
+			}
+		}
+		cells = append(cells, cell)
+	}
+	return cells, unconverged, nil
+}

@@ -1,0 +1,432 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"treadmill/internal/dist"
+)
+
+// fixtureBaseline builds a hand-made baseline around the given per-cell
+// P50/P99 sample rows, bypassing the simulator (fingerprints are shared
+// literals so Compare accepts the pair).
+func fixtureBaseline(cells map[string][][]float64) *Baseline {
+	b := &Baseline{
+		SchemaVersion: BaselineSchemaVersion,
+		Fingerprint:   "fixture",
+		Quantiles:     []float64{0.5, 0.99},
+	}
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	// Sorted like Capture emits.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		b.Cells = append(b.Cells, CellSamples{
+			Cell: k, Runs: len(cells[k][0]), ConvergedAt: len(cells[k][0]), Samples: cells[k],
+		})
+	}
+	return b
+}
+
+// noisy returns n samples around center with deterministic ±spread noise.
+func noisy(center, spread float64, n int, seed uint64) []float64 {
+	rng := dist.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = center + spread*(2*rng.Float64()-1)
+	}
+	return out
+}
+
+// scale multiplies every sample by k.
+func scale(xs []float64, k float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}
+
+func twoCellFixture(seed uint64) *Baseline {
+	return fixtureBaseline(map[string][][]float64{
+		"0": {noisy(120e-6, 3e-6, 10, seed), noisy(480e-6, 12e-6, 10, seed+1)},
+		"1": {noisy(150e-6, 3e-6, 10, seed+2), noisy(610e-6, 15e-6, 10, seed+3)},
+	})
+}
+
+// TestCompareIdenticalNeverTrips: gating a bit-identical re-run must pass
+// with p = 1 and zero delta on every comparison (monotonicity lower bound).
+func TestCompareIdenticalNeverTrips(t *testing.T) {
+	base := twoCellFixture(1)
+	v, err := Compare(base, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass || v.Regressions != 0 || v.Improvements != 0 {
+		t.Fatalf("identical gate did not pass cleanly: %+v", v)
+	}
+	for _, c := range v.Cells {
+		if c.Status != StatusPass || c.P != 1 || c.Delta != 0 {
+			t.Errorf("cell %s p%g: status=%s p=%g delta=%g", c.Cell, c.Quantile*100, c.Status, c.P, c.Delta)
+		}
+	}
+	if v.Decision() != "SHIP" {
+		t.Errorf("decision = %q", v.Decision())
+	}
+}
+
+// TestCompareInflationTrips: inflating every candidate sample beyond the
+// practical floor must trip every comparison (monotonicity upper bound),
+// and the verdict must identify the worst cell.
+func TestCompareInflationTrips(t *testing.T) {
+	base := twoCellFixture(1)
+	cand := fixtureBaseline(map[string][][]float64{
+		"0": {scale(base.Cells[0].Samples[0], 1.2), scale(base.Cells[0].Samples[1], 1.2)},
+		"1": {scale(base.Cells[1].Samples[0], 1.2), scale(base.Cells[1].Samples[1], 1.2)},
+	})
+	v, err := Compare(base, cand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass || v.Regressions != len(v.Cells) {
+		t.Fatalf("20%% inflation not fully caught: %+v", v)
+	}
+	for _, c := range v.Cells {
+		if c.Status != StatusRegression || !c.Significant || !c.Practical || c.Delta <= 0 {
+			t.Errorf("cell %s p%g: %+v", c.Cell, c.Quantile*100, c)
+		}
+	}
+	// Worst comparison is the largest absolute delta: cell 1's P99.
+	if v.WorstCell != "1" || v.WorstQuantile != 0.99 || v.WorstDelta <= 0 {
+		t.Errorf("worst = %s p%g delta %g", v.WorstCell, v.WorstQuantile*100, v.WorstDelta)
+	}
+	if v.Decision() != "BLOCK" {
+		t.Errorf("decision = %q", v.Decision())
+	}
+}
+
+// TestCompareSwapSymmetry: swapping baseline and candidate must flip every
+// delta's sign, keep every p-value bit-identical (equal group sizes), and
+// turn regressions into improvements.
+func TestCompareSwapSymmetry(t *testing.T) {
+	base := twoCellFixture(3)
+	cand := fixtureBaseline(map[string][][]float64{
+		"0": {scale(base.Cells[0].Samples[0], 1.15), scale(base.Cells[0].Samples[1], 1.15)},
+		"1": {scale(base.Cells[1].Samples[0], 1.15), scale(base.Cells[1].Samples[1], 1.15)},
+	})
+	fwd, err := Compare(base, cand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := Compare(cand, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwd.Cells) != len(rev.Cells) {
+		t.Fatalf("comparison counts differ: %d vs %d", len(fwd.Cells), len(rev.Cells))
+	}
+	for i := range fwd.Cells {
+		f, r := fwd.Cells[i], rev.Cells[i]
+		if f.P != r.P {
+			t.Errorf("cell %s p%g: p-value asymmetric: %g vs %g", f.Cell, f.Quantile*100, f.P, r.P)
+		}
+		if f.Delta != -r.Delta {
+			t.Errorf("cell %s p%g: delta not antisymmetric: %g vs %g", f.Cell, f.Quantile*100, f.Delta, r.Delta)
+		}
+		if f.Status == StatusRegression && r.Status != StatusImprovement {
+			t.Errorf("cell %s p%g: swap gave %s/%s", f.Cell, f.Quantile*100, f.Status, r.Status)
+		}
+	}
+	if fwd.Regressions != rev.Improvements || fwd.Improvements != rev.Regressions {
+		t.Errorf("tallies not mirrored: fwd %d/%d rev %d/%d",
+			fwd.Regressions, fwd.Improvements, rev.Regressions, rev.Improvements)
+	}
+}
+
+// TestCompareSeedDeterminism: the verdict (all p-values included) is a
+// pure function of inputs and seed — two runs encode byte-identically.
+func TestCompareSeedDeterminism(t *testing.T) {
+	base := twoCellFixture(5)
+	cand := fixtureBaseline(map[string][][]float64{
+		"0": {scale(base.Cells[0].Samples[0], 1.04), scale(base.Cells[0].Samples[1], 1.04)},
+		"1": {scale(base.Cells[1].Samples[0], 1.04), scale(base.Cells[1].Samples[1], 1.04)},
+	})
+	for _, seed := range []uint64{1, 42} {
+		a, err := Compare(base, cand, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Compare(base, cand, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := EncodeVerdict(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := EncodeVerdict(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("seed %d: verdict not byte-reproducible", seed)
+		}
+	}
+}
+
+// TestComparePracticalFloor: a shift that is statistically unmissable but
+// below both practical floors must not block the release.
+func TestComparePracticalFloor(t *testing.T) {
+	base := fixtureBaseline(map[string][][]float64{
+		"0": {noisy(10e-3, 1e-6, 12, 9), noisy(20e-3, 1e-6, 12, 10)},
+	})
+	// +0.1% and ~+10-20µs: clearly detectable (tiny noise), clearly not
+	// practically significant (floors: 5% / 200µs).
+	cand := fixtureBaseline(map[string][][]float64{
+		"0": {scale(base.Cells[0].Samples[0], 1.001), scale(base.Cells[0].Samples[1], 1.001)},
+	})
+	v, err := Compare(base, cand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("impractical shift blocked the release: %+v", v)
+	}
+	for _, c := range v.Cells {
+		if !c.Significant {
+			t.Errorf("cell %s p%g: expected statistical detection, p=%g", c.Cell, c.Quantile*100, c.P)
+		}
+		if c.Practical || c.Status != StatusPass {
+			t.Errorf("cell %s p%g: %+v", c.Cell, c.Quantile*100, c)
+		}
+	}
+}
+
+// TestCompareInputValidation: mismatched fingerprints, missing cells, and
+// non-finite samples are rejected with errors naming the offender.
+func TestCompareInputValidation(t *testing.T) {
+	base := twoCellFixture(7)
+
+	other := twoCellFixture(7)
+	other.Fingerprint = "different"
+	if _, err := Compare(base, other, Options{}); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("fingerprint mismatch: err = %v", err)
+	}
+
+	missing := twoCellFixture(7)
+	missing.Cells = missing.Cells[:1]
+	if _, err := Compare(base, missing, Options{}); err == nil || !strings.Contains(err.Error(), "cell") {
+		t.Errorf("missing cell: err = %v", err)
+	}
+
+	poisoned := twoCellFixture(7)
+	poisoned.Cells[1].Samples[1][3] = math.NaN()
+	_, err := Compare(base, poisoned, Options{})
+	if err == nil || !strings.Contains(err.Error(), "cell 1") || !strings.Contains(err.Error(), "want finite") {
+		t.Errorf("NaN sample: err = %v", err)
+	}
+}
+
+// testScenario is a deliberately tiny sim scenario so capture unit tests
+// stay fast: one factor (two cells), two clients, short runs.
+func testScenario() Scenario {
+	return Scenario{
+		Seed:           1,
+		Clients:        2,
+		TotalRate:      150000,
+		ConnsPerClient: 4,
+		Duration:       0.03,
+		Warmup:         0.01,
+		Factors:        []string{"turbo"},
+		MinReplicates:  8,
+		MaxReplicates:  32,
+		Tolerance:      0.05,
+	}
+}
+
+// TestCaptureConvergedBaseline: capture commits only converged cells, the
+// fingerprint matches the scenario, and a same-seed recapture is
+// bit-identical — so gating it passes with p = 1 everywhere.
+func TestCaptureConvergedBaseline(t *testing.T) {
+	sc := testScenario()
+	b, err := Capture(context.Background(), sc, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Cells) != 2 || b.Fingerprint != sc.Fingerprint() {
+		t.Fatalf("baseline shape: %d cells, fp %s vs %s", len(b.Cells), b.Fingerprint, sc.Fingerprint())
+	}
+	for _, c := range b.Cells {
+		if c.ConvergedAt == 0 || c.ConvergedAt > c.Runs {
+			t.Errorf("cell %s: converged_at %d runs %d", c.Cell, c.ConvergedAt, c.Runs)
+		}
+		for qi, row := range c.Samples {
+			if len(row) != c.Runs {
+				t.Errorf("cell %s q%d: %d samples for %d runs", c.Cell, qi, len(row), c.Runs)
+			}
+		}
+	}
+
+	again, err := Capture(context.Background(), sc, CaptureOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, again) {
+		t.Fatal("same-seed recapture not bit-identical")
+	}
+	v, err := Compare(b, again, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("same-seed gate blocked: %+v", v)
+	}
+}
+
+// TestCaptureRefusesUnconverged: an unreachable tolerance exhausts
+// MaxReplicates and the capture refuses to commit.
+func TestCaptureRefusesUnconverged(t *testing.T) {
+	sc := testScenario()
+	sc.Tolerance = 1e-12
+	sc.MaxReplicates = 8
+	_, err := Capture(context.Background(), sc, CaptureOptions{})
+	if err == nil || !strings.Contains(err.Error(), "refusing to commit") {
+		t.Fatalf("unconverged capture committed: err = %v", err)
+	}
+}
+
+// TestCaptureInflationRegresses: the injected-regression knob slows the
+// candidate enough for the gate to block, and the baseline records the
+// perturbation.
+func TestCaptureInflationRegresses(t *testing.T) {
+	sc := testScenario()
+	base, err := Capture(context.Background(), sc, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := CaptureReplicates(context.Background(), sc, base.Cells[0].Runs, CaptureOptions{Inflate: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Inflate != 1.3 {
+		t.Errorf("inflation not recorded: %g", cand.Inflate)
+	}
+	if cand.Cells[0].Runs != base.Cells[0].Runs {
+		t.Errorf("candidate ran %d replicates, baseline committed %d", cand.Cells[0].Runs, base.Cells[0].Runs)
+	}
+	v, err := Compare(base, cand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass || v.Regressions == 0 {
+		t.Fatalf("30%% service inflation shipped: %+v", v)
+	}
+}
+
+// TestBaselineFileRoundTrip: write → read preserves the baseline, and a
+// truncated file is rejected.
+func TestBaselineFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	b := twoCellFixture(11)
+	b.Scenario = testScenario().withDefaults()
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, got) {
+		t.Fatal("baseline round trip mangled")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	sc := testScenario()
+	sc.TotalRate = math.NaN()
+	if _, err := Capture(context.Background(), sc, CaptureOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "total_rate") {
+		t.Errorf("NaN rate: err = %v", err)
+	}
+	sc = testScenario()
+	sc.Factors = []string{"warp-drive"}
+	if _, err := Capture(context.Background(), sc, CaptureOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "warp-drive") {
+		t.Errorf("unknown factor: err = %v", err)
+	}
+	sc = testScenario()
+	if _, err := Capture(context.Background(), sc, CaptureOptions{Inflate: -2}); err == nil ||
+		!strings.Contains(err.Error(), "inflate") {
+		t.Errorf("negative inflation: err = %v", err)
+	}
+	sc = testScenario()
+	if _, err := CaptureReplicates(context.Background(), sc, 2, CaptureOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "min_runs") {
+		t.Errorf("too few fixed replicates: err = %v", err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8}); s != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", s)
+	}
+	if s := Sparkline([]float64{5, 5, 5}); s != "▄▄▄" {
+		t.Errorf("constant sparkline = %q", s)
+	}
+	if s := Sparkline([]float64{1, math.NaN(), 2}); s != "▁·█" {
+		t.Errorf("NaN sparkline = %q", s)
+	}
+}
+
+// TestHistoryAppendReadRender: the history ledger accumulates across
+// appends, survives re-reading, and renders one trend row per gated
+// metric with the drift between first and latest.
+func TestHistoryAppendReadRender(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.jsonl")
+	if recs, err := ReadHistory(path); err != nil || recs != nil {
+		t.Fatalf("missing history: recs=%v err=%v", recs, err)
+	}
+	pass := true
+	for i, p99 := range []float64{480e-6, 500e-6, 470e-6} {
+		err := AppendHistory(path, HistoryRecord{
+			Kind: "gate", Seed: 1, Pass: &pass,
+			Metrics: []HistoryMetric{
+				{Cell: "0", Quantile: 0.99, Seconds: p99},
+				{Cell: "0", Quantile: 0.5, Seconds: 120e-6 + float64(i)*1e-6},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Metrics[0].Seconds != 470e-6 {
+		t.Fatalf("history = %+v", recs)
+	}
+	tab := HistoryTable(recs)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("history table rows = %d", len(tab.Rows))
+	}
+	rendered := tab.String()
+	if !strings.Contains(rendered, "p99") || !strings.Contains(rendered, "-2.1%") {
+		t.Errorf("history table:\n%s", rendered)
+	}
+}

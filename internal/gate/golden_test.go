@@ -1,0 +1,147 @@
+package gate
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenVerdict produces the fixed verdict both golden tests snapshot: a
+// deterministic fixture comparison at a non-default seed and permutation
+// count, with one regressed cell and one untouched cell.
+func goldenVerdict(t *testing.T) *Verdict {
+	t.Helper()
+	base := twoCellFixture(21)
+	cand := fixtureBaseline(map[string][][]float64{
+		"0": {base.Cells[0].Samples[0], base.Cells[0].Samples[1]},
+		"1": {scale(base.Cells[1].Samples[0], 1.18), scale(base.Cells[1].Samples[1], 1.18)},
+	})
+	v, err := Compare(base, cand, Options{Seed: 42, Permutations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/gate/ -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (re-run with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenVerdictJSON pins GATE_verdict.json byte-for-byte at a fixed
+// seed: any field rename, reordering, or float-formatting change must be a
+// deliberate golden-file update (and a schema bump when shape changes).
+func TestGoldenVerdictJSON(t *testing.T) {
+	data, err := EncodeVerdict(goldenVerdict(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "verdict.golden.json", data)
+}
+
+// TestGoldenVerdictTable pins the rendered verdict table.
+func TestGoldenVerdictTable(t *testing.T) {
+	checkGolden(t, "verdict_table.golden.txt", []byte(VerdictTable(goldenVerdict(t)).String()))
+}
+
+// TestGoldenVerdictRoundTrip: the golden file decodes back to the exact
+// verdict that produced it.
+func TestGoldenVerdictRoundTrip(t *testing.T) {
+	want := goldenVerdict(t)
+	data, err := os.ReadFile(filepath.Join("testdata", "verdict.golden.json"))
+	if err != nil {
+		t.Skip("golden file absent; run -update first")
+	}
+	got, err := DecodeVerdict(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reencoded, err := EncodeVerdict(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := EncodeVerdict(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reencoded, wantBytes) {
+		t.Error("golden verdict did not survive decode/encode round trip")
+	}
+}
+
+// TestVerdictLegacyDecode: a verdict written before schema_version and the
+// Worst* fields existed still decodes, defaulting to schema 1 with zero
+// values for the newer fields — old CI artifacts stay readable.
+func TestVerdictLegacyDecode(t *testing.T) {
+	legacy := []byte(`{
+  "pass": false,
+  "regressions": 1,
+  "improvements": 0,
+  "alpha": 0.05,
+  "rel_threshold": 0.05,
+  "abs_threshold": 0.0002,
+  "permutations": 2000,
+  "seed": 1,
+  "cells": [
+    {
+      "cell": "0",
+      "quantile": 0.99,
+      "baseline_n": 8,
+      "candidate_n": 8,
+      "baseline_mean": 0.00048,
+      "candidate_mean": 0.00058,
+      "delta": 0.0001,
+      "rel_delta": 0.2083,
+      "p": 0.000499,
+      "holm_alpha": 0.05,
+      "significant": true,
+      "practical": true,
+      "status": "regression"
+    }
+  ]
+}`)
+	v, err := DecodeVerdict(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SchemaVersion != 1 {
+		t.Errorf("legacy schema version = %d, want 1", v.SchemaVersion)
+	}
+	if v.Pass || v.Regressions != 1 || v.Decision() != "BLOCK" {
+		t.Errorf("legacy verdict misread: %+v", v)
+	}
+	if v.WorstCell != "" || v.WorstDelta != 0 {
+		t.Errorf("absent Worst* fields should decode as zero: %q %g", v.WorstCell, v.WorstDelta)
+	}
+	if c := v.Cells[0]; c.Status != StatusRegression || !c.Significant {
+		t.Errorf("legacy cell misread: %+v", c)
+	}
+
+	if _, err := DecodeVerdict([]byte(`{"schema_version": 99, "cells": []}`)); err == nil {
+		t.Error("future schema accepted")
+	}
+	if _, err := DecodeVerdict([]byte(`{"pass": tru`)); err == nil {
+		t.Error("truncated verdict accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"treadmill/internal/report"
+	"treadmill/internal/stats"
+)
+
+// HistoryRecord is one appended line of BENCH_history.jsonl: the gated
+// metrics of one baseline capture or gate run, so the perf trajectory of
+// the repo accumulates across merges and renders as a sparkline.
+type HistoryRecord struct {
+	// Time is an RFC3339 stamp added by the CLI (empty in deterministic
+	// tests — the record content itself carries no clock).
+	Time string `json:"time,omitempty"`
+	// Kind is "baseline" or "gate".
+	Kind string `json:"kind"`
+	// Scale names the experiment scale ("quick"/"full").
+	Scale string `json:"scale,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	// Fingerprint ties the record to the scenario it measured.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Pass / Regressions summarize a gate run (absent on baselines).
+	Pass        *bool `json:"pass,omitempty"`
+	Regressions int   `json:"regressions,omitempty"`
+	// Metrics are the run's per-cell per-quantile sample means (seconds).
+	Metrics []HistoryMetric `json:"metrics"`
+}
+
+// HistoryMetric is one gated metric's value in one run.
+type HistoryMetric struct {
+	Cell     string  `json:"cell"`
+	Quantile float64 `json:"quantile"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// BaselineMetrics extracts a baseline's per-cell quantile means as
+// history metrics.
+func BaselineMetrics(b *Baseline) []HistoryMetric {
+	var out []HistoryMetric
+	for _, c := range b.Cells {
+		for qi, q := range b.Quantiles {
+			out = append(out, HistoryMetric{Cell: c.Cell, Quantile: q, Seconds: stats.Mean(c.Samples[qi])})
+		}
+	}
+	return out
+}
+
+// VerdictMetrics extracts a gate run's candidate-side means as history
+// metrics.
+func VerdictMetrics(v *Verdict) []HistoryMetric {
+	var out []HistoryMetric
+	for _, c := range v.Cells {
+		out = append(out, HistoryMetric{Cell: c.Cell, Quantile: c.Quantile, Seconds: c.CandidateMean})
+	}
+	return out
+}
+
+// AppendHistory appends one record to the JSONL history at path, creating
+// the file when absent. Append-only is the contract: history is a ledger,
+// never rewritten.
+func AppendHistory(path string, rec HistoryRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("gate: open history: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("gate: append history: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadHistory parses the JSONL history at path. A missing file is an
+// empty history, not an error.
+func ReadHistory(path string) ([]HistoryRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryRecord
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var rec HistoryRecord
+		if err := dec.Decode(&rec); err != nil {
+			return out, fmt.Errorf("gate: parse history record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// sparkGlyphs are the eight block glyphs Sparkline scales values onto.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a text sparkline, min-to-max scaled. A
+// constant (or single-value) series renders mid-scale; non-finite values
+// render as '·'.
+func Sparkline(vals []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	out := make([]rune, 0, len(vals))
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			out = append(out, '·')
+		case hi == lo:
+			out = append(out, sparkGlyphs[3])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+			out = append(out, sparkGlyphs[idx])
+		}
+	}
+	return string(out)
+}
+
+// HistoryTable renders the perf trajectory: one row per gated metric that
+// appears in the latest record, with its sparkline over every record that
+// carries it, the first and latest values, and the drift between them.
+func HistoryTable(recs []HistoryRecord) *report.Table {
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Gated-metric history (%d runs)", len(recs)),
+		Headers: []string{"cell", "quantile", "trend", "first", "latest", "drift"},
+	}
+	if len(recs) == 0 {
+		return tab
+	}
+	latest := recs[len(recs)-1]
+	for _, m := range latest.Metrics {
+		var series []float64
+		for _, rec := range recs {
+			for _, rm := range rec.Metrics {
+				if rm.Cell == m.Cell && rm.Quantile == m.Quantile {
+					series = append(series, rm.Seconds)
+					break
+				}
+			}
+		}
+		first := series[0]
+		drift := "n/a"
+		if first != 0 {
+			drift = fmt.Sprintf("%+.1f%%", (m.Seconds-first)/first*100)
+		}
+		tab.AddRow(
+			m.Cell,
+			fmt.Sprintf("p%g", m.Quantile*100),
+			Sparkline(series),
+			report.Micros(first),
+			report.Micros(m.Seconds),
+			drift,
+		)
+	}
+	return tab
+}

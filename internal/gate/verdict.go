@@ -1,0 +1,161 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"treadmill/internal/report"
+	"treadmill/internal/telemetry"
+)
+
+// VerdictSchemaVersion is the current GATE_verdict.json schema. Decoding
+// treats an absent (zero) version as 1 so verdict files written by older
+// builds keep parsing as the schema grows.
+const VerdictSchemaVersion = 1
+
+// Verdict is the gate's decision artifact (GATE_verdict.json): one entry
+// per cell × gated quantile with the evidence behind its classification,
+// plus the family-level configuration and tallies. It contains no
+// timestamps or host fields, so a fixed-seed run is byte-reproducible.
+type Verdict struct {
+	SchemaVersion int    `json:"schema_version"`
+	Pass          bool   `json:"pass"`
+	Fingerprint   string `json:"fingerprint,omitempty"`
+	Regressions   int    `json:"regressions"`
+	Improvements  int    `json:"improvements"`
+
+	Alpha        float64 `json:"alpha"`
+	RelThreshold float64 `json:"rel_threshold"`
+	AbsThreshold float64 `json:"abs_threshold"`
+	Permutations int     `json:"permutations"`
+	Seed         uint64  `json:"seed"`
+
+	// Worst* identify the comparison with the largest adverse delta,
+	// significant or not (zero values when nothing moved against us).
+	WorstCell     string  `json:"worst_cell,omitempty"`
+	WorstQuantile float64 `json:"worst_quantile,omitempty"`
+	WorstDelta    float64 `json:"worst_delta,omitempty"`
+	WorstP        float64 `json:"worst_p,omitempty"`
+
+	Cells []CellVerdict `json:"cells"`
+}
+
+// CellVerdict is one comparison's evidence and classification.
+type CellVerdict struct {
+	Cell     string  `json:"cell"`
+	Quantile float64 `json:"quantile"`
+
+	BaselineN     int     `json:"baseline_n"`
+	CandidateN    int     `json:"candidate_n"`
+	BaselineMean  float64 `json:"baseline_mean"`
+	CandidateMean float64 `json:"candidate_mean"`
+	// Delta is candidate − baseline in seconds (positive = slower);
+	// RelDelta is Delta over the baseline mean.
+	Delta    float64 `json:"delta"`
+	RelDelta float64 `json:"rel_delta"`
+
+	// P is the two-sided permutation p-value; HolmAlpha the step-down cut
+	// this comparison faced; Significant whether it survived the
+	// correction; Practical whether |Delta| cleared a practical floor.
+	P           float64 `json:"p"`
+	HolmAlpha   float64 `json:"holm_alpha"`
+	Significant bool    `json:"significant"`
+	Practical   bool    `json:"practical"`
+	// Status is "pass", "regression", or "improvement".
+	Status string `json:"status"`
+}
+
+// EncodeVerdict renders the verdict as the canonical pretty-printed JSON
+// bytes of GATE_verdict.json (golden-tested for byte stability).
+func EncodeVerdict(v *Verdict) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteVerdict writes GATE_verdict.json at path.
+func WriteVerdict(path string, v *Verdict) error {
+	data, err := EncodeVerdict(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// DecodeVerdict parses verdict bytes, accepting older schemas: an absent
+// schema_version decodes as 1 and unknown newer fields are simply absent.
+func DecodeVerdict(data []byte) (*Verdict, error) {
+	var v Verdict
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("gate: parse verdict: %w", err)
+	}
+	if v.SchemaVersion == 0 {
+		v.SchemaVersion = 1
+	}
+	if v.SchemaVersion > VerdictSchemaVersion {
+		return nil, fmt.Errorf("gate: verdict schema %d newer than supported %d", v.SchemaVersion, VerdictSchemaVersion)
+	}
+	return &v, nil
+}
+
+// ReadVerdict loads a verdict file.
+func ReadVerdict(path string) (*Verdict, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeVerdict(data)
+}
+
+// Decision renders the one-word outcome CI logs grep for.
+func (v *Verdict) Decision() string {
+	if v.Pass {
+		return "SHIP"
+	}
+	return "BLOCK"
+}
+
+// Record converts the verdict into its journal event payload.
+func (v *Verdict) Record() *telemetry.GateRecord {
+	return &telemetry.GateRecord{
+		Pass:          v.Pass,
+		Regressions:   v.Regressions,
+		Improvements:  v.Improvements,
+		Comparisons:   len(v.Cells),
+		Alpha:         v.Alpha,
+		RelThreshold:  v.RelThreshold,
+		AbsThreshold:  v.AbsThreshold,
+		Baseline:      v.Fingerprint,
+		WorstCell:     v.WorstCell,
+		WorstQuantile: v.WorstQuantile,
+		WorstDeltaSec: v.WorstDelta,
+		WorstP:        v.WorstP,
+	}
+}
+
+// VerdictTable renders the verdict for terminals and CI logs.
+func VerdictTable(v *Verdict) *report.Table {
+	tab := &report.Table{
+		Title: fmt.Sprintf("Release gate: %s (%d regressions, %d improvements over %d comparisons; Holm α=%g, floors %g%% / %s)",
+			v.Decision(), v.Regressions, v.Improvements, len(v.Cells),
+			v.Alpha, v.RelThreshold*100, report.Micros(v.AbsThreshold)),
+		Headers: []string{"cell", "quantile", "baseline", "candidate", "delta", "rel", "p", "holm cut", "status"},
+	}
+	for _, c := range v.Cells {
+		tab.AddRow(
+			c.Cell,
+			fmt.Sprintf("p%g", c.Quantile*100),
+			report.Micros(c.BaselineMean),
+			report.Micros(c.CandidateMean),
+			report.Micros(c.Delta),
+			fmt.Sprintf("%+.1f%%", c.RelDelta*100),
+			fmt.Sprintf("%.4g", c.P),
+			fmt.Sprintf("%.4g", c.HolmAlpha),
+			c.Status,
+		)
+	}
+	return tab
+}

@@ -201,6 +201,81 @@ func PermutationTest(a, b []float64, permutations int, rng *dist.RNG) (float64, 
 	return (float64(extreme) + 1) / (float64(permutations) + 1), nil
 }
 
+// MeanDiffPermutation returns the signed difference of means (b − a) and
+// the two-sided permutation p-value for the null hypothesis that a and b
+// come from the same distribution. It is the release gate's comparison
+// primitive: delta > 0 means b is larger (slower, when the samples are
+// latency quantiles) than a.
+//
+// Unlike PermutationTest, the pooled values are put in a canonical sorted
+// order before shuffling, so the p-value depends only on the pooled
+// multiset, the group sizes, and the RNG stream — with equal group sizes
+// swapping a and b flips delta's sign but returns the bit-identical
+// p-value, which is the symmetry the gate's property tests pin.
+func MeanDiffPermutation(a, b []float64, permutations int, rng *dist.RNG) (delta, p float64, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, fmt.Errorf("stats: permutation test needs non-empty groups (%d, %d)", len(a), len(b))
+	}
+	if permutations < 100 {
+		return 0, 0, fmt.Errorf("stats: need >= 100 permutations, got %d", permutations)
+	}
+	delta = Mean(b) - Mean(a)
+	observed := math.Abs(delta)
+	pooled := make([]float64, 0, len(a)+len(b))
+	pooled = append(pooled, a...)
+	pooled = append(pooled, b...)
+	sort.Float64s(pooled)
+	na := len(a)
+	extreme := 0
+	for i := 0; i < permutations; i++ {
+		rng.Shuffle(len(pooled), func(i, j int) { pooled[i], pooled[j] = pooled[j], pooled[i] })
+		d := math.Abs(Mean(pooled[:na]) - Mean(pooled[na:]))
+		if d >= observed {
+			extreme++
+		}
+	}
+	// Add-one smoothing keeps the p-value away from an impossible exact 0.
+	return delta, (float64(extreme) + 1) / (float64(permutations) + 1), nil
+}
+
+// HolmBonferroni applies the Holm step-down multiple-comparison correction
+// to a family of p-values at family-wise error rate alpha: sort the
+// p-values ascending, compare the i-th smallest against alpha/(m−i), and
+// stop rejecting at the first failure. It returns a rejection mask
+// parallel to ps. Holm dominates plain Bonferroni (never rejects less)
+// while still controlling the family-wise error rate, which is what keeps
+// a many-cell gate from crying wolf on one lucky cell.
+func HolmBonferroni(ps []float64, alpha float64) ([]bool, error) {
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("stats: alpha %g out of (0,1)", alpha)
+	}
+	for i, p := range ps {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return nil, fmt.Errorf("stats: p-value %d = %g invalid: want [0,1]", i, p)
+		}
+	}
+	m := len(ps)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return ps[order[i]] < ps[order[j]] })
+	reject := make([]bool, m)
+	for rank, idx := range order {
+		if ps[idx] > alpha/float64(m-rank) {
+			break // step-down: everything at or after the first failure stands
+		}
+		reject[idx] = true
+	}
+	return reject, nil
+}
+
+// HolmThreshold returns the step-down significance cut the comparison with
+// the given 0-based ascending rank faced in a family of m tests: alpha/(m−rank).
+func HolmThreshold(alpha float64, m, rank int) float64 {
+	return alpha / float64(m-rank)
+}
+
 // NormalCDF returns Φ(x), the standard normal CDF.
 func NormalCDF(x float64) float64 {
 	return 0.5 * math.Erfc(-x/math.Sqrt2)
@@ -251,14 +326,30 @@ func (c *ConvergenceDetector) Observe(v float64) bool {
 	prevMean := Mean(c.values)
 	c.values = append(c.values, v)
 	mean := Mean(c.values)
-	if len(c.values) > 1 && prevMean != 0 {
-		if math.Abs(mean-prevMean)/math.Abs(prevMean) <= c.Tolerance {
+	if len(c.values) > 1 {
+		switch {
+		case prevMean == 0 && mean == 0:
+			// A constant-zero sequence has a perfectly stable running mean;
+			// the relative-change test below would divide by zero.
 			c.stable++
-		} else {
+		case prevMean != 0 && math.Abs(mean-prevMean)/math.Abs(prevMean) <= c.Tolerance:
+			c.stable++
+		default:
 			c.stable = 0
 		}
 	}
 	return c.Converged()
+}
+
+// ObserveChecked is Observe with input validation: NaN and ±Inf
+// observations poison a running mean silently (every later relative-change
+// test involves them), so they are rejected with an error naming the
+// offending value instead of being folded in.
+func (c *ConvergenceDetector) ObserveChecked(v float64) (bool, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return false, fmt.Errorf("stats: convergence observation %g invalid: want finite", v)
+	}
+	return c.Observe(v), nil
 }
 
 // Converged reports whether the stopping rule is satisfied.

@@ -349,3 +349,153 @@ func TestVarianceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMeanDiffPermutationSwapSymmetry(t *testing.T) {
+	// Equal-size groups: swapping the arguments must flip delta's sign and
+	// return the bit-identical p-value when the RNG stream is the same.
+	a := []float64{100, 104, 98, 101, 103, 99, 102, 100}
+	b := []float64{118, 122, 117, 121, 119, 120, 118, 123}
+	d1, p1, err := MeanDiffPermutation(a, b, 500, dist.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, p2, err := MeanDiffPermutation(b, a, 500, dist.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != -d2 {
+		t.Errorf("delta not antisymmetric: %g vs %g", d1, d2)
+	}
+	if p1 != p2 {
+		t.Errorf("p-value not symmetric: %g vs %g", p1, p2)
+	}
+	if d1 <= 0 {
+		t.Errorf("delta = %g, want > 0 (b is larger)", d1)
+	}
+	if p1 > 0.05 {
+		t.Errorf("p = %g for a clearly separated pair, want small", p1)
+	}
+}
+
+func TestMeanDiffPermutationIdentical(t *testing.T) {
+	a := []float64{5, 5, 5, 5, 5, 5}
+	d, p, err := MeanDiffPermutation(a, a, 200, dist.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("delta = %g, want 0", d)
+	}
+	if p != 1 {
+		t.Errorf("p = %g for identical groups, want exactly 1", p)
+	}
+}
+
+func TestMeanDiffPermutationErrors(t *testing.T) {
+	if _, _, err := MeanDiffPermutation(nil, []float64{1}, 200, dist.NewRNG(1)); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, _, err := MeanDiffPermutation([]float64{1}, []float64{2}, 10, dist.NewRNG(1)); err == nil {
+		t.Error("too few permutations accepted")
+	}
+}
+
+func TestHolmBonferroni(t *testing.T) {
+	// m=4 at alpha=0.05: thresholds 0.0125, 0.0167, 0.025, 0.05 by rank.
+	ps := []float64{0.01, 0.04, 0.001, 0.2}
+	rej, err := HolmBonferroni(ps, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if rej[i] != want[i] {
+			t.Errorf("reject[%d] = %v, want %v (ps=%v)", i, rej[i], want[i], ps)
+		}
+	}
+
+	// Step-down: a failure blocks every larger p even below its own cut.
+	// ranks: 0.02 vs 0.0125 fails, so 0.03 (vs 0.0167) cannot be rejected.
+	rej, err = HolmBonferroni([]float64{0.02, 0.03, 0.04, 0.06}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rej {
+		if r {
+			t.Errorf("reject[%d] = true after step-down failure", i)
+		}
+	}
+
+	if _, err := HolmBonferroni([]float64{0.5}, 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := HolmBonferroni([]float64{math.NaN()}, 0.05); err == nil {
+		t.Error("NaN p-value accepted")
+	}
+	if rej, err := HolmBonferroni(nil, 0.05); err != nil || len(rej) != 0 {
+		t.Errorf("empty family: rej=%v err=%v", rej, err)
+	}
+}
+
+func TestConvergenceDetectorConstantSamples(t *testing.T) {
+	// A constant nonzero sequence converges exactly when both MinRuns and
+	// Window are satisfied — never earlier.
+	c := &ConvergenceDetector{MinRuns: 5, Window: 3, Tolerance: 0.01}
+	for i := 1; i <= 4; i++ {
+		if c.Observe(250e-6) {
+			t.Fatalf("converged at n=%d < MinRuns", i)
+		}
+	}
+	if !c.Observe(250e-6) {
+		t.Fatal("constant sequence not converged at MinRuns")
+	}
+
+	// Constant zero must converge too: a perfectly stable running mean of 0
+	// used to trip the relative-change division guard and never stabilize.
+	z := &ConvergenceDetector{MinRuns: 5, Window: 3, Tolerance: 0.01}
+	for i := 1; i <= 4; i++ {
+		if z.Observe(0) {
+			t.Fatalf("zero sequence converged at n=%d < MinRuns", i)
+		}
+	}
+	if !z.Observe(0) {
+		t.Fatal("constant-zero sequence never converged")
+	}
+}
+
+func TestConvergenceDetectorTwoSampleMinimum(t *testing.T) {
+	// The smallest meaningful configuration: converges at n=2 on a stable
+	// pair, and a second jumpy observation resets the window.
+	c := &ConvergenceDetector{MinRuns: 2, Window: 1, Tolerance: 0.05}
+	if c.Observe(100) {
+		t.Fatal("converged on a single observation")
+	}
+	if !c.Observe(101) {
+		t.Fatal("stable pair not converged at the two-sample minimum")
+	}
+
+	d := &ConvergenceDetector{MinRuns: 2, Window: 1, Tolerance: 0.05}
+	d.Observe(100)
+	if d.Observe(200) {
+		t.Fatal("converged across a 2x jump")
+	}
+}
+
+func TestConvergenceDetectorObserveChecked(t *testing.T) {
+	c := &ConvergenceDetector{MinRuns: 2, Window: 1, Tolerance: 0.05}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := c.ObserveChecked(bad); err == nil {
+			t.Errorf("observation %g accepted", bad)
+		}
+	}
+	if c.N() != 0 {
+		t.Errorf("rejected observations were recorded: n=%d", c.N())
+	}
+	ok, err := c.ObserveChecked(100)
+	if err != nil || ok {
+		t.Errorf("first finite observation: ok=%v err=%v", ok, err)
+	}
+	if ok, err := c.ObserveChecked(100.5); err != nil || !ok {
+		t.Errorf("stable pair: ok=%v err=%v", ok, err)
+	}
+}

@@ -35,6 +35,7 @@ type Event struct {
 	Fleet    *FleetRecord    `json:"fleet,omitempty"`
 	Span     *SpanRecord     `json:"span,omitempty"`
 	Forensic *ForensicRecord `json:"forensic,omitempty"`
+	Gate     *GateRecord     `json:"gate,omitempty"`
 	Note     string          `json:"note,omitempty"`
 	Fields   map[string]any  `json:"fields,omitempty"`
 }
@@ -48,6 +49,7 @@ const (
 	EventFleet    = "fleet"
 	EventSpan     = "span"
 	EventForensic = "forensic"
+	EventGate     = "gate"
 	EventNote     = "note"
 )
 
@@ -187,6 +189,38 @@ type ForensicRecord struct {
 	// Profile sizes prove capture happened without bloating the journal.
 	GoroutineProfileBytes int `json:"goroutine_profile_bytes,omitempty"`
 	CPUProfileBytes       int `json:"cpu_profile_bytes,omitempty"`
+}
+
+// GateRecord journals one release-gate verdict (produced by internal/gate,
+// which owns the decision — like AnatomyRecord, the journal stores plain
+// fields so telemetry does not depend on the gate package). It is the
+// audit line a CI run leaves behind: what was compared, at what
+// significance configuration, and which cell was worst.
+type GateRecord struct {
+	// Pass is the ship/block decision: false means at least one comparison
+	// regressed both statistically and practically.
+	Pass bool `json:"pass"`
+	// Regressions / Improvements count comparisons that were both
+	// Holm-significant and past the practical floor, by direction.
+	Regressions  int `json:"regressions,omitempty"`
+	Improvements int `json:"improvements,omitempty"`
+	// Comparisons is the family size the Holm correction ran over
+	// (cells × gated quantiles).
+	Comparisons int `json:"comparisons"`
+	// Alpha is the family-wise error rate; RelThreshold/AbsThreshold are
+	// the practical-significance floors (fraction, seconds).
+	Alpha        float64 `json:"alpha"`
+	RelThreshold float64 `json:"rel_threshold"`
+	AbsThreshold float64 `json:"abs_threshold"`
+	// Baseline fingerprints the scenario the candidate was compared
+	// against, tying the verdict to a specific committed baseline file.
+	Baseline string `json:"baseline,omitempty"`
+	// Worst* identify the comparison with the largest adverse delta
+	// (absent when every comparison passed with zero delta).
+	WorstCell     string  `json:"worst_cell,omitempty"`
+	WorstQuantile float64 `json:"worst_quantile,omitempty"`
+	WorstDeltaSec float64 `json:"worst_delta_sec,omitempty"`
+	WorstP        float64 `json:"worst_p,omitempty"`
 }
 
 // FleetRecord journals one distributed-fleet lifecycle event: an agent

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJournalGateEventRoundTrip: a journaled gate verdict reads back
+// intact, with the event kind CI greps for on the line.
+func TestJournalGateEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	err := j.Emit(Event{Kind: EventGate, Gate: &GateRecord{
+		Pass:          false,
+		Regressions:   2,
+		Comparisons:   8,
+		Alpha:         0.05,
+		RelThreshold:  0.05,
+		AbsThreshold:  200e-6,
+		Baseline:      "a1b2c3d4",
+		WorstCell:     "01",
+		WorstQuantile: 0.99,
+		WorstDeltaSec: 315e-6,
+		WorstP:        0.000999,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"event":"gate"`) {
+		t.Fatalf("encoded event missing gate kind: %s", buf.String())
+	}
+	events, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Gate == nil {
+		t.Fatalf("events = %+v", events)
+	}
+	g := events[0].Gate
+	if g.Pass || g.Regressions != 2 || g.Comparisons != 8 || g.WorstCell != "01" {
+		t.Errorf("gate record mangled: %+v", g)
+	}
+	if g.WorstDeltaSec != 315e-6 || g.WorstP != 0.000999 {
+		t.Errorf("gate floats mangled: %+v", g)
+	}
+}
+
+// TestJournalGateEventLegacyDecode: gate lines written before the Worst*
+// and Baseline fields existed must still decode, with the new fields at
+// their zero values.
+func TestJournalGateEventLegacyDecode(t *testing.T) {
+	legacy := `{"event":"gate","gate":{"pass":true,"comparisons":4,` +
+		`"alpha":0.05,"rel_threshold":0.05,"abs_threshold":0.0002}}` + "\n"
+	events, err := ReadJournal(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Gate == nil {
+		t.Fatalf("events = %+v", events)
+	}
+	g := events[0].Gate
+	if !g.Pass || g.Comparisons != 4 || g.Regressions != 0 {
+		t.Errorf("legacy gate record mangled: %+v", g)
+	}
+	if g.Baseline != "" || g.WorstCell != "" || g.WorstDeltaSec != 0 {
+		t.Errorf("legacy record grew phantom fields: %+v", g)
+	}
+}
